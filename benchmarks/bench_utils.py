@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one artefact of the paper's evaluation
+(a figure, table, or theorem-backed claim), prints the reproduced rows next
+to the paper's numbers, and asserts the qualitative *shape* (who wins,
+roughly by how much, where crossovers fall) rather than exact absolute
+values -- our substrate is a simulator, not the authors' testbed.
+
+Run with ``pytest benchmarks/ --benchmark-only`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def fmt(x: float, digits: int = 2) -> str:
+    return f"{x:.{digits}f}"
+
+
+@pytest.fixture
+def table():
+    return print_table
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The figure/table benchmarks are full simulations; one timed round keeps
+    ``--benchmark-only`` runs fast while still reporting wall time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark harness.
+
+Ensures the sibling ``bench_utils`` helpers are importable regardless of
+pytest's import mode.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

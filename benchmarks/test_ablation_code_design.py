@@ -1,0 +1,72 @@
+"""Ablation/extension: automated cross-object code design vs hand tuning.
+
+Sec. 6 leaves code design for general topologies as an open problem; the
+Sec. 1.1 code was hand-tuned to the AWS latencies.  This bench runs the
+randomized-restart local search of ``repro.analysis.code_design`` and
+compares, on the Fig. 1 topology:
+
+* the best partial-replication placement (exhaustive search),
+* the paper's hand-tuned cross-object code,
+* the worst-case-optimized designed code,
+* the average-optimized designed code.
+
+Notably, the search reaches worst-case 138 ms -- the figure the paper
+quotes for its hand-tuned code, which computes to 146 ms on the printed
+matrix -- and the average-optimized design beats the best partial
+replication placement's average.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Topology,
+    cross_object_latency,
+    design_cross_object_code,
+    search_partial_replication,
+)
+from repro.ec import six_dc_code
+
+from bench_utils import fmt, once, print_table
+
+
+def run_design():
+    topo = Topology.aws_six_dc()
+    pr = search_partial_replication(topo, 4).profile
+    hand = cross_object_latency(topo, six_dc_code())
+    designed_w = design_cross_object_code(topo, 4, restarts=4, seed=0)
+    designed_a = design_cross_object_code(
+        topo, 4, objective="avg_then_worst", restarts=4, seed=1
+    )
+    return topo, pr, hand, designed_w, designed_a
+
+
+def test_code_design_ablation(benchmark):
+    topo, pr, hand, designed_w, designed_a = once(benchmark, run_design)
+    rows = [
+        ["best partial replication", fmt(pr.worst_case, 0), fmt(pr.average, 2)],
+        ["hand-tuned 6-DC code (paper)", fmt(hand.worst_case, 0),
+         fmt(hand.average, 2)],
+        ["designed (worst-case obj.)", fmt(designed_w.profile.worst_case, 0),
+         fmt(designed_w.profile.average, 2)],
+        ["designed (average obj.)", fmt(designed_a.profile.worst_case, 0),
+         fmt(designed_a.profile.average, 2)],
+    ]
+    print_table(
+        "Extension: automated cross-object code design (AWS 6-DC topology)",
+        ["scheme", "worst (ms)", "avg (ms)"],
+        rows,
+    )
+    assignment = ", ".join(
+        f"{topo.names[s]}={'+'.join(f'X{k + 1}' for k in sorted(objs))}"
+        for s, objs in enumerate(designed_w.assignment)
+    )
+    print(f"\ndesigned (worst-case) assignment: {assignment}")
+
+    # the designed code dominates the hand-tuned one on the worst case and
+    # achieves the 138 ms the paper quotes
+    assert designed_w.profile.worst_case == pytest.approx(138.0)
+    assert designed_w.profile.worst_case <= hand.worst_case
+    # the average-optimized design beats even the best placement's average
+    assert designed_a.profile.average < pr.average
+    # and both enjoy coding's worst-case advantage over placement
+    assert designed_w.profile.worst_case < pr.worst_case - 50

@@ -1,0 +1,104 @@
+"""Availability under crashes: which design keeps data readable?
+
+Property (II) makes CausalEC's read availability exactly the code's
+recovery structure, so availability is computable: for f crashes, an
+object is available iff every... rather, we report both the *guaranteed*
+availability (survives every f-subset) and the *expected* availability
+(fraction of (object, crash-set) pairs with a surviving recovery set).
+
+Compared layouts on 6 servers / 4 objects at equal-ish storage:
+
+* the best partial replication placement (6 values total),
+* the Sec. 1.1 cross-object code (6 symbols),
+* systematic Reed-Solomon(6,4) used cross-object (6 symbols),
+* full replication (24 values -- the storage-expensive reference).
+
+Shape: RS(6,4) dominates at equal storage (MDS optimality); the Sec. 1.1
+code trades a little availability for its latency profile; partial
+replication is strictly worse than RS at the same storage.
+"""
+
+from itertools import combinations
+
+from repro.analysis import Topology, search_partial_replication
+from repro.ec import (
+    partial_replication_code,
+    reed_solomon_code,
+    replication_code,
+    six_dc_code,
+)
+
+from bench_utils import fmt, once, print_table
+
+
+def expected_availability(code, f: int) -> float:
+    """Fraction of (object, f-crash-set) pairs that remain readable."""
+    total = 0
+    ok = 0
+    for crashed in combinations(range(code.N), f):
+        alive = frozenset(range(code.N)) - frozenset(crashed)
+        for k in range(code.K):
+            total += 1
+            if code.is_recovery_set(alive, k):
+                ok += 1
+    return ok / total if total else 1.0
+
+
+def build_layouts():
+    topo = Topology.aws_six_dc()
+    best = search_partial_replication(topo, 4)
+    pr_code = partial_replication_code(
+        None, 4, [sorted(p) for p in best.placement_sets()]
+    )
+    return {
+        "partial replication": pr_code,
+        "cross-object (Sec. 1.1)": six_dc_code(),
+        "RS(6,4) cross-object": reed_solomon_code(num_servers=6, num_objects=4),
+        "full replication": replication_code(num_servers=6, num_objects=4),
+    }
+
+
+def test_availability_under_crashes(benchmark):
+    def sweep():
+        layouts = build_layouts()
+        return {
+            name: [expected_availability(code, f) for f in range(4)]
+            for name, code in layouts.items()
+        }
+
+    results = once(benchmark, sweep)
+    rows = [
+        [name] + [fmt(100 * a, 1) + "%" for a in avail]
+        for name, avail in results.items()
+    ]
+    print_table(
+        "Expected read availability vs number of crashed servers "
+        "(6 servers, 4 objects)",
+        ["layout", "f=0", "f=1", "f=2", "f=3"],
+        rows,
+    )
+
+    pr = results["partial replication"]
+    co = results["cross-object (Sec. 1.1)"]
+    rs = results["RS(6,4) cross-object"]
+    fr = results["full replication"]
+
+    # everything starts fully available
+    assert all(r[0] == 1.0 for r in results.values())
+    # MDS: perfect availability through f = N - k = 2 crashes
+    assert rs[1] == 1.0 and rs[2] == 1.0
+    assert rs[3] < 1.0
+    # full replication survives up to 5 crashes
+    assert fr[3] == 1.0
+    # partial replication already loses data at f = 1 (singleton replicas)
+    assert pr[1] < 1.0
+    # the hand-tuned cross-object code improves on partial replication at
+    # every crash level (same storage)
+    for f in (1, 2, 3):
+        assert co[f] >= pr[f]
+    # RS dominates within its MDS budget (f <= N - k) ...
+    for f in (1, 2):
+        assert rs[f] >= co[f]
+    # ... but beyond it, only systematic survivors serve reads, and the
+    # locality-rich hand-tuned code overtakes it: a genuine trade-off
+    assert co[3] > rs[3]

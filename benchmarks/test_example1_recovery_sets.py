@@ -1,0 +1,61 @@
+"""Sec. 1.2 / Example 1: the (5,3) code's minimal recovery sets.
+
+Regenerates the recovery-set families R_1, R_2, R_3 the paper lists for the
+code [x1, x2, x3, x1+x2+x3, x1+2x2+x3] and checks them verbatim, plus the
+re-encoding walk-through of Sec. 1.2 (node 4 re-encodes Y4 so node 5 can
+cancel the mismatch and decode X2(1) as Y5 - Y4'').
+"""
+
+import numpy as np
+
+from repro import PrimeField, example1_code
+
+from bench_utils import once, print_table
+
+PAPER_SETS = {
+    0: [[1], [3, 4, 5], [2, 3, 4], [2, 3, 5]],
+    1: [[2], [4, 5], [1, 3, 4], [1, 3, 5]],
+    2: [[3], [1, 2, 4], [1, 2, 5], [1, 4, 5]],
+}
+
+
+def test_example1_recovery_sets(benchmark):
+    code = once(benchmark, example1_code)
+    rows = []
+    for obj in range(3):
+        ours = sorted(sorted(s + 1 for s in rs) for rs in code.minimal_recovery_sets(obj))
+        paper = sorted(sorted(s) for s in PAPER_SETS[obj])
+        rows.append([f"R_{obj + 1}", str(ours), str(paper), ours == paper])
+    print_table(
+        "Sec. 1.2: minimal recovery sets (1-indexed servers)",
+        ["family", "computed", "paper", "match"],
+        rows,
+    )
+    assert all(r[3] for r in rows)
+
+
+def test_example1_reencoding_walkthrough(benchmark):
+    """The execution beta of Sec. 1.2, replayed on the code primitives."""
+
+    def walkthrough():
+        code = example1_code(PrimeField(257))
+        f = code.field
+        # versions X_j(i): three writes to X1, two to X2, two to X3
+        x1 = {i: np.array([10 + i]) for i in (1, 2, 3)}
+        x2 = {i: np.array([20 + i]) for i in (1, 2)}
+        x3 = {i: np.array([30 + i]) for i in (1, 2)}
+        # node states from the paper's execution
+        y4 = code.encode(3, [x1[3], x2[1], x3[2]])  # X1(3)+X2(1)+X3(2)
+        y5 = code.encode(4, [x1[2], x2[1], x3[1]])  # X1(2)+2X2(1)+X3(1)
+        # node 4 re-encodes: cancel X1(3), roll X3 back to version 1
+        y4p = code.reencode(3, y4, 0, x1[3], code.zero_value())
+        y4p = code.reencode(3, y4p, 2, x3[2], x3[1])  # = X2(1) + X3(1)
+        # node 5 re-encodes: apply X1(2) from its local history
+        y4pp = code.reencode(3, y4p, 0, code.zero_value(), x1[2])
+        # now Y4'' = X1(2) + X2(1) + X3(1): decode X2(1) from {4, 5}
+        decoded = code.decode(1, {3: y4pp, 4: y5})
+        return x2[1], decoded
+
+    expected, decoded = once(benchmark, walkthrough)
+    assert np.array_equal(decoded, expected)
+    print("\nSec. 1.2 walkthrough: node 5 decoded X2(1) =", decoded, "(correct)")

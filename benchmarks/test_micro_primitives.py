@@ -1,0 +1,118 @@
+"""Microbenchmarks: the primitive operations underlying CausalEC.
+
+These use pytest-benchmark's statistics properly (many rounds): finite-field
+vector arithmetic, encode/decode/re-encode, recovery-set checks, server-side
+write/read handling, and raw simulator event throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    GF256,
+    PrimeField,
+    Scheduler,
+    example1_code,
+    reed_solomon_code,
+)
+
+VLEN = 4096
+
+
+@pytest.fixture(scope="module")
+def rs_code():
+    return reed_solomon_code(PrimeField(257), 6, 4, value_len=VLEN)
+
+
+@pytest.fixture(scope="module")
+def rs_values(rs_code):
+    rng = np.random.default_rng(0)
+    return [rs_code.field.random_vector(rng, VLEN) for _ in range(rs_code.K)]
+
+
+def test_bench_field_add_gf257(benchmark):
+    f = PrimeField(257)
+    rng = np.random.default_rng(0)
+    a, b = f.random_vector(rng, VLEN), f.random_vector(rng, VLEN)
+    benchmark(f.add, a, b)
+
+
+def test_bench_field_scalar_mul_gf256(benchmark):
+    rng = np.random.default_rng(0)
+    a = GF256.random_vector(rng, VLEN)
+    benchmark(GF256.scalar_mul, 7, a)
+
+
+def test_bench_encode(benchmark, rs_code, rs_values):
+    out = benchmark(rs_code.encode, 5, rs_values)
+    assert out.shape == (1, VLEN)
+
+
+def test_bench_reencode(benchmark, rs_code, rs_values):
+    sym = rs_code.encode(5, rs_values)
+    rng = np.random.default_rng(1)
+    new = rs_code.field.random_vector(rng, VLEN)
+    benchmark(rs_code.reencode, 5, sym, 2, rs_values[2], new)
+
+
+def test_bench_decode(benchmark, rs_code, rs_values):
+    syms = {s: rs_code.encode(s, rs_values) for s in (0, 2, 4, 5)}
+    out = benchmark(rs_code.decode, 1, syms)
+    assert np.array_equal(out, rs_values[1])
+
+
+def test_bench_recovery_check(benchmark):
+    code = example1_code(PrimeField(257))
+
+    def check():
+        code._recovery_cache.clear()
+        code._coeff_cache.clear()
+        return code.is_recovery_set({1, 2, 3}, 0)
+
+    assert benchmark(check)
+
+
+def test_bench_server_write_throughput(benchmark):
+    code = example1_code(PrimeField(257))
+
+    def do_writes():
+        cluster = CausalECCluster(code, latency=ConstantLatency(0.1))
+        client = cluster.add_client(0)
+        for i in range(100):
+            cluster.execute(client.write(i % 3, cluster.value(i % 250 + 1)))
+        return cluster
+
+    cluster = benchmark(do_writes)
+    assert len(cluster.history.writes()) == 100
+
+
+def test_bench_server_local_read_throughput(benchmark):
+    code = example1_code(PrimeField(257))
+    cluster = CausalECCluster(code, latency=ConstantLatency(0.1))
+    client = cluster.add_client(0)
+    cluster.execute(client.write(0, cluster.value(5)))
+
+    def do_reads():
+        for _ in range(100):
+            cluster.execute(client.read(0))
+
+    benchmark(do_reads)
+
+
+def test_bench_scheduler_event_throughput(benchmark):
+    def pump():
+        s = Scheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                s.schedule(1.0, tick)
+
+        s.schedule(1.0, tick)
+        s.run()
+        return count[0]
+
+    assert benchmark(pump) == 10_000

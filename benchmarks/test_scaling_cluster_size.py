@@ -1,0 +1,82 @@
+"""Scaling ablation: cluster size N vs latency and message complexity.
+
+Not a paper figure, but the natural question a deployer asks: CausalEC's
+writes broadcast ``app`` messages to all N servers (O(N) messages) while
+acking locally, so write *latency* should stay flat as N grows while write
+*message count* grows linearly; reads touch only a recovery set, so their
+message count should track k, not N.  This bench sweeps N for systematic
+RS(N, N-2) codes and verifies those shapes.
+"""
+
+import pytest
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    PrimeField,
+    ServerConfig,
+    reed_solomon_code,
+)
+from repro.analysis import summarize
+from repro.workloads import ClosedLoopDriver, WorkloadConfig
+
+from bench_utils import fmt, once, print_table
+
+
+def run_at_scale(n: int, seed: int = 0):
+    k = n - 2
+    code = reed_solomon_code(PrimeField(257), n, k)
+    cluster = CausalECCluster(
+        code,
+        latency=ConstantLatency(1.0),
+        seed=seed,
+        config=ServerConfig(
+            gc_interval=25.0, read_policy="recovery_set", read_timeout=300.0
+        ),
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=code.K,
+        config=WorkloadConfig(ops_per_client=20, read_ratio=0.5, seed=seed),
+    )
+    driver.run()
+    cluster.run(for_time=4000)
+    cluster.assert_no_reencoding_errors()
+    stats = summarize(cluster.history)
+    writes = len(cluster.history.writes())
+    app_msgs = cluster.network.stats.messages.get("app", 0)
+    return {
+        "n": n,
+        "write_p50": stats["write"].p50,
+        "read_p50": stats["read"].p50,
+        "app_per_write": app_msgs / max(1, writes),
+        "total_msgs": cluster.network.stats.total_messages,
+        "ops": len(cluster.history),
+    }
+
+
+def test_scaling_cluster_size(benchmark):
+    sizes = (4, 6, 8, 10)
+
+    def sweep():
+        return [run_at_scale(n) for n in sizes]
+
+    results = once(benchmark, sweep)
+    print_table(
+        "Scaling: cluster size vs latency and message complexity",
+        ["N", "write p50 (ms)", "read p50 (ms)", "app msgs/write", "total msgs"],
+        [
+            [r["n"], fmt(r["write_p50"], 2), fmt(r["read_p50"], 2),
+             fmt(r["app_per_write"], 1), r["total_msgs"]]
+            for r in results
+        ],
+    )
+
+    # write latency flat in N (local writes, Property I)
+    p50s = [r["write_p50"] for r in results]
+    assert max(p50s) - min(p50s) < 1.0
+    # app fan-out is exactly N - 1
+    for r in results:
+        assert r["app_per_write"] == pytest.approx(r["n"] - 1, abs=0.01)
+    # message totals grow with N (O(N) per write dominates)
+    totals = [r["total_msgs"] / r["ops"] for r in results]
+    assert totals[0] < totals[-1]

@@ -1,0 +1,155 @@
+"""Sec. 4.2: read/write communication costs.
+
+The paper's low-cost-variant accounting (val_inq to one recovery set,
+Lamport timestamps):
+
+* read cost  = O(k) B + O(k^2 log L)
+* write cost = O(N) B + O(k^2 log L) + O(N log L)
+
+The write formula charges one Encoding-triggered internal read per write --
+the *typical* case, because a version resides in history lists for ~3 GC
+periods, so back-to-back writes re-encode directly from history.  This bench
+measures CausalEC (recovery-set read policy) for non-systematic RS(k+2, k)
+codes in both regimes:
+
+* **warm writes** (previous version still in every history list) against the
+  model envelope, and
+* **cold writes** (histories fully garbage-collected, forcing internal reads
+  at every server) as the worst case the paper's Appendix A bounds by +kB
+  per re-encoding server.
+
+Reads are issued against fully garbage-collected servers so they must gather
+k codeword symbols and decode -- the paper's O(k)B read path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    CostModel,
+    PrimeField,
+    ServerConfig,
+    reed_solomon_code,
+)
+from repro.analysis import read_cost_bits, write_cost_bits
+
+from bench_utils import fmt, once, print_table
+
+B = 1024.0  # value size in bits
+TAG_BITS = 16.0  # Lamport timestamp (low-cost variant)
+READ_KINDS = ("val_inq", "val_resp", "val_resp_encoded")
+
+
+def measure_for_k(k: int):
+    n = k + 2
+    code = reed_solomon_code(PrimeField(257), n, k, systematic=False)
+    cluster = CausalECCluster(
+        code,
+        latency=ConstantLatency(1.0),
+        config=ServerConfig(
+            gc_interval=50.0,
+            read_policy="recovery_set",
+            read_timeout=500.0,
+            cost_model=CostModel(value_bits=B, tag_bits=TAG_BITS, header_bits=0.0),
+        ),
+    )
+    writer = cluster.add_client(0)
+    stats = cluster.network.stats
+
+    def total():
+        return sum(stats.bits.values())
+
+    # cold start
+    for obj in range(k):
+        cluster.execute(writer.write(obj, cluster.value(obj + 1)))
+    cluster.run(for_time=30.0)  # propagate, but do NOT garbage collect yet
+
+    # warm writes: previous versions still in history lists
+    before = total()
+    for obj in range(k):
+        cluster.execute(writer.write(obj, cluster.value(obj + 10)))
+    cluster.run(for_time=30.0)
+    warm_write = (total() - before) / k
+
+    # settle fully: GC drains every history list
+    cluster.run(for_time=8000)
+
+    # cold writes: re-encoding needs internal reads everywhere
+    before = total()
+    for obj in range(k):
+        cluster.execute(writer.write(obj, cluster.value(obj + 20)))
+    cluster.run(for_time=8000)
+    cold_write = (total() - before) / k
+
+    # decode-path reads against drained servers
+    before_reads = dict(stats.bits)
+    reader = cluster.add_client(n - 1)
+    for obj in range(k):
+        op = cluster.execute(reader.read(obj))
+        assert op.done
+    read_bits = sum(
+        stats.bits.get(kd, 0.0) - before_reads.get(kd, 0.0) for kd in READ_KINDS
+    ) / k
+    cluster.assert_no_reencoding_errors()
+    return read_bits, warm_write, cold_write
+
+
+def test_sec42_comm_cost_sweep(benchmark):
+    def sweep():
+        return {k: measure_for_k(k) for k in (2, 3, 4)}
+
+    results = once(benchmark, sweep)
+    rows = []
+    for k, (read_bits, warm, cold) in results.items():
+        n = k + 2
+        rows.append(
+            [
+                f"RS({n},{k})",
+                fmt(read_bits / B, 2) + "B",
+                fmt(read_cost_bits(k, B, 64) / B, 2) + "B",
+                fmt(warm / B, 2) + "B",
+                fmt(write_cost_bits(n, k, B, 64) / B, 2) + "B",
+                fmt(cold / B, 2) + "B",
+            ]
+        )
+    print_table(
+        "Sec. 4.2: measured vs modelled communication cost per op (in B)",
+        ["Code", "read", "read model", "warm write", "write model", "cold write"],
+        rows,
+    )
+
+    for k, (read_bits, warm, cold) in results.items():
+        n = k + 2
+        # reads: gather >= k-1 remote symbols, within the O(k)B model
+        assert (k - 1) * B <= read_bits <= 1.3 * read_cost_bits(k, B, 64)
+        # warm writes: app broadcast dominates; within the model envelope
+        assert (n - 1) * B <= warm <= 1.3 * write_cost_bits(n, k, B, 64)
+        # cold writes cost more (internal reads at every re-encoding server)
+        assert cold > warm
+        # ... but stay within the Appendix A style bound: app + N servers
+        # each running one internal read of <= k symbols (+ metadata slack)
+        assert cold <= 1.3 * (n * B + n * k * B)
+
+    # shape: all three grow with k
+    for col in range(3):
+        series = [results[k][col] for k in (2, 3, 4)]
+        assert series[0] < series[2]
+
+
+def test_sec42_formula_shapes(benchmark):
+    def shapes():
+        return (
+            read_cost_bits(4, 8 * B, 64) / read_cost_bits(4, B, 64),
+            (read_cost_bits(8, 0.0, 1024), read_cost_bits(4, 0.0, 1024)),
+            write_cost_bits(12, 4, B, 64) - write_cost_bits(6, 4, B, 64),
+        )
+
+    b_scaling, (meta8, meta4), n_delta = once(benchmark, shapes)
+    # read cost linear in B (metadata fixed)
+    assert b_scaling == pytest.approx(8.0, rel=0.2)
+    # metadata quadratic in k
+    assert meta8 == pytest.approx(4 * meta4)
+    # write cost linear in N
+    assert n_delta == pytest.approx(6 * (B + np.log2(64)), rel=0.01)

@@ -1,0 +1,126 @@
+"""Sec. 4.2 / Appendix H: YCSB transient-storage analysis.
+
+Two parts:
+
+1. **Paper scale (analytic).** The exact Sec. 4.2 computation at 120M
+   objects, Zipfian 0.99, 200k req/s, 50% writes, T_gc = 2 min: more than
+   95% of objects see rho_w < 1/1000 writes/s, and erasure coding the cold
+   95% with dimension k = 4 keeps the average storage cost per EC object at
+   roughly (1/k + 0.05) B -- the paper's "a mere 5% overhead".
+
+2. **Simulation validation of the Little's-law model.** A Zipfian workload
+   drives a CausalEC cluster; the time-averaged history-list occupancy is
+   measured and compared against the Appendix H bound
+   ``3 * rho_w * T_gc`` values per object (summed over objects).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    PrimeField,
+    ServerConfig,
+    UniformLatency,
+    reed_solomon_code,
+)
+from repro.analysis import analyze_ycsb, history_overhead_values
+from repro.workloads import ClosedLoopDriver, WorkloadConfig, ZipfianGenerator
+
+from bench_utils import fmt, once, print_table
+
+
+def test_ycsb_paper_scale_analytic(benchmark):
+    analysis = once(benchmark, analyze_ycsb)
+    rows = [
+        ["objects", f"{analysis.num_objects:,}", "120M (paper)"],
+        ["zipfian theta", analysis.theta, "0.99"],
+        ["total write rate", f"{analysis.total_write_rate:,.0f}/s", "100k/s"],
+        ["T_gc", f"{analysis.t_gc:.0f} s", "120 s"],
+        [
+            "objects with rho_w < 1/1000",
+            fmt(100 * analysis.fraction_below_threshold, 1) + "%",
+            "> 95% (paper)",
+        ],
+        [
+            "avg cost per EC object",
+            fmt(analysis.avg_cost_per_ec_object, 3) + "B",
+            "(1/k + 0.05)B = 0.30B (paper)",
+        ],
+        [
+            "history overhead",
+            fmt(100 * analysis.avg_overhead_values, 1) + "% of B",
+            "~5% (paper)",
+        ],
+    ]
+    print_table(
+        "Sec. 4.2: YCSB storage analysis (ours vs paper)",
+        ["quantity", "ours", "paper"],
+        rows,
+    )
+    assert analysis.fraction_below_threshold > 0.95
+    assert analysis.avg_cost_per_ec_object == pytest.approx(0.30, abs=0.02)
+
+
+def measure_occupancy(t_gc: float, seed: int = 0):
+    """Time-averaged history occupancy under a steady Zipfian write load."""
+    # value_len=2: room for 257^2 distinct write values (750 writes issued)
+    code = reed_solomon_code(PrimeField(257), 5, 3, value_len=2)
+    cluster = CausalECCluster(
+        code,
+        latency=UniformLatency(0.5, 4.0),
+        seed=seed,
+        config=ServerConfig(gc_interval=t_gc),
+    )
+    num_objects = code.K
+    driver = ClosedLoopDriver(
+        cluster,
+        num_objects=num_objects,
+        keygen=ZipfianGenerator(num_objects, 0.99),
+        config=WorkloadConfig(
+            ops_per_client=150, read_ratio=0.0, think_time_mean=8.0, seed=seed
+        ),
+    )
+    driver.start()
+    samples = []
+    horizon = 0.0
+    while not driver.done() and horizon < 200_000:
+        cluster.run(for_time=25.0)
+        horizon += 25.0
+        samples.append(cluster.total_history_entries() / cluster.num_servers)
+    # per-object write arrival rate over the measured window (writes/ms)
+    writes = len(cluster.history.writes())
+    rho_total = writes / max(1.0, cluster.now)
+    return float(np.mean(samples)), rho_total, num_objects
+
+
+def test_ycsb_littles_law_validation(benchmark):
+    def sweep():
+        return {t_gc: measure_occupancy(t_gc) for t_gc in (20.0, 80.0, 320.0)}
+
+    results = once(benchmark, sweep)
+    rows = []
+    for t_gc, (occupancy, rho_total, num_objects) in results.items():
+        bound = history_overhead_values(rho_total, t_gc)  # summed over objects
+        rows.append(
+            [
+                fmt(t_gc, 0) + " ms",
+                fmt(occupancy, 2),
+                fmt(bound, 2),
+                fmt(occupancy / max(bound, 1e-9), 2),
+            ]
+        )
+    print_table(
+        "Appendix H: measured occupancy vs 3*rho_w*T_gc bound "
+        "(values per server)",
+        ["T_gc", "measured", "bound", "ratio"],
+        rows,
+    )
+
+    occupancies = [results[t][0] for t in (20.0, 80.0, 320.0)]
+    # occupancy grows with the GC period ...
+    assert occupancies[0] < occupancies[-1]
+    # ... and the Appendix H bound holds (with slack for sampling noise)
+    for t_gc, (occupancy, rho_total, _) in results.items():
+        bound = history_overhead_values(rho_total, t_gc)
+        assert occupancy <= bound * 1.25 + 1.0

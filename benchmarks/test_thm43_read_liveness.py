@@ -1,0 +1,119 @@
+"""Theorem 4.3 and Property (II): read liveness and one-round-trip reads.
+
+For the Example 1 (5,3) code, for every object and every minimal recovery
+set S, halt every server outside S (plus the reader's home) and verify the
+read still terminates with the right value -- and that its latency is one
+client round trip plus at most one round trip to S (Property II).
+
+This is the fault-tolerance the paper contrasts against [3, 35], whose
+liveness requires the systematic servers to stay up.
+"""
+
+import numpy as np
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    PrimeField,
+    ServerConfig,
+    example1_code,
+)
+
+from bench_utils import fmt, once, print_table
+
+RTT = 10.0  # server-to-server round trip (constant latency 5 ms one way)
+
+
+def run_case(obj: int, rset: frozenset[int], home: int):
+    code = example1_code(PrimeField(257))
+    cluster = CausalECCluster(
+        code,
+        latency=ConstantLatency(RTT / 2),
+        config=ServerConfig(gc_interval=50.0),
+    )
+    writer = cluster.add_client(server=0)
+    cluster.execute(writer.write(obj, cluster.value(obj + 40)))
+    cluster.run(for_time=2000)  # propagate + GC: uncoded copies are gone
+
+    survivors = set(rset) | {home}
+    for s in range(code.N):
+        if s not in survivors:
+            cluster.halt_server(s)
+
+    reader = cluster.add_client(server=home)
+    op = cluster.execute(reader.read(obj))
+    assert op.done, (obj, rset, home)
+    assert np.array_equal(op.value, cluster.value(obj + 40))
+    return op.latency
+
+
+def enumerate_cases():
+    code = example1_code(PrimeField(257))
+    cases = []
+    for obj in range(code.K):
+        for rset in code.minimal_recovery_sets(obj):
+            home = min(rset)  # a reader inside the surviving set
+            cases.append((obj, rset, home))
+    return cases
+
+
+def test_thm43_liveness_under_halts(benchmark):
+    cases = enumerate_cases()
+
+    def run_all():
+        return [(obj, rset, home, run_case(obj, rset, home))
+                for obj, rset, home in cases]
+
+    results = once(benchmark, run_all)
+    rows = [
+        [
+            f"X{obj + 1}",
+            "{" + ",".join(str(s + 1) for s in sorted(rset)) + "}",
+            f"s{home + 1}",
+            fmt(lat, 1) + " ms",
+        ]
+        for obj, rset, home, lat in results
+    ]
+    print_table(
+        "Theorem 4.3: reads survive halting all servers outside one "
+        "recovery set (Example 1 code)",
+        ["object", "surviving recovery set", "reader", "latency"],
+        rows,
+    )
+
+    assert len(results) == 12  # 4 minimal recovery sets per object x 3
+    for obj, rset, home, lat in results:
+        # Property (II): at most one round trip to the recovery set on top
+        # of the client round trip (client hops are RTT/2 each way here
+        # because ConstantLatency applies to every channel)
+        if rset == {home}:
+            assert lat <= 2 * RTT / 2 + 1e-6  # served locally
+        else:
+            assert lat <= 2 * RTT / 2 + RTT + 1e-6
+
+
+def test_thm43_all_but_recovery_set_halted_before_propagation(benchmark):
+    """Harsher: servers halt *before* the write fully propagates; the read
+    must still terminate once one recovery set plus the writer survive."""
+
+    def run():
+        code = example1_code(PrimeField(257))
+        cluster = CausalECCluster(
+            code,
+            latency=ConstantLatency(5.0),
+            config=ServerConfig(gc_interval=50.0),
+        )
+        writer = cluster.add_client(server=0)
+        cluster.execute(writer.write(1, cluster.value(77)))
+        # halt 2, 4 (0-indexed 1, 3) immediately: {1,3,5} (1-indexed) are
+        # alive, containing recovery set {1,3,5} for X2
+        cluster.halt_server(1)
+        cluster.halt_server(3)
+        reader = cluster.add_client(server=4)
+        op = cluster.execute(reader.read(1))
+        return cluster, op
+
+    cluster, op = once(benchmark, run)
+    assert op.done
+    assert np.array_equal(op.value, cluster.value(77))
+    print(f"\nread after early halts returned in {op.latency:.1f} ms")

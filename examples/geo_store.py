@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Geo-distributed store over the six AWS regions of Fig. 1.
+
+Recreates the motivating scenario of Sec. 1.1: four object groups placed
+across Seoul, Mumbai, Ireland, London, N. California and Oregon, compared
+under three designs:
+
+* partial replication (best placement found by exhaustive search),
+* intra-object Reed-Solomon(6,4),
+* CausalEC with the cross-object code {X1+X3, X2+X4, X1, X2, X4, X3}.
+
+Prints a Fig. 2-style table from live simulation.
+
+Run:  python examples/geo_store.py
+"""
+
+import numpy as np
+
+from repro import (
+    CausalECCluster,
+    CostModel,
+    MatrixLatency,
+    ServerConfig,
+    six_dc_code,
+)
+from repro.analysis import REGIONS, Topology, search_partial_replication
+from repro.baselines import IntraObjectCluster, PartialReplicationCluster
+
+LOCAL = 0.1
+
+
+def measure(cluster, value_len: int) -> tuple[float, float]:
+    """Write every group once, settle, read every group from every DC."""
+    writer = cluster.add_client(0)
+    for obj in range(4):
+        value = (np.arange(1, value_len + 1) * (obj + 1)) % 251
+        cluster.execute(writer.write(obj, value))
+    cluster.run(for_time=20_000)
+    lat = np.zeros((6, 4))
+    for dc in range(6):
+        reader = cluster.add_client(dc)
+        for obj in range(4):
+            op = cluster.execute(reader.read(obj))
+            lat[dc, obj] = max(0.0, op.latency - 4 * LOCAL)
+    return float(lat.max()), float(lat.mean())
+
+
+def main() -> None:
+    topo = Topology.aws_six_dc()
+    print("Fig. 1 topology:", ", ".join(REGIONS))
+
+    best = search_partial_replication(topo, 4)
+    print("\nbest partial-replication placement (exhaustive search):")
+    for dc, group in enumerate(best.assignment):
+        print(f"  {REGIONS[dc]:<14} stores group {group + 1}")
+
+    systems = {
+        "partial replication": (
+            PartialReplicationCluster(
+                6, 4, placement=[set(p) for p in best.placement_sets()],
+                latency=MatrixLatency(topo.rtt, local=LOCAL), rtt=topo.rtt,
+            ),
+            1,
+        ),
+        "intra-object RS(6,4)": (
+            IntraObjectCluster(
+                6, 4, k=4, value_len=4,
+                latency=MatrixLatency(topo.rtt, local=LOCAL), rtt=topo.rtt,
+            ),
+            4,
+        ),
+        "CausalEC cross-object": (
+            CausalECCluster(
+                six_dc_code(),
+                latency=MatrixLatency(topo.rtt, local=LOCAL),
+                config=ServerConfig(
+                    gc_interval=100.0, read_policy="recovery_set",
+                    read_timeout=1200.0, rtt=topo.rtt,
+                ),
+            ),
+            1,
+        ),
+    }
+
+    print(f"\n{'system':<24}{'worst-case read':>16}{'average read':>14}")
+    print("-" * 54)
+    for name, (cluster, value_len) in systems.items():
+        worst, avg = measure(cluster, value_len)
+        print(f"{name:<24}{worst:>13.1f} ms{avg:>11.1f} ms")
+
+    print(
+        "\ncross-object coding matches intra-object coding's worst case "
+        "while keeping partial replication's average latency (Sec. 1.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Model-checking CausalEC: enumerate every delivery schedule.
+
+The paper's theorems quantify over *all* executions of the asynchronous
+model; for small scenarios we can check them all.  This example explores
+the complete schedule space of two concurrent writes on a (3,2) sum code
+[x1, x2, x1+x2], checking in every reachable state that the proof
+invariants hold, and at every quiescent state that the outcome is the same
+(confluence) with no pending reads (read liveness).
+
+Run:  python examples/model_checking.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.ec import LinearCode, PrimeField
+from repro.verification import StateExplorer, explore_schedules
+
+
+def invariant(servers):
+    """The proof invariants, checked in every reachable state."""
+    code = servers[0].code
+    for s in servers:
+        for x in range(code.K):
+            assert s.tmax[x] <= s.M.tagvec[x]  # GC watermark
+            assert s.M.tagvec[x].ts.leq(s.vc)  # Lemma C.6
+    for x in range(code.K):  # Lemma D.10
+        storing = [s for s in servers if x in s.objects]
+        for s in servers:
+            if x not in s.objects:
+                for sp in storing:
+                    assert s.M.tagvec[x] <= sp.M.tagvec[x]
+
+
+def main() -> None:
+    code = LinearCode(PrimeField(7), 2, [[1, 0], [0, 1], [1, 1]],
+                      name="sum(3,2)")
+    print(f"code: {code.name} -- servers store [x1, x2, x1+x2]")
+
+    print("\nscenario 1: two concurrent writes (X1=3 at s1, X2=5 at s2)")
+    t0 = time.time()
+    res = explore_schedules(
+        code,
+        [(0, 0, np.array([3])), (1, 1, np.array([5]))],
+        max_states=150_000,
+        invariant=invariant,
+        check_liveness=True,
+    )
+    print(f"  explored {res.states_visited:,} distinct states in "
+          f"{time.time() - t0:.1f}s (complete: {not res.truncated})")
+    print(f"  invariant violations: {len(res.violations)}")
+    print(f"  livelocked states:    {res.livelocked_states}")
+    print(f"  quiescent outcomes:   "
+          f"{len(set(res.final_semantic_states))} (confluent: {res.confluent})")
+
+    print("\nscenario 2: a decode-path read racing a second write")
+    explorer = StateExplorer(code, max_states=150_000)
+    state = explorer.initial_state()
+    # round 1 fully settles: histories garbage-collected everywhere
+    explorer.issue_write(state, 0, 0, np.array([9]))
+    while any(c[0] < code.N and c[1] < code.N for c in state.net.channels()):
+        for chan in state.net.channels():
+            if chan[0] < code.N and chan[1] < code.N:
+                state.net.deliver(*chan)
+        explorer._drain_client_channels(state)
+    # now: a second write and a read that must decode via {s2, s3}
+    explorer.issue_write(state, 0, 0, np.array([4]))
+    explorer.issue_read(state, 2, 0)
+    t0 = time.time()
+    res2 = explorer.explore(state)
+    print(f"  explored {res2.states_visited:,} states in "
+          f"{time.time() - t0:.1f}s")
+    print(f"  every schedule completed the read before quiescence: "
+          f"{not res2.violations} (Theorem 4.3)")
+    print(f"  confluent: {res2.confluent}")
+
+    print("\nall executions of the model agree with the paper's theorems.")
+
+
+if __name__ == "__main__":
+    main()

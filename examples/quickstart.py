@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: a CausalEC store on the paper's Example 1 code.
+
+Builds a 5-server cluster storing three objects with the (5,3) cross-object
+code [x1, x2, x3, x1+x2+x3, x1+2x2+x3], then walks through the paper's core
+promises:
+
+1. writes are local (Property I),
+2. reads decode from recovery sets when no uncoded copy is nearby
+   (Property II),
+3. storage converges to one codeword symbol per server (Theorem 4.5).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    PrimeField,
+    ServerConfig,
+    example1_code,
+)
+
+
+def main() -> None:
+    code = example1_code(PrimeField(257))
+    print(f"code: {code.name} over {code.field!r}")
+    for obj in range(code.K):
+        pretty = [
+            "{" + ",".join(f"s{s + 1}" for s in sorted(rs)) + "}"
+            for rs in code.minimal_recovery_sets(obj)
+        ]
+        print(f"  recovery sets for X{obj + 1}: {', '.join(pretty)}")
+
+    cluster = CausalECCluster(
+        code,
+        latency=ConstantLatency(5.0),  # 10 ms server-to-server RTT
+        config=ServerConfig(gc_interval=50.0),
+    )
+
+    # a client near server 1 and another near server 5
+    alice = cluster.add_client(server=0)
+    bob = cluster.add_client(server=4)
+
+    # 1. local writes -------------------------------------------------------
+    op = cluster.execute(alice.write(0, cluster.value(42)))
+    print(f"\nalice wrote X1=42 in {op.latency:.1f} ms (local, Property I)")
+    op = cluster.execute(alice.write(1, cluster.value(7)))
+    print(f"alice wrote X2=7  in {op.latency:.1f} ms")
+
+    # 2. remote read via a recovery set ------------------------------------
+    cluster.run(for_time=1000)  # propagate, re-encode, garbage collect
+    op = cluster.execute(bob.read(1))
+    print(
+        f"\nbob (at server 5) read X2={int(op.value[0])} in "
+        f"{op.latency:.1f} ms -- server 5 held only x1+2x2+x3, so it "
+        f"fetched server 4's symbol and decoded (recovery set {{4,5}})"
+    )
+
+    # 3. storage convergence ------------------------------------------------
+    cluster.run(for_time=2000)
+    print("\nper-server state after quiescence (Theorem 4.5):")
+    for s in cluster.servers:
+        print(
+            f"  server {s.node_id + 1}: codeword symbol = "
+            f"{int(s.M.value[0][0]):3d}, history entries = {s.history_size()}"
+        )
+    print(
+        "\neach server stores exactly one symbol -- a 3x saving over "
+        "replicating all three objects -- while writes stayed local and "
+        "reads causal."
+    )
+
+    cluster.assert_no_reencoding_errors()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every paper artefact and record the outputs.
+#
+#   ./scripts/reproduce.sh [outdir]
+#
+# Runs the full correctness suite, then every benchmark with table output,
+# teeing results into outdir (default: ./reproduction-results).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-reproduction-results}"
+mkdir -p "$OUT"
+
+echo "== correctness suite =="
+python3 -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
+
+echo "== benchmarks (figures/tables) =="
+python3 -m pytest benchmarks/ --benchmark-only -s 2>&1 \
+  | tee "$OUT/bench_output.txt" | grep -E "^===|passed|failed" || true
+
+echo "== analytic tables via CLI =="
+python3 -m repro fig2 | tee "$OUT/fig2.txt"
+python3 -m repro ycsb | tee "$OUT/ycsb.txt"
+
+echo
+echo "results written to $OUT/"

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs where the ``wheel`` package
+is unavailable (``pip install -e . --no-build-isolation --no-use-pep517``).
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

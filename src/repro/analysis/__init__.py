@@ -1,0 +1,57 @@
+"""Closed-form analyses reproducing the paper's evaluation numbers."""
+
+from .costs import (
+    SchemeCosts,
+    cross_object_costs,
+    intra_object_costs,
+    partial_replication_costs,
+    read_cost_bits,
+    write_cost_bits,
+)
+from .latency import (
+    LatencyProfile,
+    cross_object_latency,
+    intra_object_latency,
+    partial_replication_latency,
+)
+from .placement import PlacementResult, search_partial_replication
+from .storage import (
+    YcsbAnalysis,
+    analyze_ycsb,
+    fraction_below_rate,
+    history_overhead_values,
+    zipf_write_rate,
+)
+from .topology import AWS_SIX_DC_RTT, REGIONS, Topology, rtt_matrix
+
+__all__ = [
+    "Topology",
+    "REGIONS",
+    "AWS_SIX_DC_RTT",
+    "rtt_matrix",
+    "LatencyProfile",
+    "partial_replication_latency",
+    "intra_object_latency",
+    "cross_object_latency",
+    "PlacementResult",
+    "search_partial_replication",
+    "SchemeCosts",
+    "partial_replication_costs",
+    "intra_object_costs",
+    "cross_object_costs",
+    "read_cost_bits",
+    "write_cost_bits",
+    "YcsbAnalysis",
+    "analyze_ycsb",
+    "zipf_write_rate",
+    "fraction_below_rate",
+    "history_overhead_values",
+]
+
+from .code_design import DesignResult, design_cross_object_code, sum_code
+
+__all__ += ["DesignResult", "design_cross_object_code", "sum_code"]
+
+from .metrics import LatencySummary, summarize, throughput
+
+__all__ += ["LatencySummary", "summarize", "throughput"]

@@ -1,0 +1,161 @@
+"""Heuristic cross-object code design for general topologies.
+
+The paper (Sec. 1.1, Sec. 6) leaves open "the design of cross-object
+erasure codes that minimize average/worst-case latency for general
+topologies"; its 6-DC code was hand-tuned.  This module implements the
+natural first attack on that problem: randomized-restart local search over
+*sum codes* -- each server stores one symbol that is the sum of a small
+subset of objects (the family the paper's own example lives in).
+
+The search state assigns every server a non-empty subset of objects of size
+<= ``max_mix`` (coefficient 1 each); a move re-assigns one server's subset.
+States where some object is unrecoverable are infeasible.  The objective is
+lexicographic: minimize (worst-case read latency, average read latency) or
+the reverse, computed by :func:`~repro.analysis.latency.cross_object_latency`
+under the paper's latency model.
+
+This is an *extension* beyond the paper (documented in DESIGN.md); the
+bench ``benchmarks/test_ablation_code_design.py`` shows the search recovers
+a code at least as good as the hand-tuned Sec. 1.1 code on the AWS topology
+and beats the best partial replication placement on random topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..ec.code import LinearCode
+from ..ec.field import Field, default_field
+from .latency import LatencyProfile, cross_object_latency
+from .topology import Topology
+
+__all__ = ["DesignResult", "design_cross_object_code", "sum_code"]
+
+
+def sum_code(
+    field: Field,
+    num_objects: int,
+    assignment: list[frozenset[int]],
+    value_len: int = 1,
+) -> LinearCode:
+    """Build the sum code where server s stores sum of ``assignment[s]``."""
+    rows = []
+    for objs in assignment:
+        row = np.zeros((1, num_objects), dtype=field.dtype)
+        for k in objs:
+            row[0, k] = 1
+        rows.append(row)
+    return LinearCode(
+        field, num_objects, rows, value_len=value_len, name="designed-sum-code"
+    )
+
+
+@dataclass
+class DesignResult:
+    """Outcome of a design run: the winning sum-code and its latencies."""
+
+    assignment: list[frozenset[int]]
+    code: LinearCode
+    profile: LatencyProfile
+    objective: tuple[float, float]
+    iterations: int
+    restarts: int
+
+
+def _objective(profile: LatencyProfile, mode: str) -> tuple[float, float]:
+    if mode == "worst_then_avg":
+        return (profile.worst_case, profile.average)
+    if mode == "avg_then_worst":
+        return (profile.average, profile.worst_case)
+    raise ValueError("objective must be 'worst_then_avg' or 'avg_then_worst'")
+
+
+def _evaluate(
+    topology: Topology,
+    field: Field,
+    num_objects: int,
+    assignment: list[frozenset[int]],
+    mode: str,
+):
+    """Objective of an assignment, or None when infeasible."""
+    code = sum_code(field, num_objects, assignment)
+    for obj in range(num_objects):
+        if not code.minimal_recovery_sets(obj):
+            return None, None, None
+    profile = cross_object_latency(topology, code)
+    return _objective(profile, mode), code, profile
+
+
+def design_cross_object_code(
+    topology: Topology,
+    num_objects: int,
+    max_mix: int = 2,
+    objective: str = "worst_then_avg",
+    restarts: int = 4,
+    max_iterations: int = 200,
+    field: Field | None = None,
+    seed: int = 0,
+) -> DesignResult:
+    """Local search for a low-latency sum code on ``topology``.
+
+    Each restart seeds the servers with random single objects (every object
+    placed at least once, so the start is feasible), then hill-climbs by
+    re-assigning one server's stored subset at a time until no single move
+    improves the lexicographic objective.
+    """
+    if num_objects > topology.n:
+        raise ValueError(
+            "need at least one server per object for a feasible start"
+        )
+    field = field or default_field()
+    rng = np.random.default_rng(seed)
+    candidates = [
+        frozenset(c)
+        for size in range(1, max_mix + 1)
+        for c in combinations(range(num_objects), size)
+    ]
+
+    best: DesignResult | None = None
+    for restart in range(restarts):
+        # feasible start: a random surjective single-object placement
+        perm = list(rng.permutation(num_objects))
+        extra = list(rng.integers(0, num_objects, size=topology.n - num_objects))
+        assignment = [frozenset({int(g)}) for g in perm + extra]
+        score, code, profile = _evaluate(
+            topology, field, num_objects, assignment, objective
+        )
+        assert score is not None  # single-object surjective: feasible
+        iterations = 0
+        improved = True
+        while improved and iterations < max_iterations:
+            improved = False
+            iterations += 1
+            for server in range(topology.n):
+                current = assignment[server]
+                for cand in candidates:
+                    if cand == current:
+                        continue
+                    trial = list(assignment)
+                    trial[server] = cand
+                    trial_score, trial_code, trial_profile = _evaluate(
+                        topology, field, num_objects, trial, objective
+                    )
+                    if trial_score is not None and trial_score < score:
+                        assignment, score = trial, trial_score
+                        code, profile = trial_code, trial_profile
+                        improved = True
+        result = DesignResult(
+            assignment=assignment,
+            code=code,
+            profile=profile,
+            objective=score,
+            iterations=iterations,
+            restarts=restart + 1,
+        )
+        if best is None or result.objective < best.objective:
+            best = result
+    assert best is not None
+    return best

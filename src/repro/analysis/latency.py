@@ -1,0 +1,105 @@
+"""Closed-form read-latency analysis for the three schemes of Sec. 1.1.
+
+All three evaluators assume the paper's model: latency is deterministic and
+given by the topology's RTT table; a read served locally costs 0; a remote
+read that must gather data from a set ``S`` of other DCs costs
+``max_{r in S} RTT(src, r)`` (the fetches proceed in parallel).  Reads to
+each object are spatially uniform across DCs, so the average latency is the
+mean over all (DC, object-group) pairs.
+
+* :func:`partial_replication_latency` -- latency to the nearest replica.
+* :func:`intra_object_latency` -- with an (N, k) MDS fragment code every
+  read needs k fragments, one local: the RTT to the (k-1)-th nearest DC.
+* :func:`cross_object_latency` -- the minimum over the code's recovery sets
+  of the parallel-fetch cost; local when {src} is itself a recovery set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ec.code import LinearCode
+from .topology import Topology
+
+__all__ = [
+    "LatencyProfile",
+    "partial_replication_latency",
+    "intra_object_latency",
+    "cross_object_latency",
+]
+
+
+@dataclass
+class LatencyProfile:
+    """Per-(DC, group) read latencies plus summary statistics."""
+
+    scheme: str
+    latency: np.ndarray  # shape (num_dcs, num_groups), ms
+
+    @property
+    def worst_case(self) -> float:
+        return float(self.latency.max())
+
+    @property
+    def average(self) -> float:
+        return float(self.latency.mean())
+
+    def per_dc_average(self) -> np.ndarray:
+        return self.latency.mean(axis=1)
+
+
+def partial_replication_latency(
+    topology: Topology, placement: list[set[int]], num_groups: int
+) -> LatencyProfile:
+    """``placement[dc]`` is the set of object groups replicated at ``dc``."""
+    lat = np.zeros((topology.n, num_groups))
+    replicas: dict[int, list[int]] = {g: [] for g in range(num_groups)}
+    for dc, groups in enumerate(placement):
+        for g in groups:
+            replicas[g].append(dc)
+    for g in range(num_groups):
+        if not replicas[g]:
+            raise ValueError(f"group {g} is stored nowhere")
+    for dc in range(topology.n):
+        for g in range(num_groups):
+            lat[dc, g] = min(topology.rtt[dc, r] for r in replicas[g])
+    return LatencyProfile("partial-replication", lat)
+
+
+def intra_object_latency(
+    topology: Topology, k: int, num_groups: int = 1
+) -> LatencyProfile:
+    """(N, k) fragment code: every read waits on the (k-1)-th nearest DC."""
+    if k < 1 or k > topology.n:
+        raise ValueError("k must be in [1, N]")
+    lat = np.zeros((topology.n, num_groups))
+    for dc in range(topology.n):
+        cost = 0.0 if k == 1 else topology.kth_nearest_rtt(dc, k - 1)
+        lat[dc, :] = cost
+    return LatencyProfile(f"intra-object RS({topology.n},{k})", lat)
+
+
+def cross_object_latency(topology: Topology, code: LinearCode) -> LatencyProfile:
+    """Best recovery set per (DC, object): min over sets of the parallel cost.
+
+    The reading DC participates for free (its own symbol is local); the cost
+    of recovery set S is the max RTT to the members of S other than the
+    reader.
+    """
+    if code.N != topology.n:
+        raise ValueError("code length must match the number of DCs")
+    lat = np.zeros((topology.n, code.K))
+    for obj in range(code.K):
+        rsets = code.minimal_recovery_sets(obj)
+        if not rsets:
+            raise ValueError(f"object {obj} is not recoverable")
+        for dc in range(topology.n):
+            best = float("inf")
+            for rset in rsets:
+                remote = [r for r in rset if r != dc]
+                cost = max((topology.rtt[dc, r] for r in remote), default=0.0)
+                best = min(best, cost)
+            lat[dc, obj] = best
+    return LatencyProfile(f"cross-object {code.name}", lat)

@@ -1,0 +1,76 @@
+"""Latency/throughput summaries over recorded histories.
+
+Turns a :class:`~repro.consistency.history.History` into the numbers papers
+report: per-operation-type latency percentiles, mean/worst, throughput over
+the measured window, and local-read fractions.  Used by benches and
+examples; handy for users evaluating their own codes and topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..consistency.history import History
+
+__all__ = ["LatencySummary", "summarize", "throughput"]
+
+
+@dataclass
+class LatencySummary:
+    """Latency statistics (ms) for one operation class."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+    @classmethod
+    def of(cls, latencies: list[float]) -> "LatencySummary":
+        if not latencies:
+            return cls(0, float("nan"), float("nan"), float("nan"),
+                       float("nan"), float("nan"))
+        arr = np.asarray(latencies, dtype=float)
+        return cls(
+            count=len(arr),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            worst=float(arr.max()),
+        )
+
+    def row(self) -> list[str]:
+        if self.count == 0:
+            return ["0", "-", "-", "-", "-", "-"]
+        return [
+            str(self.count),
+            f"{self.mean:.2f}",
+            f"{self.p50:.2f}",
+            f"{self.p95:.2f}",
+            f"{self.p99:.2f}",
+            f"{self.worst:.2f}",
+        ]
+
+
+def summarize(history: History) -> dict[str, LatencySummary]:
+    """Read/write latency summaries for all completed operations."""
+    return {
+        "read": LatencySummary.of(history.read_latencies()),
+        "write": LatencySummary.of(history.write_latencies()),
+    }
+
+
+def throughput(history: History) -> float:
+    """Completed operations per simulated second over the active window."""
+    done = history.completed()
+    if len(done) < 2:
+        return 0.0
+    start = min(op.invoke_time for op in done)
+    end = max(op.response_time for op in done)
+    if end <= start:
+        return 0.0
+    return len(done) / ((end - start) / 1000.0)

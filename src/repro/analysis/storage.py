@@ -1,0 +1,134 @@
+"""Transient-storage-overhead analysis (Sec. 4.2 and Appendix H).
+
+CausalEC's only state that scales with object values in steady state is the
+codeword symbol (Theorem 4.5); transiently, history lists hold recent
+versions until garbage collection.  Appendix H models the expected history
+occupancy per object via Little's law: versions arrive at the object's write
+rate ``rho_w`` and reside for at most ~3 GC periods (a version may wait up
+to ``T_gc`` for the first Garbage_Collection, and up to two GC rounds are
+needed to propagate deletion watermarks), giving an expected occupancy of at
+most ``3 * rho_w * T_gc`` extra values, i.e. ``3 * B * rho_w * T_gc`` bits.
+
+(The brief announcement prints this bound as "3B/rho_w T_gc"; the Little's
+law derivation it sketches -- and its own numerical example -- require the
+product form, which is what we implement and validate by simulation in
+``benchmarks/test_sec42_ycsb.py``.)
+
+The YCSB-style analysis reproduces Sec. 4.2's numbers: with 120M objects,
+Zipfian theta = 0.99, 200k req/s at 50% writes, more than 95% of objects see
+``rho_w < 1/1000`` per second, and erasure coding those objects with a lazy
+GC of T_gc = 2 min keeps the average storage cost near (1/k + epsilon)B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.generators import zipf_harmonic
+
+__all__ = [
+    "zipf_write_rate",
+    "fraction_below_rate",
+    "history_overhead_values",
+    "YcsbAnalysis",
+    "analyze_ycsb",
+]
+
+
+def zipf_write_rate(
+    rank: int, num_objects: int, theta: float, total_write_rate: float
+) -> float:
+    """Write arrival rate (1/s) of the object with popularity ``rank`` >= 1."""
+    h = zipf_harmonic(num_objects, theta)
+    return total_write_rate * (rank**-theta) / h
+
+
+def fraction_below_rate(
+    threshold: float, num_objects: int, theta: float, total_write_rate: float
+) -> float:
+    """Fraction of objects whose write rate is below ``threshold``.
+
+    Zipf rates decrease in rank, so the set is a suffix of ranks; the
+    boundary rank solves R * r^-theta / H < threshold.
+    """
+    h = zipf_harmonic(num_objects, theta)
+    if total_write_rate <= 0:
+        return 1.0
+    boundary = (total_write_rate / (threshold * h)) ** (1.0 / theta)
+    below = num_objects - min(num_objects, int(boundary))
+    return below / num_objects
+
+
+def history_overhead_values(rho_w: float, t_gc: float, rounds: float = 3.0) -> float:
+    """Expected history-list occupancy (in object values) for one object.
+
+    Little's law: arrival rate ``rho_w`` times residence time
+    ``rounds * t_gc`` (a version waits up to one GC period and needs up to
+    two further GC rounds of watermark propagation before deletion).
+    """
+    return rho_w * rounds * t_gc
+
+
+@dataclass
+class YcsbAnalysis:
+    """Outputs of the Sec. 4.2 YCSB storage analysis."""
+
+    num_objects: int
+    theta: float
+    total_write_rate: float
+    t_gc: float
+    k: int
+    cold_fraction: float  # fraction of objects erasure coded
+    fraction_below_threshold: float  # objects with rho_w < rate_threshold
+    avg_overhead_values: float  # mean history occupancy per EC object (in B)
+    avg_cost_per_ec_object: float  # (1/k + overhead) in units of B
+
+    def summary(self) -> str:
+        return (
+            f"Zipf({self.theta}) x {self.num_objects:,} objects, "
+            f"{self.total_write_rate:,.0f} writes/s, T_gc={self.t_gc:.0f}s: "
+            f"{self.fraction_below_threshold:.1%} of objects below 1/1000 "
+            f"writes/s; avg EC-object cost "
+            f"{self.avg_cost_per_ec_object:.3f}B (code alone: {1/self.k:.3f}B)"
+        )
+
+
+def analyze_ycsb(
+    num_objects: int = 120_000_000,
+    theta: float = 0.99,
+    throughput: float = 200_000.0,
+    write_ratio: float = 0.5,
+    t_gc: float = 120.0,
+    k: int = 4,
+    cold_fraction: float = 0.95,
+    rate_threshold: float = 1e-3,
+) -> YcsbAnalysis:
+    """Reproduce the Sec. 4.2 coarse YCSB analysis.
+
+    The hottest ``1 - cold_fraction`` of objects are replicated (as the
+    paper suggests for very high write rates); the cold remainder are
+    erasure coded with dimension ``k`` and pay the history-list overhead.
+    """
+    total_write_rate = throughput * write_ratio
+    frac_below = fraction_below_rate(
+        rate_threshold, num_objects, theta, total_write_rate
+    )
+    h = zipf_harmonic(num_objects, theta)
+    first_cold_rank = int(num_objects * (1 - cold_fraction)) + 1
+    # total write rate into the cold (erasure-coded) suffix of ranks
+    head = zipf_harmonic(first_cold_rank - 1, theta) if first_cold_rank > 1 else 0.0
+    cold_mass = max(0.0, (h - head) / h)
+    cold_objects = num_objects - (first_cold_rank - 1)
+    avg_rho_w = total_write_rate * cold_mass / cold_objects
+    overhead = history_overhead_values(avg_rho_w, t_gc)
+    return YcsbAnalysis(
+        num_objects=num_objects,
+        theta=theta,
+        total_write_rate=total_write_rate,
+        t_gc=t_gc,
+        k=k,
+        cold_fraction=cold_fraction,
+        fraction_below_threshold=frac_below,
+        avg_overhead_values=overhead,
+        avg_cost_per_ec_object=1.0 / k + overhead,
+    )

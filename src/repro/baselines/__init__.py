@@ -1,0 +1,17 @@
+"""Baseline data-store protocols the paper compares against (Fig. 2)."""
+
+from .full_replication import FullReplicationCluster, FullReplicationServer
+from .intra_object import IntraObjectCluster, IntraObjectServer
+from .partial_replication import (
+    PartialReplicationCluster,
+    PartialReplicationServer,
+)
+
+__all__ = [
+    "FullReplicationCluster",
+    "FullReplicationServer",
+    "PartialReplicationCluster",
+    "PartialReplicationServer",
+    "IntraObjectCluster",
+    "IntraObjectServer",
+]

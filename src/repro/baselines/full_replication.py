@@ -1,0 +1,72 @@
+"""Baseline: fully replicated causal memory (Ahamad et al. [4] style).
+
+Every server stores every object; writes are local and propagate via causal
+broadcast; reads are always local.  This is the classical causally
+consistent data store the paper's introduction starts from: minimal latency
+(every operation local), maximal storage cost (K objects per server).
+
+The protocol stamps the same certificate CausalEC does, so the Definition 5
+checker applies in full.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cluster import Cluster
+from ..core.messages import CostModel, ReadRequest
+from ..core.tags import Tag
+from ..sim.network import LatencyModel
+from .base import CausalBroadcastServer, LWWRegister
+
+__all__ = ["FullReplicationServer", "FullReplicationCluster"]
+
+
+class FullReplicationServer(CausalBroadcastServer):
+    """Stores an LWW register per object; serves every read locally."""
+
+    def __init__(self, node_id, scheduler, network, num_servers, num_objects,
+                 value_len: int = 1, cost_model: CostModel | None = None):
+        super().__init__(
+            node_id, scheduler, network, num_servers, num_objects, cost_model
+        )
+        self.value_len = value_len
+        self.store: dict[int, LWWRegister] = {
+            x: LWWRegister(self.zero, np.zeros(value_len, dtype=np.int64))
+            for x in range(num_objects)
+        }
+
+    def apply_write(self, obj: int, value, tag: Tag, local: bool) -> None:
+        self.store[obj].update(tag, value)
+
+    def serve_read(self, client: int, msg: ReadRequest) -> None:
+        reg = self.store[msg.obj]
+        self._read_return(client, msg.opid, reg.value, reg.tag)
+
+    def stored_values(self) -> int:
+        """Object values held: always K (full replication)."""
+        return self.num_objects
+
+
+class FullReplicationCluster(Cluster):
+    """A cluster of fully replicating causal-memory servers."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        num_objects: int,
+        value_len: int = 1,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        cost_model: CostModel | None = None,
+    ):
+        super().__init__(num_servers, latency=latency, seed=seed)
+        self.num_objects = num_objects
+        self.value_len = value_len
+        self.servers = [
+            FullReplicationServer(
+                i, self.scheduler, self.network, num_servers, num_objects,
+                value_len, cost_model,
+            )
+            for i in range(num_servers)
+        ]

@@ -1,0 +1,209 @@
+"""Baseline: partially replicated causal store (Appendix A's comparator).
+
+Each server stores only a subset of the objects (its *placement*), but --
+exactly as Appendix A argues is necessary for non-blocking liveness -- every
+write still propagates its value to every server so that causal metadata
+advances everywhere.  Reads of locally stored objects are local; reads of
+other objects are forwarded to the nearest replica.
+
+Two remote-read modes capture the trade-off the paper discusses:
+
+* ``blocking=False`` (default): the remote replica's current version is
+  returned immediately.  This achieves the Fig. 2 latencies but, as the
+  paper notes for [49], can violate causality: the replica may not yet have
+  applied a write in the client's causal past.
+* ``blocking=True``: the home server withholds the response until its own
+  vector clock dominates the returned write's timestamp ([49]-style
+  buffering).  Causally safe, but reads can block arbitrarily long -- the
+  behaviour CausalEC's requirement (II) is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.cluster import Cluster
+from ..core.messages import CostModel, ReadRequest, _Message
+from ..core.tags import Tag
+from ..sim.network import LatencyModel
+from .base import CausalBroadcastServer, LWWRegister
+
+__all__ = [
+    "PartialReplicationServer",
+    "PartialReplicationCluster",
+    "RemoteRead",
+    "RemoteReadResp",
+]
+
+
+@dataclass
+class RemoteRead(_Message):
+    """Home server -> replica: fetch an object it does not store."""
+
+    kind = "remote_read"
+    opid: Any
+    obj: int
+
+
+@dataclass
+class RemoteReadResp(_Message):
+    """Replica -> home server: the object's current version."""
+
+    kind = "remote_read_resp"
+    opid: Any
+    obj: int
+    value: np.ndarray
+    tag: Tag
+
+
+@dataclass
+class _PendingRemote:
+    client: int
+    opid: Any
+    obj: int
+    value: np.ndarray | None = None
+    tag: Tag | None = None
+
+
+class PartialReplicationServer(CausalBroadcastServer):
+    """Stores LWW registers for its placement; forwards other reads."""
+
+    def __init__(
+        self,
+        node_id,
+        scheduler,
+        network,
+        num_servers,
+        num_objects,
+        placement: frozenset[int],
+        replicas_of,
+        value_len: int = 1,
+        rtt: np.ndarray | None = None,
+        blocking: bool = False,
+        cost_model: CostModel | None = None,
+    ):
+        super().__init__(
+            node_id, scheduler, network, num_servers, num_objects, cost_model
+        )
+        self.placement = placement
+        self._replicas_of = replicas_of
+        self.value_len = value_len
+        self.rtt = rtt
+        self.blocking = blocking
+        self.store: dict[int, LWWRegister] = {
+            x: LWWRegister(self.zero, np.zeros(value_len, dtype=np.int64))
+            for x in placement
+        }
+        self._pending: dict[Any, _PendingRemote] = {}
+        self.remote_reads = 0
+
+    # ------------------------------------------------------------------
+
+    def apply_write(self, obj: int, value, tag: Tag, local: bool) -> None:
+        if obj in self.placement:
+            self.store[obj].update(tag, value)
+        if self.blocking:
+            self._flush_blocked()
+
+    def serve_read(self, client: int, msg: ReadRequest) -> None:
+        """Local read when stored here; otherwise fetch from the nearest
+        replica (buffering causally in blocking mode)."""
+        if msg.obj in self.placement:
+            reg = self.store[msg.obj]
+            self._read_return(client, msg.opid, reg.value, reg.tag)
+            return
+        self.remote_reads += 1
+        target = self._nearest_replica(msg.obj)
+        self._pending[msg.opid] = _PendingRemote(client, msg.opid, msg.obj)
+        self.send(target, self._sized(RemoteRead(msg.opid, msg.obj)))
+
+    def _nearest_replica(self, obj: int) -> int:
+        replicas = self._replicas_of(obj)
+        if not replicas:
+            raise ValueError(f"object {obj} is stored nowhere")
+        if self.rtt is None:
+            return min(replicas)
+        return min(replicas, key=lambda r: float(self.rtt[self.node_id, r]))
+
+    def on_protocol_message(self, src: int, msg: object) -> None:
+        if isinstance(msg, RemoteRead):
+            reg = self.store.get(msg.obj)
+            if reg is None:
+                return  # mis-routed; reliable channels make this unreachable
+            resp = RemoteReadResp(msg.opid, msg.obj, reg.value, reg.tag)
+            self.send(src, self._sized(resp, 1, 1))
+        elif isinstance(msg, RemoteReadResp):
+            pend = self._pending.get(msg.opid)
+            if pend is None:
+                return
+            pend.value, pend.tag = msg.value, msg.tag
+            if not self.blocking:
+                self._complete_remote(pend)
+            else:
+                self._flush_blocked()
+        else:
+            super().on_protocol_message(src, msg)
+
+    def _complete_remote(self, pend: _PendingRemote) -> None:
+        self._pending.pop(pend.opid, None)
+        self._read_return(pend.client, pend.opid, pend.value, pend.tag)
+
+    def _flush_blocked(self) -> None:
+        """Blocking mode: release responses whose writes we have applied."""
+        ready = [
+            p
+            for p in self._pending.values()
+            if p.tag is not None and p.tag.ts.leq(self.vc)
+        ]
+        for p in ready:
+            self._complete_remote(p)
+
+    def stored_values(self) -> int:
+        return len(self.placement)
+
+
+class PartialReplicationCluster(Cluster):
+    """A partially replicated causal store over an explicit placement."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        num_objects: int,
+        placement: dict[int, set[int]] | list[set[int]],
+        value_len: int = 1,
+        latency: LatencyModel | None = None,
+        rtt: np.ndarray | None = None,
+        blocking: bool = False,
+        seed: int = 0,
+        cost_model: CostModel | None = None,
+    ):
+        super().__init__(num_servers, latency=latency, seed=seed)
+        self.num_objects = num_objects
+        self.value_len = value_len
+        if isinstance(placement, dict):
+            placement = [set(placement.get(s, ())) for s in range(num_servers)]
+        self.placement = [frozenset(p) for p in placement]
+        replicas: dict[int, list[int]] = {x: [] for x in range(num_objects)}
+        for s, objs in enumerate(self.placement):
+            for x in objs:
+                replicas[x].append(s)
+        self._replicas = replicas
+        self.servers = [
+            PartialReplicationServer(
+                i,
+                self.scheduler,
+                self.network,
+                num_servers,
+                num_objects,
+                self.placement[i],
+                lambda obj: self._replicas[obj],
+                value_len,
+                rtt,
+                blocking,
+                cost_model,
+            )
+            for i in range(num_servers)
+        ]

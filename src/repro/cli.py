@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``   -- the quickstart scenario on the Example 1 code.
+* ``fig2``   -- regenerate the Fig. 2 comparison table (analytic).
+* ``ycsb``   -- the Sec. 4.2 YCSB storage analysis at paper scale.
+* ``design`` -- run the cross-object code designer on the AWS topology.
+* ``bench``  -- a quick throughput/latency run of CausalEC under load.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _print_table(headers: list[str], rows: list[list]) -> None:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Quickstart demo on the Example 1 code."""
+    from repro import (
+        CausalECCluster,
+        ConstantLatency,
+        PrimeField,
+        ServerConfig,
+        example1_code,
+    )
+
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)),
+        latency=ConstantLatency(args.rtt / 2),
+        config=ServerConfig(gc_interval=50.0),
+    )
+    alice, bob = cluster.add_client(0), cluster.add_client(4)
+    w = cluster.execute(alice.write(0, cluster.value(42)))
+    print(f"write X1=42 at server 1: {w.latency:.1f} ms (local)")
+    cluster.run(for_time=1000)
+    r = cluster.execute(bob.read(0))
+    print(f"read X1 at server 5: {int(r.value[0])} in {r.latency:.1f} ms "
+          f"(recovery-set decode)")
+    cluster.run(for_time=2000)
+    print("history entries after GC:",
+          [s.history_size() for s in cluster.servers])
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    """Print the analytic Fig. 2 comparison table."""
+    from repro.analysis import (
+        Topology,
+        cross_object_costs,
+        cross_object_latency,
+        intra_object_costs,
+        intra_object_latency,
+        partial_replication_costs,
+        search_partial_replication,
+    )
+    from repro.ec import six_dc_code
+
+    topo = Topology.aws_six_dc()
+    pr = search_partial_replication(topo, 4)
+    prc = partial_replication_costs(topo, pr.placement_sets(), 4)
+    io = intra_object_latency(topo, 4)
+    ioc = intra_object_costs(topo, 4)
+    code = six_dc_code()
+    co = cross_object_latency(topo, code)
+    coc = cross_object_costs(topo, code)
+    rows = [
+        ["Partial Replication", f"{pr.profile.worst_case:.0f}",
+         f"{pr.profile.average:.2f}", f"{prc.read_value_units:.2f}B",
+         f"{prc.write_value_units:.1f}B"],
+        ["Intra-Object Coding", f"{io.worst_case:.0f}", f"{io.average:.2f}",
+         f"{ioc.read_value_units:.2f}B", f"{ioc.write_value_units:.1f}B"],
+        ["Cross-Object Coding", f"{co.worst_case:.0f}", f"{co.average:.2f}",
+         f"{coc.read_value_units:.2f}B", f"{coc.write_value_units:.1f}B"],
+    ]
+    _print_table(
+        ["Scheme", "Worst(ms)", "Avg(ms)", "Read", "Write"], rows
+    )
+    return 0
+
+
+def cmd_ycsb(args: argparse.Namespace) -> int:
+    """Print the Sec. 4.2 YCSB storage analysis."""
+    from repro.analysis import analyze_ycsb
+
+    analysis = analyze_ycsb(t_gc=args.t_gc, k=args.k)
+    print(analysis.summary())
+    return 0
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    """Run the cross-object code designer on the AWS topology."""
+    from repro.analysis import Topology, design_cross_object_code
+
+    topo = Topology.aws_six_dc()
+    result = design_cross_object_code(
+        topo, args.objects, objective=args.objective,
+        restarts=args.restarts, seed=args.seed,
+    )
+    print(f"objective {args.objective}: worst={result.profile.worst_case:.0f} ms, "
+          f"avg={result.profile.average:.2f} ms")
+    for s, objs in enumerate(result.assignment):
+        symbol = "+".join(f"X{k + 1}" for k in sorted(objs))
+        print(f"  {topo.names[s]:<14} stores {symbol}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run a workload and print latency percentiles and throughput."""
+    from repro import (
+        CausalECCluster,
+        PrimeField,
+        ServerConfig,
+        UniformLatency,
+        example1_code,
+    )
+    from repro.analysis import summarize, throughput
+    from repro.workloads import ClosedLoopDriver, WorkloadConfig
+
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)),
+        latency=UniformLatency(0.5, args.max_latency),
+        seed=args.seed,
+        config=ServerConfig(gc_interval=30.0),
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(
+            ops_per_client=args.ops, read_ratio=args.read_ratio,
+            seed=args.seed,
+        ),
+    )
+    driver.run()
+    cluster.run(for_time=5000)
+    cluster.assert_no_reencoding_errors()
+    stats = summarize(cluster.history)
+    rows = [[kind] + s.row() for kind, s in stats.items()]
+    _print_table(["op", "count", "mean", "p50", "p95", "p99", "worst"], rows)
+    print(f"throughput: {throughput(cluster.history):.0f} ops/s (simulated)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CausalEC reproduction (PODC 2023) -- demos and analyses",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="quickstart on the Example 1 code")
+    p.add_argument("--rtt", type=float, default=10.0)
+    p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser("fig2", help="regenerate the Fig. 2 table (analytic)")
+    p.set_defaults(fn=cmd_fig2)
+
+    p = sub.add_parser("ycsb", help="Sec. 4.2 YCSB storage analysis")
+    p.add_argument("--t-gc", type=float, default=120.0)
+    p.add_argument("--k", type=int, default=4)
+    p.set_defaults(fn=cmd_ycsb)
+
+    p = sub.add_parser("design", help="cross-object code designer")
+    p.add_argument("--objects", type=int, default=4)
+    p.add_argument("--objective", default="worst_then_avg",
+                   choices=["worst_then_avg", "avg_then_worst"])
+    p.add_argument("--restarts", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_design)
+
+    p = sub.add_parser("bench", help="workload run with latency summary")
+    p.add_argument("--ops", type=int, default=60)
+    p.add_argument("--read-ratio", type=float, default=0.5)
+    p.add_argument("--max-latency", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

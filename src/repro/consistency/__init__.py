@@ -1,0 +1,24 @@
+"""Execution histories and consistency checkers (Definition 5)."""
+
+from .causal import (
+    CausalViolation,
+    check_causal_consistency,
+    check_eventual_visibility,
+    check_returns_written_values,
+    expected_final_value,
+)
+from .history import History, Operation
+from .patterns import check_causal_bad_patterns
+from .sessions import check_session_guarantees
+
+__all__ = [
+    "History",
+    "Operation",
+    "CausalViolation",
+    "check_causal_consistency",
+    "check_eventual_visibility",
+    "check_returns_written_values",
+    "check_session_guarantees",
+    "check_causal_bad_patterns",
+    "expected_final_value",
+]

@@ -1,0 +1,203 @@
+"""Causal-consistency checking against Definition 5 of the paper.
+
+Definition 5 asks for a visibility partial order and an arbitration total
+order satisfying (a) session order implies visibility, (b) visibility among
+writes implies arbitration, and (c) every read returns the last-writer-wins
+value among the writes visible to it.
+
+Checking existence of such orders for an arbitrary black-box history is
+intractable in general, but the paper's own proofs construct an explicit
+witness (Definitions 6-7): visibility is ordered by the server vector clock
+at the response point, and arbitration by write tags.  CausalEC (and our
+baselines) stamp exactly this certificate on every response, so the checker
+verifies the witness:
+
+1.  **Tag uniqueness** (Lemma B.3): distinct completed writes carry distinct
+    tags.
+2.  **Session monotonicity** (Definition 5(a) via Definition 7): along each
+    client's session, response timestamps are non-decreasing in the
+    vector-clock partial order, and strictly increasing into a write.
+3.  **Last-writer-wins reads** (Definition 5(c)): each completed read of
+    object X returns the value of the tag-maximal write among
+    ``{writes pi to X : ts(pi) <= ts(read)}`` -- or the initial (zero) value
+    when that set is empty -- and the stamped ``value_tag`` matches.
+
+A forged certificate cannot pass: returned values are cross-checked against
+the writes recorded independently by the writer clients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .history import History, Operation
+
+__all__ = [
+    "CausalViolation",
+    "check_causal_consistency",
+    "check_returns_written_values",
+    "check_eventual_visibility",
+    "expected_final_value",
+]
+
+
+class CausalViolation(AssertionError):
+    """Raised by ``check_*(..., raise_on_violation=True)``."""
+
+
+def _values_equal(a, b) -> bool:
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+def check_causal_consistency(
+    history: History,
+    zero_value=None,
+    raise_on_violation: bool = True,
+) -> list[str]:
+    """Verify the Definition 5 witness over a recorded history.
+
+    Returns the list of violations (empty means the history passed).  When
+    ``raise_on_violation`` is set, a non-empty list raises
+    :class:`CausalViolation` instead.
+    """
+    violations: list[str] = []
+    completed = history.completed()
+    writes = [op for op in completed if op.kind == "write"]
+    reads = [op for op in completed if op.kind == "read"]
+
+    # 1. tag uniqueness + certificate sanity
+    by_tag: dict = {}
+    for w in writes:
+        if w.tag is None or w.ts is None:
+            violations.append(f"write {w.opid} completed without a certificate")
+            continue
+        if w.tag in by_tag:
+            violations.append(
+                f"duplicate write tag {w.tag!r}: ops {by_tag[w.tag].opid} "
+                f"and {w.opid} (Lemma B.3 violated)"
+            )
+        by_tag[w.tag] = w
+        if w.tag.ts != w.ts:
+            violations.append(
+                f"write {w.opid}: tag timestamp {w.tag.ts!r} differs from "
+                f"response timestamp {w.ts!r}"
+            )
+
+    # 2. session monotonicity
+    for client, ops in history.by_client().items():
+        prev: Operation | None = None
+        for op in ops:
+            if not op.done or op.ts is None:
+                continue
+            if prev is not None:
+                if not prev.ts.leq(op.ts):
+                    violations.append(
+                        f"client {client}: session timestamps regress "
+                        f"({prev.opid} -> {op.opid})"
+                    )
+                elif op.kind == "write" and prev.ts == op.ts:
+                    violations.append(
+                        f"client {client}: write {op.opid} did not advance "
+                        f"the timestamp past {prev.opid}"
+                    )
+            prev = op
+
+    # 3. last-writer-wins reads
+    writes_by_obj: dict[int, list[Operation]] = {}
+    for w in writes:
+        if w.tag is not None:
+            writes_by_obj.setdefault(w.obj, []).append(w)
+    for r in reads:
+        if r.ts is None:
+            violations.append(f"read {r.opid} completed without a certificate")
+            continue
+        visible = [
+            w for w in writes_by_obj.get(r.obj, []) if w.ts.leq(r.ts)
+        ]
+        if not visible:
+            if zero_value is not None and not _values_equal(r.value, zero_value):
+                violations.append(
+                    f"read {r.opid} on object {r.obj} returned {r.value!r} "
+                    f"with no visible write (expected initial value)"
+                )
+            continue
+        winner = max(visible, key=lambda w: w.tag)
+        if not _values_equal(r.value, winner.value):
+            violations.append(
+                f"read {r.opid} on object {r.obj} returned {r.value!r}; "
+                f"last visible writer {winner.opid} wrote {winner.value!r}"
+            )
+        if r.tag is not None and r.tag != winner.tag and not r.tag.is_zero:
+            # the stamped tag must itself belong to a real write with the
+            # returned value; a newer-but-equal-valued write is acceptable
+            # only if values match, which was checked above.
+            stamped = by_tag.get(r.tag)
+            if stamped is None or not _values_equal(stamped.value, r.value):
+                violations.append(
+                    f"read {r.opid}: stamped value_tag {r.tag!r} does not "
+                    f"match any write producing {r.value!r}"
+                )
+
+    if violations and raise_on_violation:
+        raise CausalViolation("\n".join(violations))
+    return violations
+
+
+def check_returns_written_values(
+    history: History, zero_value, raise_on_violation: bool = True
+) -> list[str]:
+    """Black-box sanity: every read returns a written (or initial) value."""
+    violations = []
+    written: dict[int, list] = {}
+    for w in history.writes():
+        written.setdefault(w.obj, []).append(w.value)
+    for r in history.reads():
+        if not r.done:
+            continue
+        candidates = written.get(r.obj, [])
+        if _values_equal(r.value, zero_value):
+            continue
+        if not any(_values_equal(r.value, v) for v in candidates):
+            violations.append(
+                f"read {r.opid} on object {r.obj} returned a value never "
+                f"written: {r.value!r}"
+            )
+    if violations and raise_on_violation:
+        raise CausalViolation("\n".join(violations))
+    return violations
+
+
+def expected_final_value(history: History, obj: int, zero_value):
+    """The arbitration winner for ``obj``: the max-tag completed write."""
+    writes = [
+        w for w in history.writes() if w.obj == obj and w.done and w.tag is not None
+    ]
+    if not writes:
+        return zero_value
+    return max(writes, key=lambda w: w.tag).value
+
+
+def check_eventual_visibility(
+    history: History,
+    final_reads: dict[int, list],
+    zero_value,
+    raise_on_violation: bool = True,
+) -> list[str]:
+    """Eventual consistency (Theorem 4.4 / Property IV).
+
+    ``final_reads`` maps object -> list of values returned by reads issued
+    after the system quiesced (e.g. one per server).  All of them must agree
+    and equal the arbitration winner.
+    """
+    violations = []
+    for obj, values in final_reads.items():
+        expected = expected_final_value(history, obj, zero_value)
+        for v in values:
+            if not _values_equal(v, expected):
+                violations.append(
+                    f"object {obj}: post-quiescence read returned {v!r}, "
+                    f"expected arbitration winner {expected!r}"
+                )
+    if violations and raise_on_violation:
+        raise CausalViolation("\n".join(violations))
+    return violations

@@ -1,0 +1,84 @@
+"""Execution histories: the raw material for consistency checking.
+
+A :class:`History` records every client operation in an execution --
+invocation and response times, arguments, return values, and the
+*certificate metadata* CausalEC (and the baselines) stamp on responses: the
+serving server's vector clock (Definition 6's ``ts``) and, for reads, the
+tag of the returned write.  The checkers in :mod:`repro.consistency.causal`
+verify Definition 5 against this record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Operation", "History"]
+
+
+@dataclass
+class Operation:
+    """One client operation (read or write)."""
+
+    client_id: int
+    opid: Any
+    kind: str  # "read" | "write"
+    obj: int
+    value: np.ndarray | None = None  # written value / returned value
+    invoke_time: float = 0.0
+    response_time: float | None = None
+    ts: Any = None  # server vector clock at response (Definition 6)
+    tag: Any = None  # write tag / returned write's tag
+
+    @property
+    def done(self) -> bool:
+        return self.response_time is not None
+
+    @property
+    def latency(self) -> float | None:
+        if self.response_time is None:
+            return None
+        return self.response_time - self.invoke_time
+
+
+class History:
+    """Append-only record of operations across all clients."""
+
+    def __init__(self) -> None:
+        self.operations: list[Operation] = []
+
+    def record_invoke(self, op: Operation) -> Operation:
+        self.operations.append(op)
+        return op
+
+    # -- views --------------------------------------------------------
+
+    def completed(self) -> list[Operation]:
+        return [op for op in self.operations if op.done]
+
+    def pending(self) -> list[Operation]:
+        return [op for op in self.operations if not op.done]
+
+    def writes(self) -> list[Operation]:
+        return [op for op in self.operations if op.kind == "write"]
+
+    def reads(self) -> list[Operation]:
+        return [op for op in self.operations if op.kind == "read"]
+
+    def by_client(self) -> dict[int, list[Operation]]:
+        """Per-client operation sequences in invocation order."""
+        sessions: dict[int, list[Operation]] = {}
+        for op in self.operations:
+            sessions.setdefault(op.client_id, []).append(op)
+        return sessions
+
+    def read_latencies(self) -> list[float]:
+        return [op.latency for op in self.reads() if op.done]
+
+    def write_latencies(self) -> list[float]:
+        return [op.latency for op in self.writes() if op.done]
+
+    def __len__(self) -> int:
+        return len(self.operations)

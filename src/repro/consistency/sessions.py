@@ -1,0 +1,117 @@
+"""Black-box session-guarantee checking (no certificates needed).
+
+The certificate checker in :mod:`repro.consistency.causal` verifies the
+witness orders the protocol stamps on responses.  This module provides an
+*independent* line of evidence using nothing but the client-observed
+history.  With unique written values (our workload drivers guarantee this)
+two session guarantees implied by causal consistency become decidable from
+observations alone:
+
+* **read your writes** -- after a session writes to an object, its reads of
+  that object never return the initial value or one of the session's own
+  earlier writes;
+* **monotonic reads** -- a session never *reverts*: once a read of an
+  object has moved past a value (observed it, then observed a different
+  one), no later read returns the superseded value.  Under Definition 5
+  the second observation's write is tag-greater, so returning the first
+  again would contradict last-writer-wins.
+
+The checker also validates that reads only return written (or initial)
+values.  Together with the certificate checker and the exhaustive checker
+this gives three independent verdicts on every recorded execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .causal import CausalViolation
+from .history import History, Operation
+
+__all__ = ["check_session_guarantees"]
+
+
+def _key(value) -> tuple:
+    return tuple(np.asarray(value).ravel().tolist())
+
+
+def check_session_guarantees(
+    history: History,
+    zero_value,
+    raise_on_violation: bool = True,
+) -> list[str]:
+    """Check read-your-writes and monotonic reads for every session.
+
+    Requires unique written values per object; duplicates are reported as
+    precondition violations because they make attribution ambiguous.
+    """
+    violations: list[str] = []
+    zero = _key(zero_value)
+
+    writers: dict[tuple[int, tuple], Operation] = {}
+    for w in history.writes():
+        k = (w.obj, _key(w.value))
+        if k in writers:
+            violations.append(
+                f"precondition: duplicate value written to object {w.obj} "
+                f"(ops {writers[k].opid}, {w.opid})"
+            )
+        writers[k] = w
+
+    for client, ops in history.by_client().items():
+        own_latest: dict[int, Operation] = {}  # session's last write per obj
+        last_seen: dict[int, tuple] = {}  # last read value per obj
+        superseded: dict[int, set[tuple]] = {}  # values moved past, per obj
+
+        for op in ops:
+            if not op.done:
+                continue
+            if op.kind == "write":
+                own_latest[op.obj] = op
+                continue
+
+            v = _key(op.value)
+            if v != zero and (op.obj, v) not in writers:
+                violations.append(
+                    f"session {client}: read {op.opid} returned an unwritten "
+                    f"value for object {op.obj}"
+                )
+                continue
+
+            # read your writes
+            mine = own_latest.get(op.obj)
+            if mine is not None:
+                if v == zero:
+                    violations.append(
+                        f"session {client}: read {op.opid} returned the "
+                        f"initial value after own write {mine.opid} "
+                        f"(read-your-writes)"
+                    )
+                else:
+                    w = writers[(op.obj, v)]
+                    if (
+                        w.client_id == client
+                        and w.response_time is not None
+                        and mine.response_time is not None
+                        and w.response_time < mine.response_time
+                    ):
+                        violations.append(
+                            f"session {client}: read {op.opid} returned own "
+                            f"earlier write {w.opid} despite later own write "
+                            f"{mine.opid} (read-your-writes)"
+                        )
+
+            # monotonic reads (no reverting to a superseded value)
+            prev = last_seen.get(op.obj)
+            if prev is not None and v != prev:
+                superseded.setdefault(op.obj, set()).add(prev)
+            if v in superseded.get(op.obj, ()):
+                violations.append(
+                    f"session {client}: read {op.opid} on object {op.obj} "
+                    f"reverted to a superseded value (monotonic reads)"
+                )
+            last_seen[op.obj] = v
+
+    if violations and raise_on_violation:
+        raise CausalViolation("\n".join(violations))
+    return violations

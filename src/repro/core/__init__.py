@@ -1,0 +1,25 @@
+"""CausalEC: the paper's primary contribution (Algorithms 1-3)."""
+
+from .client import Client
+from .cluster import CausalECCluster, Cluster
+from .messages import CostModel
+from .snapshot import format_snapshot, snapshot_cluster, snapshot_server
+from .server import CausalECServer, ServerConfig, ServerStats
+from .tags import LOCALHOST, Tag, VectorClock, zero_tag
+
+__all__ = [
+    "CausalECCluster",
+    "Cluster",
+    "CausalECServer",
+    "ServerConfig",
+    "ServerStats",
+    "Client",
+    "CostModel",
+    "Tag",
+    "VectorClock",
+    "zero_tag",
+    "LOCALHOST",
+    "snapshot_server",
+    "snapshot_cluster",
+    "format_snapshot",
+]

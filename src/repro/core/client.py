@@ -1,0 +1,106 @@
+"""The CausalEC client protocol (Sec. 3, "Client protocol").
+
+A client is attached to exactly one server (the partition C_s of Sec. 2.1)
+and sends ``write``/``read`` messages to it, awaiting the matching
+``write-return-ack``/``read-return``.  Well-formedness is enforced: a client
+has at most one pending invocation at any point.
+
+The same client class drives every protocol in this repository (CausalEC and
+the baselines) since they share the client-facing message types.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..consistency.history import History, Operation
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.scheduler import Scheduler
+from .messages import ReadRequest, ReadReturn, WriteAck, WriteRequest
+
+__all__ = ["Client"]
+
+
+class Client(Node):
+    """A client node issuing read/write operations to its home server."""
+
+    def __init__(
+        self,
+        node_id: int,
+        scheduler: Scheduler,
+        network: Network,
+        server_id: int,
+        history: History | None = None,
+    ):
+        super().__init__(node_id, scheduler, network)
+        self.server_id = server_id
+        self.history = history
+        self._op_counter = itertools.count()
+        self._pending: Operation | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._pending is not None
+
+    def write(self, obj: int, value: np.ndarray) -> Operation:
+        """Invoke write(X, v); returns the operation record (async)."""
+        op = self._invoke("write", obj, value)
+        msg = WriteRequest(op.opid, obj, np.asarray(value))
+        msg.size_bits = 0.0
+        self.send(self.server_id, msg)
+        return op
+
+    def read(self, obj: int) -> Operation:
+        """Invoke read(X); returns the operation record (async)."""
+        op = self._invoke("read", obj, None)
+        msg = ReadRequest(op.opid, obj)
+        msg.size_bits = 0.0
+        self.send(self.server_id, msg)
+        return op
+
+    def _invoke(self, kind: str, obj: int, value) -> Operation:
+        if self._pending is not None:
+            raise RuntimeError(
+                f"client {self.node_id} already has a pending operation "
+                f"(well-formedness, Sec. 2.1)"
+            )
+        op = Operation(
+            client_id=self.node_id,
+            opid=(self.node_id, next(self._op_counter)),
+            kind=kind,
+            obj=obj,
+            value=None if value is None else np.asarray(value),
+            invoke_time=self.scheduler.now,
+        )
+        self._pending = op
+        if self.history is not None:
+            self.history.record_invoke(op)
+        return op
+
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: int, msg: object) -> None:
+        op = self._pending
+        if op is None:
+            return
+        if isinstance(msg, WriteAck) and msg.opid == op.opid:
+            op.response_time = self.scheduler.now
+            op.ts = msg.ts
+            op.tag = msg.tag
+            self._pending = None
+            self.on_complete(op)
+        elif isinstance(msg, ReadReturn) and msg.opid == op.opid:
+            op.response_time = self.scheduler.now
+            op.value = msg.value
+            op.ts = msg.ts
+            op.tag = msg.value_tag
+            self._pending = None
+            self.on_complete(op)
+
+    def on_complete(self, op: Operation) -> None:
+        """Hook for workload drivers; default is a no-op."""

@@ -1,0 +1,182 @@
+"""Cluster harness: the top-level public API of the reproduction.
+
+A :class:`CausalECCluster` wires together a linear code, N CausalEC servers,
+a simulated asynchronous FIFO network, and any number of clients; it records
+every operation into a :class:`~repro.consistency.history.History` ready for
+consistency checking.
+
+Quickstart::
+
+    from repro import CausalECCluster, example1_code
+
+    cluster = CausalECCluster(example1_code(), seed=1)
+    c1 = cluster.add_client(server=0)   # a client near server 1
+    c2 = cluster.add_client(server=4)   # a client near server 5
+    cluster.execute(c1.write(0, [3]))   # write X1 := 3  (local, fast)
+    op = cluster.execute(c2.read(0))    # read X1 via a recovery set
+    assert op.value.tolist() == [3]
+
+The generic :class:`Cluster` base also hosts the baseline protocols, which
+share the client/network machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..consistency.history import History, Operation
+from ..ec.code import LinearCode
+from ..sim.network import LatencyModel, Network
+from ..sim.node import Node
+from ..sim.scheduler import Scheduler
+from .client import Client
+from .server import CausalECServer, ServerConfig
+
+__all__ = ["Cluster", "CausalECCluster"]
+
+
+class Cluster:
+    """A simulated deployment: servers + clients + network + history."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        scheduler: Scheduler | None = None,
+    ):
+        self.num_servers = num_servers
+        self.scheduler = scheduler or Scheduler()
+        self.rng = np.random.default_rng(seed)
+        self.network = Network(self.scheduler, latency=latency, rng=self.rng)
+        self.history = History()
+        self.servers: list[Node] = []
+        self.clients: list[Client] = []
+        self._next_node_id = num_servers
+
+    # ------------------------------------------------------------------
+    # topology
+
+    def add_client(self, server: int = 0) -> Client:
+        """Create a client attached to ``server`` (a member of C_server)."""
+        if not 0 <= server < self.num_servers:
+            raise ValueError(f"no such server {server}")
+        client = Client(
+            self._next_node_id,
+            self.scheduler,
+            self.network,
+            server_id=server,
+            history=self.history,
+        )
+        self._next_node_id += 1
+        self.clients.append(client)
+        return client
+
+    def halt_server(self, server: int) -> None:
+        """Crash a server (it takes no further steps)."""
+        self.servers[server].halt()
+
+    # ------------------------------------------------------------------
+    # execution control
+
+    def run(self, for_time: float | None = None, max_events: int | None = None):
+        """Advance the simulation (by ``for_time`` ms, or to quiescence)."""
+        until = None if for_time is None else self.scheduler.now + for_time
+        self.scheduler.run(until=until, max_events=max_events)
+        return self
+
+    def execute(self, op: Operation, max_events: int = 1_000_000) -> Operation:
+        """Run the simulation until ``op`` completes (or events exhaust)."""
+        self.scheduler.run(max_events=max_events, stop_when=lambda: op.done)
+        return op
+
+    def write_sync(self, client: Client, obj: int, value) -> Operation:
+        return self.execute(client.write(obj, value))
+
+    def read_sync(self, client: Client, obj: int) -> Operation:
+        return self.execute(client.read(obj))
+
+    def settle(self, rounds: int = 50, max_events: int = 2_000_000) -> None:
+        """Run until no more network/protocol events remain.
+
+        With periodic GC timers the scheduler never empties, so this runs in
+        bounded slices and stops when only timer events remain and the
+        protocol state has stabilised.
+        """
+        last = None
+        for _ in range(rounds):
+            self.scheduler.run(
+                until=self.scheduler.now + 10_000.0, max_events=max_events
+            )
+            snapshot = self.state_fingerprint()
+            if snapshot == last:
+                return
+            last = snapshot
+
+    def state_fingerprint(self):
+        """Cheap digest of protocol state, for settle()'s fixpoint check."""
+        return tuple(
+            getattr(s, "transient_state_size", lambda: 0)() for s in self.servers
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    @property
+    def stats(self):
+        return self.network.stats
+
+
+class CausalECCluster(Cluster):
+    """A cluster of CausalEC servers parametrised by a linear code."""
+
+    def __init__(
+        self,
+        code: LinearCode,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        config: ServerConfig | None = None,
+        scheduler: Scheduler | None = None,
+    ):
+        super().__init__(code.N, latency=latency, seed=seed, scheduler=scheduler)
+        self.code = code
+        self.config = config or ServerConfig()
+        self.servers = [
+            CausalECServer(i, self.scheduler, self.network, code, self.config)
+            for i in range(code.N)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def server(self, i: int) -> CausalECServer:
+        return self.servers[i]
+
+    def total_transient_entries(self) -> int:
+        """Sum over servers of |L| + |InQueue| + |ReadL| (Theorem 4.5)."""
+        return sum(
+            s.transient_state_size() for s in self.servers if not s.halted
+        )
+
+    def total_history_entries(self) -> int:
+        return sum(s.history_size() for s in self.servers if not s.halted)
+
+    def assert_no_reencoding_errors(self) -> None:
+        """Lemmas D.1/D.2: Error1/Error2 never fire in any execution."""
+        for s in self.servers:
+            if s.stats.error1_events or s.stats.error2_events:
+                raise AssertionError(
+                    f"server {s.node_id} hit re-encoding errors: "
+                    f"Error1={s.stats.error1_events} Error2={s.stats.error2_events}"
+                )
+
+    def value(self, raw) -> np.ndarray:
+        """Coerce a python scalar/list into an object value for this code."""
+        field = self.code.field
+        arr = np.asarray(raw)
+        if arr.ndim == 0:
+            arr = np.full(self.code.value_len, int(arr))
+        return field.validate(arr)

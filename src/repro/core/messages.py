@@ -1,0 +1,169 @@
+"""Protocol messages exchanged by CausalEC clients and servers.
+
+Message kinds mirror the paper exactly: ``write``/``write-return-ack``,
+``read``/``read-return`` between clients and their home server, and
+``app``, ``del``, ``val_inq``, ``val_resp``, ``val_resp_encoded`` between
+servers (Algorithms 1-2).
+
+Every message carries ``size_bits`` so the network can account for the
+communication costs analysed in Sec. 4.2.  Sizes are assigned by a
+:class:`CostModel`: an object value costs B bits, a codeword symbol costs
+``r_s * B`` bits, and each tag costs a configurable metadata budget (vector
+timestamps by default; the low-cost variant of Sec. 4.2 uses Lamport
+timestamps, i.e. a smaller ``tag_bits``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .tags import Tag
+
+__all__ = [
+    "CostModel",
+    "WriteRequest",
+    "WriteAck",
+    "ReadRequest",
+    "ReadReturn",
+    "App",
+    "Del",
+    "ValInq",
+    "ValResp",
+    "ValRespEncoded",
+]
+
+
+@dataclass
+class CostModel:
+    """Bit-size accounting for protocol messages.
+
+    ``value_bits`` is B, the size of one object value.  ``tag_bits`` is the
+    metadata cost of one tag/timestamp (vector timestamps: N counters; the
+    Sec. 4.2 low-cost variant: one Lamport counter, log L bits).
+    ``header_bits`` covers opids and message framing.
+    """
+
+    value_bits: float = 64.0
+    tag_bits: float = 64.0
+    header_bits: float = 16.0
+
+    def size(
+        self, n_values: float = 0.0, n_tags: float = 0.0
+    ) -> float:
+        return self.header_bits + n_values * self.value_bits + n_tags * self.tag_bits
+
+
+@dataclass
+class _Message:
+    kind = "message"
+    size_bits: float = field(default=0.0, init=False)
+
+
+@dataclass
+class WriteRequest(_Message):
+    """Client -> home server: ``<write, opid, X, v>``."""
+
+    kind = "write"
+    opid: Any
+    obj: int
+    value: np.ndarray
+
+
+@dataclass
+class WriteAck(_Message):
+    """Server -> client: the write completed (Algorithm 1 line 5)."""
+
+    kind = "write-return-ack"
+    opid: Any
+    # certificate metadata for the consistency checker (Definition 6):
+    # the server's vector clock and the write's tag at the ack point.
+    ts: Any = field(default=None, init=False)
+    tag: Tag | None = field(default=None, init=False)
+
+
+@dataclass
+class ReadRequest(_Message):
+    """Client -> home server: ``<read, opid, X>``."""
+
+    kind = "read"
+    opid: Any
+    obj: int
+
+
+@dataclass
+class ReadReturn(_Message):
+    """Server -> client: the read's value."""
+
+    kind = "read-return"
+    opid: Any
+    value: np.ndarray
+    # certificate metadata (Definition 6): the server's vector clock at the
+    # response point and the tag of the write whose value is returned.
+    ts: Any = field(default=None, init=False)
+    value_tag: Tag | None = field(default=None, init=False)
+
+
+@dataclass
+class App(_Message):
+    """Write propagation: ``<app, X, v, t>`` (Algorithm 1 line 6)."""
+
+    kind = "app"
+    obj: int
+    value: np.ndarray
+    tag: Tag
+
+
+@dataclass
+class Del(_Message):
+    """Garbage-collection notice: ``<del, X, t>``.
+
+    In the low-cost variant (Sec. 4.2 / Appendix G) del messages are routed
+    through a leader that forwards them to everyone: ``origin`` preserves
+    the original sender's identity across the forwarding hop, and
+    ``fanout`` marks a message the leader still needs to forward.
+    """
+
+    kind = "del"
+    obj: int
+    tag: Tag
+    origin: int | None = None
+    fanout: bool = False
+
+
+@dataclass
+class ValInq(_Message):
+    """Read inquiry carrying the wanted tag vector (Algorithm 1 line 18)."""
+
+    kind = "val_inq"
+    client_id: int
+    opid: Any
+    obj: int
+    wanted_tagvec: dict[int, Tag]
+
+
+@dataclass
+class ValResp(_Message):
+    """Uncoded response: the wanted object version was in the history list."""
+
+    kind = "val_resp"
+    obj: int
+    value: np.ndarray
+    client_id: int
+    opid: Any
+    requested_tags: dict[int, Tag]
+
+
+@dataclass
+class ValRespEncoded(_Message):
+    """Coded response: a (possibly re-encoded) codeword symbol plus its tags."""
+
+    kind = "val_resp_encoded"
+    symbol: np.ndarray
+    tagvec: dict[int, Tag]
+    client_id: int
+    opid: Any
+    obj: int
+    requested_tags: dict[int, Tag]

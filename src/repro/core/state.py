@@ -1,0 +1,239 @@
+"""Server-side state containers for CausalEC (Fig. 3 of the paper).
+
+Each server holds:
+
+* ``vc`` -- a vector clock (kept directly on the server),
+* ``InQueue`` -- pending ``app`` tuples awaiting causal application,
+* ``L``       -- per-object *history lists* of (tag, value) pairs,
+* ``DelL``    -- per-object *deletion lists* of (tag, sender) pairs,
+* ``M``       -- the codeword symbol plus its per-object tag vector,
+* ``ReadL``   -- pending reads (external and ``localhost`` internal),
+* ``tmax``    -- per-object garbage-collection watermark.
+
+These containers implement the exact semantics the pseudocode relies on,
+plus two bounded-metadata optimisations documented in DESIGN.md (deletion
+lists are pruned below the watermark; both preserve every observable
+behaviour because tags are totally ordered and watermarks are monotone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .tags import Tag
+
+__all__ = ["HistoryList", "DeletionList", "InQueue", "ReadEntry", "ReadList", "Codeword"]
+
+
+class HistoryList:
+    """History list L[X]: a set of (tag, value) pairs for one object.
+
+    ``highest_tag`` follows the paper's convention: the zero tag when the
+    list is empty.
+    """
+
+    __slots__ = ("_items", "_zero")
+
+    def __init__(self, zero: Tag):
+        self._zero = zero
+        self._items: dict[Tag, np.ndarray] = {}
+
+    def add(self, tag: Tag, value: np.ndarray) -> None:
+        self._items[tag] = value
+
+    def get(self, tag: Tag) -> np.ndarray | None:
+        return self._items.get(tag)
+
+    def remove(self, tag: Tag) -> None:
+        self._items.pop(tag, None)
+
+    def __contains__(self, tag: Tag) -> bool:
+        return tag in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def tags(self) -> list[Tag]:
+        return list(self._items)
+
+    def items(self) -> list[tuple[Tag, np.ndarray]]:
+        return list(self._items.items())
+
+    @property
+    def highest_tag(self) -> Tag:
+        """L[X].HighestTagged.tag; the zero tag for an empty list."""
+        if not self._items:
+            return self._zero
+        return max(self._items)
+
+    def highest_value(self) -> np.ndarray | None:
+        if not self._items:
+            return None
+        return self._items[self.highest_tag]
+
+
+class DeletionList:
+    """Deletion list DelL[X]: per-sender sets of acknowledged tags.
+
+    Supports the three aggregate queries Algorithm 3 needs:
+
+    * ``max_common(nodes)``  -- max(S): the largest tag t such that every
+      node in ``nodes`` contributed some tag >= t.  With totally ordered
+      tags this is min over nodes of (that node's max contributed tag), or
+      None when some node has contributed nothing.
+    * ``has_exact_from_all(tag, nodes)`` -- membership of ``tag`` in S-bar:
+      every node contributed *exactly* ``tag``.
+    * ``max_from(node)`` -- that node's largest contributed tag.
+    """
+
+    __slots__ = ("_tags", "_max")
+
+    def __init__(self) -> None:
+        self._tags: dict[int, set[Tag]] = {}
+        self._max: dict[int, Tag] = {}
+
+    def add(self, tag: Tag, node: int) -> None:
+        self._tags.setdefault(node, set()).add(tag)
+        cur = self._max.get(node)
+        if cur is None or tag > cur:
+            self._max[node] = tag
+
+    def max_from(self, node: int) -> Tag | None:
+        return self._max.get(node)
+
+    def max_common(self, nodes) -> Tag | None:
+        best: Tag | None = None
+        for n in nodes:
+            m = self._max.get(n)
+            if m is None:
+                return None
+            if best is None or m < best:
+                best = m
+        return best
+
+    def has_exact_from_all(self, tag: Tag, nodes) -> bool:
+        return all(tag in self._tags.get(n, ()) for n in nodes)
+
+    def prune_below(self, watermark: Tag) -> None:
+        """Drop tags strictly below ``watermark`` (keeping per-node maxima).
+
+        Safe because every aggregate query compares against maxima or the
+        current (monotone) watermark; see DESIGN.md "DelL pruning".
+        """
+        for n, tags in self._tags.items():
+            keep = {t for t in tags if not t < watermark}
+            keep.add(self._max[n])
+            self._tags[n] = keep
+
+    def total_entries(self) -> int:
+        return sum(len(v) for v in self._tags.values())
+
+
+@dataclass
+class InQueueEntry:
+    """One queued ``app`` tuple: (sender, object, value, tag)."""
+
+    sender: int
+    obj: int
+    value: np.ndarray
+    tag: Tag
+
+
+class InQueue:
+    """Pending ``app`` tuples, scanned in tag order for applicability.
+
+    The paper keeps a priority queue and checks only the head; we scan in
+    (Lamport, arrival) order and apply the first entry whose causality
+    predicate holds, which generalises head-checking (see DESIGN.md).
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[InQueueEntry] = []
+
+    def add(self, entry: InQueueEntry) -> None:
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: (e.tag.ts.lamport, e.tag.client_id))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def pop_applicable(self, vc) -> InQueueEntry | None:
+        """Remove and return the first entry applicable at vector clock vc.
+
+        Applicability (Algorithm 3 line 4): ``t.ts[p] <= vc[p]`` for every
+        ``p != sender`` and ``t.ts[sender] == vc[sender] + 1``.
+        """
+        for i, e in enumerate(self._entries):
+            ts = e.tag.ts
+            j = e.sender
+            if ts[j] != vc[j] + 1:
+                continue
+            if all(ts[p] <= vc[p] for p in range(len(vc)) if p != j):
+                del self._entries[i]
+                return e
+        return None
+
+
+@dataclass
+class ReadEntry:
+    """A pending read: (clientid, opid, X, tag-vector, partial symbol vector).
+
+    ``symbols`` is the paper's w-bar: per-server codeword symbols collected
+    so far (absent server = the null symbol).
+    """
+
+    client_id: int
+    opid: Any
+    obj: int
+    tagvec: dict[int, Tag]
+    symbols: dict[int, np.ndarray] = field(default_factory=dict)
+    registered_at: float = 0.0
+
+
+class ReadList:
+    """Pending-read list ReadL, indexed by operation id."""
+
+    __slots__ = ("_by_opid",)
+
+    def __init__(self) -> None:
+        self._by_opid: dict[Any, ReadEntry] = {}
+
+    def add(self, entry: ReadEntry) -> None:
+        if entry.opid in self._by_opid:
+            raise ValueError(f"duplicate pending read opid {entry.opid!r}")
+        self._by_opid[entry.opid] = entry
+
+    def get(self, opid: Any) -> ReadEntry | None:
+        return self._by_opid.get(opid)
+
+    def remove(self, opid: Any) -> None:
+        self._by_opid.pop(opid, None)
+
+    def __len__(self) -> int:
+        return len(self._by_opid)
+
+    def entries(self) -> list[ReadEntry]:
+        return list(self._by_opid.values())
+
+    def for_object(self, obj: int) -> list[ReadEntry]:
+        return [e for e in self._by_opid.values() if e.obj == obj]
+
+    def localhost_entry_for(self, obj: int, tag: Tag, localhost: int) -> bool:
+        """Is there an internal read for object ``obj`` wanting ``tag``?"""
+        return any(
+            e.client_id == localhost and e.obj == obj and e.tagvec[obj] == tag
+            for e in self._by_opid.values()
+        )
+
+
+@dataclass
+class Codeword:
+    """M: the stored codeword symbol value and its per-object tag vector."""
+
+    value: np.ndarray
+    tagvec: dict[int, Tag]

@@ -1,0 +1,34 @@
+"""Erasure-coding substrate: finite fields, linear codes, recovery sets."""
+
+from .code import LinearCode
+from .codes import (
+    SIX_DC_PLACEMENT,
+    lrc_code,
+    random_linear_code,
+    example1_code,
+    partial_replication_code,
+    reed_solomon_code,
+    replication_code,
+    six_dc_code,
+)
+from .report import CodeReport, ObjectReport
+from .field import GF256, BinaryExtensionField, Field, PrimeField, default_field
+
+__all__ = [
+    "Field",
+    "PrimeField",
+    "BinaryExtensionField",
+    "GF256",
+    "default_field",
+    "LinearCode",
+    "CodeReport",
+    "ObjectReport",
+    "replication_code",
+    "partial_replication_code",
+    "reed_solomon_code",
+    "example1_code",
+    "six_dc_code",
+    "SIX_DC_PLACEMENT",
+    "random_linear_code",
+    "lrc_code",
+]

@@ -1,0 +1,261 @@
+"""Constructors for the erasure codes discussed in the paper.
+
+* :func:`replication_code` -- classical full replication (every server stores
+  every object uncoded), the substrate of [4, 33, 19, 20].
+* :func:`partial_replication_code` -- each server stores an explicit subset
+  of objects uncoded [42, 49, 26].
+* :func:`reed_solomon_code` -- a systematic MDS code over K objects with one
+  symbol per server; used cross-object (one object value per coordinate) or
+  intra-object (one fragment per coordinate).
+* :func:`example1_code` -- the (5,3) code of Sec. 1.2 / Example 1:
+  [x1, x2, x3, x1+x2+x3, x1+2x2+x3].
+* :func:`six_dc_code` -- the cross-object code of Sec. 1.1 over the six AWS
+  DCs: Seoul=X1+X3, Mumbai=X2+X4, Ireland=X1, London=X2, N.California=X4,
+  Oregon=X3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from . import matrix as fmat
+from .code import LinearCode
+from .field import Field, PrimeField, default_field
+
+__all__ = [
+    "random_linear_code",
+    "lrc_code",
+    "replication_code",
+    "partial_replication_code",
+    "reed_solomon_code",
+    "example1_code",
+    "six_dc_code",
+    "SIX_DC_PLACEMENT",
+]
+
+
+def replication_code(
+    field: Field | None = None, num_servers: int = 3, num_objects: int = 2,
+    value_len: int = 1,
+) -> LinearCode:
+    """Full replication: G_s = I_K at every server."""
+    field = field or default_field()
+    identity = np.eye(num_objects, dtype=field.dtype)
+    return LinearCode(
+        field,
+        num_objects,
+        [identity.copy() for _ in range(num_servers)],
+        value_len=value_len,
+        name=f"replication({num_servers},{num_objects})",
+    )
+
+
+def partial_replication_code(
+    field: Field | None,
+    num_objects: int,
+    placement: Sequence[Sequence[int]] | Mapping[int, Sequence[int]],
+    value_len: int = 1,
+) -> LinearCode:
+    """Partial replication: server s stores the objects in ``placement[s]``.
+
+    ``placement`` maps each server to the (possibly empty) list of object
+    indices it replicates.  Every object should appear at >=1 server for all
+    objects to be readable.
+    """
+    field = field or default_field()
+    if isinstance(placement, Mapping):
+        servers = [placement[s] for s in sorted(placement)]
+    else:
+        servers = list(placement)
+    mats = []
+    for objs in servers:
+        rows = np.zeros((len(objs), num_objects), dtype=field.dtype)
+        for j, k in enumerate(objs):
+            rows[j, k] = 1
+        mats.append(rows)
+    return LinearCode(
+        field, num_objects, mats, value_len=value_len,
+        name=f"partial-replication({len(servers)},{num_objects})",
+    )
+
+
+def reed_solomon_code(
+    field: Field | None = None,
+    num_servers: int = 5,
+    num_objects: int = 3,
+    value_len: int = 1,
+    systematic: bool = True,
+) -> LinearCode:
+    """A systematic (N, K) MDS code with one symbol per server.
+
+    Built from an N x K Vandermonde matrix V with distinct evaluation points;
+    for ``systematic=True`` the generator is normalised to G = V V_top^{-1}
+    so the first K servers store the K objects uncoded (the "systematic
+    Reed-Solomon" the cost analysis of Sec. 4.2 assumes).  Requires
+    ``field.order > num_servers`` for distinct evaluation points.
+    """
+    field = field or default_field()
+    n, k = num_servers, num_objects
+    if n < k:
+        raise ValueError("need at least K servers")
+    if field.order <= n:
+        raise ValueError("field too small for distinct evaluation points")
+    vander = np.zeros((n, k), dtype=field.dtype)
+    for i in range(n):
+        # evaluation points 1..n avoid the zero point (whose powers collapse)
+        x = i + 1
+        acc = 1
+        for j in range(k):
+            vander[i, j] = acc
+            acc = field.s_mul(acc, x)
+    gen = vander
+    if systematic:
+        top_inv = fmat.invert(field, vander[:k])
+        gen = fmat.matmul(field, vander, top_inv)
+    return LinearCode(
+        field,
+        k,
+        [gen[i : i + 1] for i in range(n)],
+        value_len=value_len,
+        name=f"reed-solomon({n},{k}){'-sys' if systematic else ''}",
+    )
+
+
+def example1_code(field: Field | None = None, value_len: int = 1) -> LinearCode:
+    """The (5,3) running example: [x1, x2, x3, x1+x2+x3, x1+2x2+x3].
+
+    Requires odd characteristic (the paper's Example 1): over GF(2^m) the
+    fourth and fifth symbols would coincide.  Defaults to GF(257) so whole
+    bytes fit in one value coordinate.
+    """
+    field = field or default_field()
+    if field.characteristic == 2:
+        raise ValueError("Example 1 requires a field of odd characteristic")
+    rows = [
+        [1, 0, 0],
+        [0, 1, 0],
+        [0, 0, 1],
+        [1, 1, 1],
+        [1, 2, 1],
+    ]
+    return LinearCode(
+        field, 3, [np.array([r]) for r in rows], value_len=value_len,
+        name="example1(5,3)",
+    )
+
+
+#: Sec. 1.1 cross-object placement over the six AWS regions, in the region
+#: order of Fig. 1: Seoul, Mumbai, Ireland, London, N. California, Oregon.
+SIX_DC_PLACEMENT = {
+    "Seoul": "X1+X3",
+    "Mumbai": "X2+X4",
+    "Ireland": "X1",
+    "London": "X2",
+    "N. California": "X4",
+    "Oregon": "X3",
+}
+
+
+def six_dc_code(field: Field | None = None, value_len: int = 1) -> LinearCode:
+    """The Sec. 1.1 cross-object code over 6 servers and 4 object groups."""
+    field = field or default_field()
+    rows = [
+        [1, 0, 1, 0],  # Seoul: X1 + X3
+        [0, 1, 0, 1],  # Mumbai: X2 + X4
+        [1, 0, 0, 0],  # Ireland: X1
+        [0, 1, 0, 0],  # London: X2
+        [0, 0, 0, 1],  # N. California: X4
+        [0, 0, 1, 0],  # Oregon: X3
+    ]
+    return LinearCode(
+        field, 4, [np.array([r]) for r in rows], value_len=value_len,
+        name="six-dc-cross-object(6,4)",
+    )
+
+
+def random_linear_code(
+    field: Field | None = None,
+    num_servers: int = 5,
+    num_objects: int = 3,
+    value_len: int = 1,
+    density: float = 0.7,
+    seed: int = 0,
+    symbols_per_server: int = 1,
+) -> LinearCode:
+    """A random linear code with every object recoverable.
+
+    Coefficients are drawn uniformly (zeroed with probability
+    ``1 - density``); rejection-samples until each object has at least one
+    recovery set.  CausalEC is parametrised by an *arbitrary* linear code,
+    so random codes are the natural fuzzing substrate for the protocol.
+    """
+    import numpy as _np
+
+    field = field or default_field()
+    rng = _np.random.default_rng(seed)
+    for _ in range(1000):
+        mats = []
+        for _s in range(num_servers):
+            m = rng.integers(
+                1, field.order, size=(symbols_per_server, num_objects)
+            ).astype(field.dtype)
+            mask = rng.random(size=m.shape) < density
+            m = m * mask
+            mats.append(m)
+        code = LinearCode(
+            field, num_objects, mats, value_len=value_len,
+            name=f"random({num_servers},{num_objects},seed={seed})",
+        )
+        if all(
+            code.is_recovery_set(range(num_servers), k)
+            for k in range(num_objects)
+        ):
+            return code
+    raise RuntimeError("could not sample a fully recoverable random code")
+
+
+def lrc_code(
+    field: Field | None = None,
+    local_groups: Sequence[Sequence[int]] = ((0, 1), (2, 3)),
+    num_objects: int = 4,
+    global_parities: int = 1,
+    value_len: int = 1,
+) -> LinearCode:
+    """A locally repairable code (LRC) layout.
+
+    The first ``num_objects`` servers store single objects uncoded; each
+    *local group* (a set of object indices) gets one local-parity server
+    storing the group's sum; ``global_parities`` extra servers store
+    weighted sums over all objects.  LRCs trade a little storage for small
+    recovery sets -- exactly the latency lever cross-object CausalEC pulls.
+    """
+    import numpy as _np
+
+    field = field or default_field()
+    if field.order <= num_objects + global_parities:
+        raise ValueError("field too small for distinct global coefficients")
+    mats = []
+    for k in range(num_objects):
+        row = _np.zeros((1, num_objects), dtype=field.dtype)
+        row[0, k] = 1
+        mats.append(row)
+    for group in local_groups:
+        row = _np.zeros((1, num_objects), dtype=field.dtype)
+        for k in group:
+            row[0, k] = 1
+        mats.append(row)
+    for p in range(global_parities):
+        row = _np.zeros((1, num_objects), dtype=field.dtype)
+        for k in range(num_objects):
+            # evaluation point k+2, raised elementwise in the field
+            coeff = 1
+            for _ in range(p + 1):
+                coeff = field.s_mul(coeff, k + 2)
+            row[0, k] = coeff
+        mats.append(row)
+    return LinearCode(
+        field, num_objects, mats, value_len=value_len,
+        name=f"lrc({len(mats)},{num_objects})",
+    )

@@ -1,0 +1,263 @@
+"""Finite field arithmetic for erasure coding.
+
+CausalEC stores object values drawn from a vector space ``V`` over a finite
+field ``F`` (Sec. 2.2 of the paper).  This module provides two concrete field
+families:
+
+* :class:`PrimeField` -- GF(p) for a prime ``p``, with numpy-vectorised
+  arithmetic on int64 arrays.  The paper's running examples (Example 1, the
+  (5,3) code of Sec. 1.2) require a field of odd characteristic, for which any
+  odd prime works.
+* :class:`BinaryExtensionField` -- GF(2^m) via log/antilog tables, the family
+  used by practical Reed--Solomon deployments (GF(256) in particular).
+
+Object *values* are represented as 1-D numpy integer arrays whose entries are
+field elements; *scalars* (code coefficients) are plain Python ints in
+``[0, order)``.  All operations are pure: inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Field",
+    "PrimeField",
+    "BinaryExtensionField",
+    "GF256",
+    "default_field",
+]
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+class Field:
+    """Abstract finite field interface.
+
+    Subclasses provide scalar arithmetic (on Python ints) and vectorised
+    arithmetic (on numpy arrays of field elements).  ``order`` is the number
+    of field elements and ``characteristic`` its additive characteristic.
+    """
+
+    order: int
+    characteristic: int
+    dtype: np.dtype
+
+    # -- scalar operations -------------------------------------------------
+
+    def s_add(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def s_neg(self, a: int) -> int:
+        raise NotImplementedError
+
+    def s_sub(self, a: int, b: int) -> int:
+        return self.s_add(a, self.s_neg(b))
+
+    def s_mul(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def s_inv(self, a: int) -> int:
+        raise NotImplementedError
+
+    def s_div(self, a: int, b: int) -> int:
+        return self.s_mul(a, self.s_inv(b))
+
+    # -- vector operations -------------------------------------------------
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.add(a, self.neg(b))
+
+    def scalar_mul(self, c: int, a: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- constructors and checks -------------------------------------------
+
+    def zeros(self, n: int) -> np.ndarray:
+        """The zero vector of V = F^n."""
+        return np.zeros(n, dtype=self.dtype)
+
+    def is_zero(self, a: np.ndarray) -> bool:
+        return not np.any(a)
+
+    def validate(self, a: np.ndarray) -> np.ndarray:
+        """Coerce ``a`` to a canonical field-element array, checking range."""
+        arr = np.asarray(a, dtype=self.dtype)
+        if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= self.order):
+            raise ValueError(
+                f"array entries must lie in [0, {self.order}) for {self!r}"
+            )
+        return arr
+
+    def random_vector(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """A uniformly random element of V = F^n."""
+        return rng.integers(0, self.order, size=n, dtype=self.dtype)
+
+    def random_scalar(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.order))
+
+    def equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return a.shape == b.shape and bool(np.array_equal(a, b))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(order={self.order})"
+
+
+class PrimeField(Field):
+    """GF(p) for prime ``p``; elements are ints in ``[0, p)``."""
+
+    def __init__(self, p: int):
+        if not _is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.order = p
+        self.characteristic = p
+        self.dtype = np.dtype(np.int64)
+        # int64 multiply of two (p-1) values must not overflow.
+        if (p - 1) ** 2 >= 2**63:
+            raise ValueError("prime too large for int64 arithmetic")
+
+    # scalars
+    def s_add(self, a: int, b: int) -> int:
+        return (a + b) % self.order
+
+    def s_neg(self, a: int) -> int:
+        return (-a) % self.order
+
+    def s_mul(self, a: int, b: int) -> int:
+        return (a * b) % self.order
+
+    def s_inv(self, a: int) -> int:
+        a %= self.order
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse")
+        return pow(a, self.order - 2, self.order)
+
+    # vectors
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a + b) % self.order
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        return (-a) % self.order
+
+    def scalar_mul(self, c: int, a: np.ndarray) -> np.ndarray:
+        return (a * (c % self.order)) % self.order
+
+
+class BinaryExtensionField(Field):
+    """GF(2^m) with log/antilog table arithmetic, for m in [1, 16].
+
+    ``primitive_poly`` is the integer encoding of an irreducible polynomial of
+    degree m over GF(2) (including the x^m term).  Defaults are the standard
+    choices (e.g. 0x11D for GF(256), as used by RS(255, k) codecs).
+    """
+
+    _DEFAULT_POLY = {
+        1: 0b11,
+        2: 0b111,
+        3: 0b1011,
+        4: 0b10011,
+        5: 0b100101,
+        6: 0b1000011,
+        7: 0b10001001,
+        8: 0x11D,
+        9: 0b1000010001,
+        10: 0b10000001001,
+        11: 0b100000000101,
+        12: 0b1000001010011,
+        13: 0b10000000011011,
+        14: 0b100010001000011,
+        15: 0b1000000000000011,
+        16: 0b10001000000001011,
+    }
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if not 1 <= m <= 16:
+            raise ValueError("m must be in [1, 16]")
+        self.m = m
+        self.order = 1 << m
+        self.characteristic = 2
+        self.dtype = np.dtype(np.uint32)
+        poly = primitive_poly or self._DEFAULT_POLY[m]
+        self._build_tables(poly)
+
+    def _build_tables(self, poly: int) -> None:
+        size = self.order
+        exp = np.zeros(2 * size, dtype=np.uint32)
+        log = np.zeros(size, dtype=np.int64)
+        x = 1
+        for i in range(size - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & size:
+                x ^= poly
+        if x != 1:
+            raise ValueError(f"poly {poly:#x} is not primitive for GF(2^{self.m})")
+        # duplicate so exp[(la + lb)] never needs a modulo
+        exp[size - 1 : 2 * (size - 1)] = exp[: size - 1]
+        self._exp = exp
+        self._log = log
+
+    # scalars
+    def s_add(self, a: int, b: int) -> int:
+        return a ^ b
+
+    def s_neg(self, a: int) -> int:
+        return a  # characteristic 2
+
+    def s_mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[int(self._log[a]) + int(self._log[b])])
+
+    def s_inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse")
+        return int(self._exp[(self.order - 1) - int(self._log[a])])
+
+    # vectors
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.bitwise_xor(a, b)
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        return a.copy()
+
+    def scalar_mul(self, c: int, a: np.ndarray) -> np.ndarray:
+        if c == 0:
+            return np.zeros_like(a)
+        if c == 1:
+            return a.copy()
+        out = np.zeros_like(a)
+        nz = a != 0
+        if np.any(nz):
+            out[nz] = self._exp[self._log[a[nz]] + int(self._log[c])]
+        return out
+
+
+GF256 = BinaryExtensionField(8)
+
+
+def default_field() -> Field:
+    """The field used by examples/benchmarks when none is specified.
+
+    GF(257) satisfies the odd-characteristic requirement of the paper's
+    running example codes while staying byte-friendly.
+    """
+    return PrimeField(257)

@@ -1,0 +1,118 @@
+"""Code reports: fault tolerance, storage, and locality of a linear code.
+
+Property (II) of the paper means CausalEC inherits the code's structure
+wholesale, so evaluating a deployment reduces to evaluating its code:
+
+* **fault tolerance** per object: the largest f such that *any* f server
+  crashes leave a live recovery set (footnote 7: an MDS (N, k) code
+  tolerates N - k);
+* **storage**: symbols per server and the total expansion factor relative
+  to the K objects (replication's expansion is N);
+* **locality**: which servers can serve each object with zero round trips.
+
+``CodeReport.of(code)`` computes all of it by exhaustive subset analysis
+(intended for the small N of deployment codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from .code import LinearCode
+
+__all__ = ["ObjectReport", "CodeReport"]
+
+
+@dataclass(frozen=True)
+class ObjectReport:
+    """Structure of one object under the code."""
+
+    obj: int
+    minimal_recovery_sets: tuple[frozenset[int], ...]
+    local_servers: frozenset[int]  # singleton recovery sets
+    fault_tolerance: int  # max crashes always survivable
+
+    @property
+    def locally_readable(self) -> bool:
+        return bool(self.local_servers)
+
+
+@dataclass(frozen=True)
+class CodeReport:
+    """Whole-code summary."""
+
+    name: str
+    num_servers: int
+    num_objects: int
+    objects: tuple[ObjectReport, ...]
+    symbols_per_server: tuple[int, ...]
+    expansion: float  # total stored symbols / K
+    is_mds: bool
+
+    @classmethod
+    def of(cls, code: LinearCode) -> "CodeReport":
+        objects = []
+        for k in range(code.K):
+            rsets = tuple(code.minimal_recovery_sets(k))
+            objects.append(
+                ObjectReport(
+                    obj=k,
+                    minimal_recovery_sets=rsets,
+                    local_servers=frozenset(
+                        next(iter(r)) for r in rsets if len(r) == 1
+                    ),
+                    fault_tolerance=_fault_tolerance(code, k),
+                )
+            )
+        symbols = tuple(code.symbols_at(s) for s in range(code.N))
+        return cls(
+            name=code.name,
+            num_servers=code.N,
+            num_objects=code.K,
+            objects=tuple(objects),
+            symbols_per_server=symbols,
+            expansion=sum(symbols) / code.K,
+            is_mds=code.is_mds(),
+        )
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Crashes tolerated for every object simultaneously."""
+        return min(o.fault_tolerance for o in self.objects)
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"code {self.name}: N={self.num_servers} servers, "
+            f"K={self.num_objects} objects",
+            f"  storage expansion: {self.expansion:.2f}x "
+            f"(replication: {self.num_servers}x)",
+            f"  fault tolerance: {self.fault_tolerance} crash(es)"
+            + (" [MDS]" if self.is_mds else ""),
+        ]
+        for o in self.objects:
+            local = (
+                "servers " + ",".join(str(s + 1) for s in sorted(o.local_servers))
+                if o.local_servers
+                else "none"
+            )
+            lines.append(
+                f"  X{o.obj + 1}: {len(o.minimal_recovery_sets)} minimal "
+                f"recovery sets, local at {local}, tolerates "
+                f"{o.fault_tolerance} crash(es)"
+            )
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.summary_lines())
+
+
+def _fault_tolerance(code: LinearCode, obj: int) -> int:
+    """Largest f such that every f-subset of crashes leaves a recovery set."""
+    servers = range(code.N)
+    for f in range(code.N + 1):
+        for crashed in combinations(servers, f):
+            alive = frozenset(servers) - frozenset(crashed)
+            if not code.is_recovery_set(alive, obj):
+                return f - 1
+    return code.N  # unreachable for non-trivial codes

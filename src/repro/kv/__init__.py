@@ -1,0 +1,15 @@
+"""Adoption-grade facade: string keys, bytes values, sessions, grouping."""
+
+from .codec import CodecError, ValueCodec
+from .grouped import GroupedCausalKVStore, GroupedSession, hybrid_store
+from .store import CausalKVStore, Session
+
+__all__ = [
+    "CausalKVStore",
+    "Session",
+    "GroupedCausalKVStore",
+    "GroupedSession",
+    "hybrid_store",
+    "ValueCodec",
+    "CodecError",
+]

@@ -1,0 +1,75 @@
+"""Codec between byte strings and fixed-length field-element vectors.
+
+CausalEC stores values from a vector space V = F^len over a finite field
+(Sec. 2.1).  Real applications hold byte strings, so the KV facade encodes
+``bytes`` into V and back:
+
+* over a field with order >= 257, each byte maps to one field element and a
+  2-element big-endian header carries the byte length (so values shorter
+  than the capacity round-trip exactly);
+* over GF(256) the length header would not fit a single element, so the
+  header uses two base-256 digits, identically.
+
+``capacity(value_len)`` bytes fit into a length-``value_len`` vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ec.field import Field
+
+__all__ = ["ValueCodec", "CodecError"]
+
+_HEADER = 2  # elements reserved for the byte-length header
+
+
+class CodecError(ValueError):
+    """Raised for values that cannot be encoded/decoded."""
+
+
+class ValueCodec:
+    """Encode/decode byte strings into V = F^value_len."""
+
+    def __init__(self, field: Field, value_len: int):
+        if field.order < 256:
+            raise CodecError(
+                "codec requires a field with at least 256 elements per byte"
+            )
+        if value_len <= _HEADER:
+            raise CodecError(f"value_len must exceed {_HEADER}")
+        self.field = field
+        self.value_len = value_len
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of payload bytes per value."""
+        return min(self.value_len - _HEADER, 256 * 256 - 1)
+
+    def encode(self, data: bytes) -> np.ndarray:
+        if len(data) > self.capacity:
+            raise CodecError(
+                f"value of {len(data)} bytes exceeds capacity {self.capacity}"
+            )
+        out = self.field.zeros(self.value_len)
+        out[0] = len(data) // 256
+        out[1] = len(data) % 256
+        if data:
+            out[_HEADER : _HEADER + len(data)] = np.frombuffer(
+                data, dtype=np.uint8
+            )
+        return out
+
+    def decode(self, value: np.ndarray) -> bytes:
+        value = np.asarray(value)
+        if value.shape != (self.value_len,):
+            raise CodecError(
+                f"expected a length-{self.value_len} vector, got {value.shape}"
+            )
+        length = int(value[0]) * 256 + int(value[1])
+        if length > self.capacity:
+            raise CodecError(f"corrupt header: length {length}")
+        payload = value[_HEADER : _HEADER + length]
+        if payload.size and int(payload.max()) > 255:
+            raise CodecError("corrupt payload: element exceeds byte range")
+        return bytes(payload.astype(np.uint8))

@@ -1,0 +1,127 @@
+"""A string-keyed, bytes-valued causal KV store on top of CausalEC.
+
+:class:`CausalKVStore` is the adoption-grade facade: named keys, byte-string
+values, synchronous ``put``/``get`` from per-site sessions, all running on a
+CausalEC cluster with any linear code.  Keys are mapped onto the code's K
+objects at construction; values are encoded into the code's value space by
+:class:`~repro.kv.codec.ValueCodec`.
+
+Example::
+
+    from repro.kv import CausalKVStore
+
+    store = CausalKVStore(["users", "orders", "carts"])   # RS(5,3) default
+    s0 = store.session(site=0)
+    s0.put("users", b"alice,bob")
+    s4 = store.session(site=4)
+    assert s4.get("users") == b"alice,bob"
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.cluster import CausalECCluster
+from ..core.server import ServerConfig
+from ..ec.code import LinearCode
+from ..ec.codes import reed_solomon_code
+from ..ec.field import PrimeField
+from ..sim.network import LatencyModel
+from .codec import ValueCodec
+
+__all__ = ["CausalKVStore", "Session"]
+
+
+class Session:
+    """A client session pinned to one site (server); one op at a time."""
+
+    def __init__(self, store: "CausalKVStore", site: int):
+        self._store = store
+        self._client = store.cluster.add_client(server=site)
+        self.site = site
+
+    def put(self, key: str, value: bytes) -> None:
+        """Write ``value`` under ``key``; returns when the server acks
+        (always one local round trip -- Property I)."""
+        obj = self._store.object_of(key)
+        encoded = self._store.codec.encode(value)
+        op = self._store.cluster.execute(self._client.write(obj, encoded))
+        if not op.done:
+            raise RuntimeError("write did not complete (simulation stalled)")
+
+    def get(self, key: str, max_events: int = 1_000_000) -> bytes:
+        """Read ``key``'s causally consistent value at this session's site."""
+        obj = self._store.object_of(key)
+        op = self._store.cluster.execute(
+            self._client.read(obj), max_events=max_events
+        )
+        if not op.done:
+            raise TimeoutError(
+                f"read of {key!r} did not terminate -- is a recovery set "
+                f"for it still alive? (Theorem 4.3)"
+            )
+        return self._store.codec.decode(op.value)
+
+
+class CausalKVStore:
+    """String-keyed causally consistent store over an erasure code."""
+
+    def __init__(
+        self,
+        keys: Sequence[str],
+        code: LinearCode | None = None,
+        num_servers: int = 5,
+        value_capacity: int = 64,
+        latency: LatencyModel | None = None,
+        config: ServerConfig | None = None,
+        seed: int = 0,
+    ):
+        keys = list(keys)
+        if not keys:
+            raise ValueError("need at least one key")
+        if len(set(keys)) != len(keys):
+            raise ValueError("keys must be distinct")
+        if code is None:
+            code = reed_solomon_code(
+                PrimeField(257),
+                num_servers,
+                len(keys),
+                value_len=value_capacity + 2,
+            )
+        if code.K != len(keys):
+            raise ValueError(
+                f"code stores {code.K} objects but {len(keys)} keys given"
+            )
+        self.code = code
+        self.codec = ValueCodec(code.field, code.value_len)
+        self._objects = {key: i for i, key in enumerate(keys)}
+        self.cluster = CausalECCluster(
+            code,
+            latency=latency,
+            seed=seed,
+            config=config or ServerConfig(gc_interval=50.0),
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._objects)
+
+    def object_of(self, key: str) -> int:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise KeyError(f"unknown key {key!r}; keys are fixed at creation")
+
+    def session(self, site: int = 0) -> Session:
+        """Open a client session at ``site`` (a member of C_site)."""
+        return Session(self, site)
+
+    def crash_site(self, site: int) -> None:
+        """Crash a server; reads survive while recovery sets do."""
+        self.cluster.halt_server(site)
+
+    def settle(self, for_time: float = 5_000.0) -> None:
+        """Let propagation, re-encoding, and garbage collection run."""
+        self.cluster.run(for_time=for_time)

@@ -1,0 +1,35 @@
+"""Asynchronous message-passing simulation substrate."""
+
+from .network import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    MatrixLatency,
+    Network,
+    NetworkStats,
+    UniformLatency,
+)
+from .faults import DegradedLatency, FaultPlan, LatencySpike
+from .manual import ManualNetwork
+from .node import Node
+from .scheduler import EventHandle, Scheduler
+from .trace import MessageRecord, MessageTrace
+
+__all__ = [
+    "Scheduler",
+    "EventHandle",
+    "Network",
+    "NetworkStats",
+    "ManualNetwork",
+    "MessageTrace",
+    "MessageRecord",
+    "FaultPlan",
+    "DegradedLatency",
+    "LatencySpike",
+    "Node",
+    "LatencyModel",
+    "ConstantLatency",
+    "MatrixLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+]

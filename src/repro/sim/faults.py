@@ -1,0 +1,82 @@
+"""Fault injection: scheduled crashes and latency degradation.
+
+The paper's fault model is halting (crash) failures; channels stay reliable
+and FIFO, but asynchrony puts no bound on delays.  This module provides
+
+* :class:`FaultPlan` -- halt specific servers at specific simulated times,
+* :class:`DegradedLatency` -- a latency-model wrapper that multiplies
+  delays on selected channels during configured windows (a "slow but alive"
+  adversary, legal under asynchrony).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import LatencyModel
+from .scheduler import Scheduler
+
+__all__ = ["FaultPlan", "DegradedLatency", "LatencySpike"]
+
+
+@dataclass
+class FaultPlan:
+    """A schedule of crash faults: (time, server-index) pairs."""
+
+    halts: list[tuple[float, int]] = field(default_factory=list)
+
+    def halt(self, at_time: float, server: int) -> "FaultPlan":
+        self.halts.append((float(at_time), server))
+        return self
+
+    def apply(self, cluster) -> None:
+        """Arm all faults on a cluster's scheduler."""
+        for at_time, server in self.halts:
+            node = cluster.servers[server]
+            cluster.scheduler.at(at_time, node.halt)
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """One degradation window: delays on matching channels multiply."""
+
+    start: float
+    end: float
+    factor: float
+    src: int | None = None  # None matches every source
+    dst: int | None = None  # None matches every destination
+
+    def matches(self, now: float, src: int, dst: int) -> bool:
+        return (
+            self.start <= now < self.end
+            and (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+        )
+
+
+class DegradedLatency(LatencyModel):
+    """Wraps a base model; active spikes multiply the drawn delay."""
+
+    def __init__(
+        self,
+        base: LatencyModel,
+        scheduler: Scheduler,
+        spikes: list[LatencySpike] | None = None,
+    ):
+        self.base = base
+        self.scheduler = scheduler
+        self.spikes = list(spikes or [])
+
+    def add_spike(self, spike: LatencySpike) -> "DegradedLatency":
+        self.spikes.append(spike)
+        return self
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        d = self.base.delay(src, dst, rng)
+        now = self.scheduler.now
+        for spike in self.spikes:
+            if spike.matches(now, src, dst):
+                d *= spike.factor
+        return d

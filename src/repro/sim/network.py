@@ -1,0 +1,171 @@
+"""Reliable asynchronous FIFO point-to-point channels (Sec. 2.1).
+
+The paper assumes every pair of servers is connected by a reliable,
+asynchronous, FIFO channel; clients exchange messages only with their home
+server.  :class:`Network` provides exactly that:
+
+* **Reliable** -- every sent message is eventually delivered (unless the
+  destination has halted, in which case delivery is suppressed, modelling a
+  crashed node that takes no further steps).
+* **FIFO** -- per-channel delivery times are clamped to be non-decreasing,
+  so jittery latency models cannot reorder a channel.
+* **Asynchronous** -- per-message delay comes from a pluggable
+  :class:`LatencyModel` (constant RTT/2 matrix, uniform, exponential, ...).
+
+The network also keeps per-message-type counters (count and payload bits) so
+benchmarks can report the communication costs of Sec. 4.2 without touching
+protocol code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .scheduler import Scheduler
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "MatrixLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "Network",
+    "NetworkStats",
+]
+
+
+class LatencyModel:
+    """One-way message delay between two nodes."""
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed one-way delay for every channel."""
+
+    def __init__(self, delay: float = 1.0):
+        self._delay = float(delay)
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return self._delay
+
+
+class MatrixLatency(LatencyModel):
+    """One-way delays from a round-trip-time matrix (Fig. 1 style).
+
+    ``rtt[i][j]`` is the round-trip time between nodes i and j; one-way
+    delay is rtt/2.  ``local`` is the delay for a node messaging itself or
+    for any endpoint outside the matrix -- client node ids exceed the
+    server count, and client<->home-server hops are modelled as local.
+    """
+
+    def __init__(self, rtt: np.ndarray, local: float = 0.1):
+        self.rtt = np.asarray(rtt, dtype=float)
+        self.local = float(local)
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        n = self.rtt.shape[0]
+        if src == dst or src >= n or dst >= n:
+            return self.local
+        return float(self.rtt[src, dst]) / 2.0
+
+
+class UniformLatency(LatencyModel):
+    def __init__(self, low: float, high: float):
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self.low, self.high = float(low), float(high)
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+class ExponentialLatency(LatencyModel):
+    """Base delay plus exponential jitter (heavy-ish tail)."""
+
+    def __init__(self, base: float, mean_jitter: float):
+        self.base, self.mean_jitter = float(base), float(mean_jitter)
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return self.base + float(rng.exponential(self.mean_jitter))
+
+
+@dataclass
+class NetworkStats:
+    """Per-message-type communication accounting."""
+
+    messages: dict[str, int] = field(default_factory=dict)
+    bits: dict[str, float] = field(default_factory=dict)
+
+    def record(self, kind: str, size_bits: float) -> None:
+        self.messages[kind] = self.messages.get(kind, 0) + 1
+        self.bits[kind] = self.bits.get(kind, 0.0) + size_bits
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def total_bits(self) -> float:
+        return sum(self.bits.values())
+
+
+class Network:
+    """Reliable FIFO message transport among registered handlers."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: LatencyModel | None = None,
+        rng: np.random.Generator | None = None,
+        fifo_epsilon: float = 1e-9,
+    ):
+        self.scheduler = scheduler
+        self.latency = latency or ConstantLatency(1.0)
+        self.rng = rng or np.random.default_rng(0)
+        self.fifo_epsilon = fifo_epsilon
+        self.stats = NetworkStats()
+        self._handlers: dict[int, Callable[[int, object], None]] = {}
+        self._halted: set[int] = set()
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        self.monitor: Callable[[int, int, object], None] | None = None
+
+    def register(self, node_id: int, handler: Callable[[int, object], None]) -> None:
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+
+    def halt(self, node_id: int) -> None:
+        """Crash a node: it receives no further messages and sends none."""
+        self._halted.add(node_id)
+
+    def is_halted(self, node_id: int) -> bool:
+        return node_id in self._halted
+
+    def send(self, src: int, dst: int, msg: object) -> None:
+        """Enqueue ``msg`` for FIFO delivery from ``src`` to ``dst``."""
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination node {dst}")
+        if src in self._halted:
+            return  # a halted node takes no steps
+        kind = getattr(msg, "kind", type(msg).__name__)
+        self.stats.record(kind, float(getattr(msg, "size_bits", 0.0)))
+        if self.monitor is not None:
+            self.monitor(src, dst, msg)
+        delay = self.latency.delay(src, dst, self.rng)
+        deliver_at = self.scheduler.now + delay
+        chan = (src, dst)
+        floor = self._last_delivery.get(chan)
+        if floor is not None and deliver_at <= floor:
+            deliver_at = floor + self.fifo_epsilon
+        self._last_delivery[chan] = deliver_at
+        self.scheduler.at(deliver_at, lambda: self._deliver(src, dst, msg))
+
+    def _deliver(self, src: int, dst: int, msg: object) -> None:
+        if dst in self._halted:
+            return
+        self._handlers[dst](src, msg)

@@ -1,0 +1,54 @@
+"""Process base class for simulated nodes (servers and clients)."""
+
+from __future__ import annotations
+
+from .network import Network
+from .scheduler import EventHandle, Scheduler
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A process attached to a scheduler and a network.
+
+    Subclasses implement :meth:`on_message`.  A halted node (crash fault)
+    takes no further steps: its handlers, timers, and sends become no-ops,
+    matching the paper's halting failures ("a halted node does not take any
+    further steps in the execution").
+    """
+
+    def __init__(self, node_id: int, scheduler: Scheduler, network: Network):
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self.network = network
+        self.halted = False
+        network.register(node_id, self._receive)
+
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, msg: object) -> None:
+        if not self.halted:
+            self.network.send(self.node_id, dst, msg)
+
+    def set_timer(self, delay: float, fn) -> EventHandle:
+        """Schedule a local step; suppressed if the node halts meanwhile."""
+
+        def guarded() -> None:
+            if not self.halted:
+                fn()
+
+        return self.scheduler.schedule(delay, guarded)
+
+    def halt(self) -> None:
+        """Crash this node."""
+        self.halted = True
+        self.network.halt(self.node_id)
+
+    # ------------------------------------------------------------------
+
+    def _receive(self, src: int, msg: object) -> None:
+        if not self.halted:
+            self.on_message(src, msg)
+
+    def on_message(self, src: int, msg: object) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,85 @@
+"""Message tracing: per-message records for debugging and cost accounting.
+
+Attach a :class:`MessageTrace` to any network (simulated or manual) to
+capture every send as a timestamped record; summaries slice by message
+kind, channel, or time window.  The Fig. 2 and Sec. 4.2 benches use the
+aggregate counters on :class:`~repro.sim.network.NetworkStats`; the trace
+is the fine-grained tool for drilling into *which* round trips a read paid
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["MessageRecord", "MessageTrace"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    time: float
+    src: int
+    dst: int
+    kind: str
+    size_bits: float
+
+
+class MessageTrace:
+    """Records every message sent on an attached network."""
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.records: list[MessageRecord] = []
+        self._clock = clock
+
+    def attach(self, network) -> "MessageTrace":
+        """Install as the network's monitor (replacing any existing one)."""
+        scheduler = getattr(network, "scheduler", None)
+        if self._clock is None:
+            if scheduler is not None:
+                self._clock = lambda: scheduler.now
+            else:
+                self._clock = lambda: float(len(self.records))
+
+        def monitor(src: int, dst: int, msg: object) -> None:
+            self.records.append(
+                MessageRecord(
+                    time=self._clock(),
+                    src=src,
+                    dst=dst,
+                    kind=getattr(msg, "kind", type(msg).__name__),
+                    size_bits=float(getattr(msg, "size_bits", 0.0)),
+                )
+            )
+
+        network.monitor = monitor
+        return self
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def bits_by_kind(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0.0) + r.size_bits
+        return out
+
+    def channel(self, src: int, dst: int) -> list[MessageRecord]:
+        return [r for r in self.records if r.src == src and r.dst == dst]
+
+    def between(self, t0: float, t1: float) -> list[MessageRecord]:
+        return [r for r in self.records if t0 <= r.time <= t1]
+
+    def total_bits(self) -> float:
+        return sum(r.size_bits for r in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,5 @@
+"""Bounded model checking of CausalEC executions."""
+
+from .explore import ExplorationResult, StateExplorer, explore_schedules
+
+__all__ = ["ExplorationResult", "StateExplorer", "explore_schedules"]

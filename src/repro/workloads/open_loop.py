@@ -1,0 +1,113 @@
+"""Open-loop (rate-controlled) workload driver.
+
+The closed-loop driver issues the next operation only when the previous one
+completes; the paper's Sec. 4.2 analysis instead reasons about *arrival
+rates* (lambda requests/s, per-object write rates rho_w).  The open-loop
+driver realises that model: operations arrive at each site as a Poisson
+process of a configured rate, independent of response times.  Because
+well-formedness allows one pending operation per client (Sec. 2.1), each
+site keeps a small pool of clients and grows it on demand when an arrival
+finds every client busy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.client import Client
+from ..core.cluster import Cluster
+from .driver import encode_unique_value
+from .generators import KeyGenerator, UniformGenerator
+
+__all__ = ["OpenLoopConfig", "OpenLoopDriver"]
+
+
+@dataclass
+class OpenLoopConfig:
+    """``rate_per_site`` is in operations per simulated *second*."""
+
+    rate_per_site: float = 100.0
+    duration: float = 1_000.0  # ms of arrivals
+    read_ratio: float = 0.5
+    seed: int = 0
+    max_clients_per_site: int = 64
+
+
+class OpenLoopDriver:
+    """Poisson arrivals per site; clients pooled to respect well-formedness."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        num_objects: int,
+        sites: list[int] | None = None,
+        keygen: KeyGenerator | None = None,
+        config: OpenLoopConfig | None = None,
+        make_value=None,
+    ):
+        self.cluster = cluster
+        self.config = config or OpenLoopConfig()
+        self.keygen = keygen or UniformGenerator(num_objects)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.sites = sites if sites is not None else list(
+            range(cluster.num_servers)
+        )
+        self._pools: dict[int, list[Client]] = {s: [] for s in self.sites}
+        self._value_counter = itertools.count(1)
+        self._make_value = make_value or self._default_value
+        self.dropped = 0  # arrivals that found no free client
+
+    def _default_value(self, counter: int) -> np.ndarray:
+        return encode_unique_value(self.cluster, counter)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule all Poisson arrivals up front (they are independent)."""
+        mean_gap = 1000.0 / self.config.rate_per_site  # ms between arrivals
+        for site in self.sites:
+            t = 0.0
+            while True:
+                t += float(self.rng.exponential(mean_gap))
+                if t > self.config.duration:
+                    break
+                self.cluster.scheduler.at(
+                    self.cluster.scheduler.now + t,
+                    lambda site=site: self._arrival(site),
+                )
+
+    def run(self, extra_time: float = 5_000.0) -> None:
+        """start() and run until arrivals end plus ``extra_time`` drain."""
+        self.start()
+        self.cluster.run(for_time=self.config.duration + extra_time)
+
+    # ------------------------------------------------------------------
+
+    def _free_client(self, site: int) -> Client | None:
+        for c in self._pools[site]:
+            if not c.busy:
+                return c
+        if len(self._pools[site]) < self.config.max_clients_per_site:
+            client = self.cluster.add_client(server=site)
+            self._pools[site].append(client)
+            return client
+        return None
+
+    def _arrival(self, site: int) -> None:
+        client = self._free_client(site)
+        if client is None:
+            self.dropped += 1
+            return
+        obj = self.keygen.sample(self.rng)
+        if self.rng.random() < self.config.read_ratio:
+            client.read(obj)
+        else:
+            client.write(obj, self._make_value(next(self._value_counter)))
+
+    # ------------------------------------------------------------------
+
+    def offered_ops(self) -> int:
+        return len(self.cluster.history) + self.dropped

@@ -1,0 +1,97 @@
+"""YCSB core workload presets (Cooper et al. [17], the paper's reference).
+
+Sec. 4.2 analyses "the default parameters of YCSB workload"; this module
+provides the standard core workloads as presets for the closed-loop driver:
+
+| preset | mix                     | distribution |
+|--------|-------------------------|--------------|
+| A      | 50% read / 50% update   | zipfian      |
+| B      | 95% read / 5% update    | zipfian      |
+| C      | 100% read               | zipfian      |
+| D      | 95% read / 5% insert    | latest       |
+| F      | read-modify-write mix   | zipfian      |
+
+(Workload E is a scan workload; range scans are out of scope for a
+read/write register store, as in the paper.)
+
+``LatestGenerator`` implements YCSB's "latest" distribution: popularity is
+zipfian over *recency ranks*, so the most recently inserted keys are the
+hottest.  Workload F issues read-modify-write pairs: the driver reads a key
+and immediately writes it back (two operations per logical op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .generators import KeyGenerator, ZipfianGenerator
+
+__all__ = ["LatestGenerator", "YcsbPreset", "YCSB_PRESETS", "ycsb_preset"]
+
+
+class LatestGenerator(KeyGenerator):
+    """YCSB 'latest': zipfian over recency; rank 0 = newest key.
+
+    ``advance()`` records an insertion, shifting recency.  Keys are the
+    integers ``[0, num_keys)``; the newest key is ``newest`` and recency
+    rank r maps to key ``(newest - r) mod num_keys``.
+    """
+
+    def __init__(self, num_keys: int, theta: float = 0.99):
+        self._zipf = ZipfianGenerator(num_keys, theta)
+        self.num_keys = num_keys
+        self.newest = 0
+
+    def advance(self) -> int:
+        """Record an insert: a new key becomes the hottest."""
+        self.newest = (self.newest + 1) % self.num_keys
+        return self.newest
+
+    def sample(self, rng: np.random.Generator) -> int:
+        recency = self._zipf.sample(rng)
+        return (self.newest - recency) % self.num_keys
+
+    def probability(self, rank: int) -> float:
+        """Probability of the key at *recency* rank ``rank``."""
+        return self._zipf.probability(rank)
+
+
+@dataclass(frozen=True)
+class YcsbPreset:
+    name: str
+    read_ratio: float
+    distribution: str  # "zipfian" | "latest"
+    read_modify_write: bool = False
+    insert_on_write: bool = False  # writes advance the latest-distribution
+
+    def make_keygen(self, num_keys: int, theta: float = 0.99) -> KeyGenerator:
+        if self.distribution == "zipfian":
+            return ZipfianGenerator(num_keys, theta)
+        if self.distribution == "latest":
+            return LatestGenerator(num_keys, theta)
+        raise ValueError(f"unknown distribution {self.distribution!r}")
+
+
+YCSB_PRESETS: dict[str, YcsbPreset] = {
+    "A": YcsbPreset("A", read_ratio=0.5, distribution="zipfian"),
+    "B": YcsbPreset("B", read_ratio=0.95, distribution="zipfian"),
+    "C": YcsbPreset("C", read_ratio=1.0, distribution="zipfian"),
+    "D": YcsbPreset(
+        "D", read_ratio=0.95, distribution="latest", insert_on_write=True
+    ),
+    "F": YcsbPreset(
+        "F", read_ratio=0.5, distribution="zipfian", read_modify_write=True
+    ),
+}
+
+
+def ycsb_preset(name: str) -> YcsbPreset:
+    try:
+        return YCSB_PRESETS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown YCSB preset {name!r}; choose from "
+            f"{sorted(YCSB_PRESETS)}"
+        )

@@ -1,0 +1,270 @@
+"""Tests for the closed-form analyses against the paper's published numbers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    REGIONS,
+    Topology,
+    analyze_ycsb,
+    cross_object_costs,
+    cross_object_latency,
+    fraction_below_rate,
+    history_overhead_values,
+    intra_object_costs,
+    intra_object_latency,
+    partial_replication_costs,
+    partial_replication_latency,
+    read_cost_bits,
+    search_partial_replication,
+    write_cost_bits,
+    zipf_write_rate,
+)
+from repro.ec import six_dc_code
+
+
+@pytest.fixture
+def topo():
+    return Topology.aws_six_dc()
+
+
+# ---------------------------------------------------------------------------
+# topology (Fig. 1)
+
+
+def test_fig1_matrix_shape(topo):
+    assert topo.n == 6
+    assert topo.names == REGIONS
+    assert np.all(np.diag(topo.rtt) == 0)
+
+
+def test_fig1_sample_entries(topo):
+    assert topo.rtt[REGIONS.index("Ireland"), REGIONS.index("London")] == 13
+    assert topo.rtt[REGIONS.index("Seoul"), REGIONS.index("Mumbai")] == 120
+    assert topo.rtt[REGIONS.index("N. California"), REGIONS.index("Oregon")] == 22
+
+
+def test_nearest_neighbors(topo):
+    seoul = REGIONS.index("Seoul")
+    nn = topo.nearest_neighbors(seoul)
+    assert topo.rtt[seoul, nn[0]] == 120  # Mumbai is Seoul's nearest
+    assert topo.kth_nearest_rtt(seoul, 3) == 138
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        Topology(np.array([[1.0]]))
+    with pytest.raises(ValueError):
+        Topology(np.zeros((2, 3)))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 row 1: partial replication
+
+
+def test_fig2_partial_replication_worst_case_228(topo):
+    best = search_partial_replication(topo, 4)
+    assert best.profile.worst_case == pytest.approx(228.0)
+
+
+def test_fig2_partial_replication_average_near_88(topo):
+    best = search_partial_replication(topo, 4)
+    # the paper reports 88.25 ms for its hand-picked optimum; the exhaustive
+    # search finds the same worst case with average <= the paper's
+    assert best.profile.average <= 88.25 + 1e-9
+    assert best.profile.average == pytest.approx(88.0, abs=1.0)
+
+
+def test_fig2_paper_placement_reproduces_88_17(topo):
+    """The paper's stated placement: chi1@{Seoul,Ireland}, chi2@{Mumbai,
+    London}, chi3@N.California, chi4@Oregon."""
+    placement = [{0}, {1}, {0}, {1}, {2}, {3}]
+    profile = partial_replication_latency(topo, placement, 4)
+    assert profile.worst_case == pytest.approx(228.0)
+    assert profile.average == pytest.approx(88.17, abs=0.05)
+
+
+def test_partial_replication_rejects_unplaced_group(topo):
+    with pytest.raises(ValueError):
+        partial_replication_latency(topo, [{0}] * 6, 2)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 row 2: intra-object coding
+
+
+def test_fig2_intra_object_worst_138_avg_133(topo):
+    profile = intra_object_latency(topo, k=4)
+    assert profile.worst_case == pytest.approx(138.0)  # paper: 138
+    assert profile.average == pytest.approx(132.83, abs=0.05)  # paper: 132.5
+
+
+def test_intra_object_k1_is_replication(topo):
+    profile = intra_object_latency(topo, k=1)
+    assert profile.worst_case == 0.0
+
+
+def test_intra_object_k_bounds(topo):
+    with pytest.raises(ValueError):
+        intra_object_latency(topo, k=0)
+    with pytest.raises(ValueError):
+        intra_object_latency(topo, k=7)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 row 3: cross-object coding
+
+
+def test_fig2_cross_object_latency(topo):
+    profile = cross_object_latency(topo, six_dc_code())
+    # average ~87.9 (paper: 87.5); our worst case is 146 where the paper
+    # prints 138 (N.California reading X2: min(RTT to London = 146, RTT to
+    # Mumbai = 228)); see EXPERIMENTS.md.
+    assert profile.average == pytest.approx(87.9, abs=0.1)
+    assert profile.worst_case == pytest.approx(146.0)
+
+
+def test_fig2_cross_object_beats_intra_on_average(topo):
+    cross = cross_object_latency(topo, six_dc_code())
+    intra = intra_object_latency(topo, k=4)
+    pr = search_partial_replication(topo, 4).profile
+    # the paper's qualitative claims:
+    assert cross.average < intra.average  # throughput of replication...
+    assert cross.average == pytest.approx(pr.average, abs=1.0)
+    assert cross.worst_case < pr.worst_case  # ...worst case of coding
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 communication costs
+
+
+def test_fig2_costs_partial_replication(topo):
+    best = search_partial_replication(topo, 4)
+    c = partial_replication_costs(topo, best.placement_sets(), 4)
+    assert c.read_value_units == pytest.approx(0.75)  # 3B/4
+    assert c.write_value_units == pytest.approx(6.0)  # 6B
+    assert c.local_read_fraction == pytest.approx(0.25)
+
+
+def test_fig2_costs_intra_object(topo):
+    c = intra_object_costs(topo, 4)
+    assert c.read_value_units == pytest.approx(0.75)  # 3B/4
+    assert c.write_value_units == pytest.approx(1.5)  # 6B/4
+    assert c.local_read_fraction == 0.0
+
+
+def test_fig2_costs_cross_object(topo):
+    c = cross_object_costs(topo, six_dc_code())
+    # paper's text: 3.33B/4 ~ 0.83B counting one remote fetch per remote
+    # read; exact accounting (two-fetch recovery sets) gives 23/24 ~ 0.96B
+    assert 0.8 <= c.read_value_units <= 1.0
+    # writes: N*B broadcast + internal-read overhead (paper's bound: +kB)
+    assert c.write_value_units == pytest.approx(10.0)
+    assert c.local_read_fraction == pytest.approx(4 / 24)
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.2 asymptotic formulas
+
+
+def test_read_cost_scales_linearly_in_B():
+    assert read_cost_bits(4, 2048, 100) > 3.9 * 2048
+
+
+def test_read_cost_metadata_quadratic_in_k():
+    meta1 = read_cost_bits(4, 0, 1024)
+    meta2 = read_cost_bits(8, 0, 1024)
+    assert meta2 == pytest.approx(4 * meta1)
+
+
+def test_write_cost_dominated_by_app_broadcast():
+    b = 1_000_000.0
+    cost = write_cost_bits(6, 4, b, 100)
+    assert cost == pytest.approx((6 + 4) * b, rel=0.01)
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.2 YCSB storage analysis
+
+
+def test_ycsb_zipf_rate_decreasing():
+    assert zipf_write_rate(1, 10_000, 0.99, 1000) > zipf_write_rate(
+        100, 10_000, 0.99, 1000
+    )
+
+
+def test_ycsb_fraction_below_rate_paper_claim():
+    """>95% of 120M objects see < 1/1000 writes/s at 100k writes/s."""
+    frac = fraction_below_rate(1e-3, 120_000_000, 0.99, 100_000.0)
+    assert frac > 0.95
+
+
+def test_ycsb_history_overhead_littles_law():
+    assert history_overhead_values(0.01, 120.0) == pytest.approx(3.6)
+    assert history_overhead_values(0.0, 120.0) == 0.0
+
+
+def test_ycsb_analysis_summary_numbers():
+    a = analyze_ycsb()
+    assert a.fraction_below_threshold > 0.95
+    # paper: average storage cost per EC object ~ (1/k + 0.05)B
+    assert a.avg_cost_per_ec_object == pytest.approx(0.25 + 0.05, abs=0.02)
+    assert "objects below" in a.summary()
+
+
+def test_ycsb_analysis_overhead_shrinks_with_faster_gc():
+    lazy = analyze_ycsb(t_gc=120.0)
+    eager = analyze_ycsb(t_gc=10.0)
+    assert eager.avg_overhead_values < lazy.avg_overhead_values
+
+
+# ---------------------------------------------------------------------------
+# multi-slot placement and cloned topologies (Pareto-frontier machinery)
+
+
+def test_placement_two_slots_dominates_one(topo):
+    one = search_partial_replication(topo, 4, slots_per_dc=1)
+    two = search_partial_replication(topo, 4, slots_per_dc=2)
+    assert two.profile.worst_case <= one.profile.worst_case
+    assert two.profile.average <= one.profile.average
+    # every DC stores exactly two distinct groups
+    for groups in two.placement_sets():
+        assert len(groups) == 2
+
+
+def test_placement_full_replication_short_circuit(topo):
+    res = search_partial_replication(topo, 4, slots_per_dc=4)
+    assert res.profile.worst_case == 0.0
+    assert res.placement_sets()[0] == {0, 1, 2, 3}
+
+
+def test_placement_slots_validation(topo):
+    with pytest.raises(ValueError):
+        search_partial_replication(topo, 4, slots_per_dc=0)
+
+
+def test_placement_replicas_map(topo):
+    res = search_partial_replication(topo, 4, slots_per_dc=1)
+    replicas = res.replicas(4)
+    assert sorted(replicas) == [0, 1, 2, 3]
+    assert sum(len(v) for v in replicas.values()) == topo.n
+
+
+def test_cloned_topology_structure(topo):
+    c = topo.cloned(2)
+    assert c.n == 12
+    # clones of one DC are co-located
+    assert c.rtt[0, 1] == 0.0
+    # cross-DC RTT preserved
+    assert c.rtt[0, 2] == topo.rtt[0, 1]
+    assert c.names[1].endswith("#1")
+
+
+def test_cloned_topology_validation(topo):
+    with pytest.raises(ValueError):
+        topo.cloned(0)
+
+
+def test_cloned_identity(topo):
+    c = topo.cloned(1)
+    assert np.array_equal(c.rtt, topo.rtt)

@@ -1,0 +1,130 @@
+"""Coverage of small public-API conveniences not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    PrimeField,
+    example1_code,
+)
+from repro.analysis.latency import intra_object_latency
+from repro.analysis.topology import Topology
+
+
+def test_top_level_all_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_write_sync_read_sync():
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=ConstantLatency(1.0)
+    )
+    c = cluster.add_client(0)
+    w = cluster.write_sync(c, 0, cluster.value(9))
+    assert w.done
+    r = cluster.read_sync(c, 0)
+    assert np.array_equal(r.value, cluster.value(9))
+
+
+def test_random_scalar_in_range():
+    f = PrimeField(257)
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        assert 0 <= f.random_scalar(rng) < 257
+
+
+def test_latency_profile_per_dc_average():
+    topo = Topology.aws_six_dc()
+    profile = intra_object_latency(topo, 4)
+    per_dc = profile.per_dc_average()
+    assert per_dc.shape == (6,)
+    assert per_dc.mean() == pytest.approx(profile.average)
+
+
+def test_history_views():
+    from repro.consistency import History, Operation
+
+    h = History()
+    done = Operation(client_id=1, opid="a", kind="read", obj=0,
+                     value=np.array([1]), invoke_time=0, response_time=2)
+    pending = Operation(client_id=1, opid="b", kind="write", obj=0,
+                        value=np.array([2]), invoke_time=3)
+    h.record_invoke(done)
+    h.record_invoke(pending)
+    assert h.completed() == [done]
+    assert h.pending() == [pending]
+    assert h.read_latencies() == [2.0]
+    assert h.write_latencies() == []
+    assert len(h) == 2
+    assert pending.latency is None
+
+
+def test_code_storage_fraction_and_repr():
+    code = example1_code(PrimeField(257))
+    assert code.storage_fraction(0) == 1.0
+    assert "example1" in repr(code)
+    assert "PrimeField" in repr(code.field)
+
+
+def test_operation_done_flag():
+    from repro.consistency import Operation
+
+    op = Operation(client_id=1, opid="x", kind="read", obj=0, invoke_time=0)
+    assert not op.done
+    op.response_time = 1.0
+    assert op.done
+
+
+def test_network_stats_empty():
+    from repro.sim import NetworkStats
+
+    s = NetworkStats()
+    assert s.total_messages == 0
+    assert s.total_bits == 0.0
+
+
+def test_manual_network_deliver_all_with_rng():
+    from repro.sim import ManualNetwork
+
+    net = ManualNetwork()
+    seen = []
+    net.register(0, lambda s, m: None)
+    net.register(1, lambda s, m: seen.append(m))
+    net.register(2, lambda s, m: seen.append(m))
+
+    class M:
+        kind = "m"
+        size_bits = 0.0
+
+    for _ in range(5):
+        net.send(0, 1, M())
+        net.send(0, 2, M())
+    n = net.deliver_all(rng=np.random.default_rng(0))
+    assert n == 10
+    assert len(seen) == 10
+    assert net.pending() == 0
+
+
+def test_manual_network_drop_channel():
+    from repro.sim import ManualNetwork
+
+    net = ManualNetwork()
+    net.register(0, lambda s, m: None)
+    net.register(1, lambda s, m: None)
+
+    class M:
+        kind = "m"
+        size_bits = 0.0
+
+    net.send(0, 1, M())
+    net.send(0, 1, M())
+    assert net.drop_channel(0, 1) == 2
+    assert net.pending() == 0

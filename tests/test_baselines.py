@@ -1,0 +1,206 @@
+"""Tests for the three baseline protocols (Fig. 2 comparators)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstantLatency,
+    MatrixLatency,
+    UniformLatency,
+    check_causal_consistency,
+    check_returns_written_values,
+)
+from repro.baselines import (
+    FullReplicationCluster,
+    IntraObjectCluster,
+    PartialReplicationCluster,
+)
+from repro.consistency.causal import expected_final_value
+from repro.workloads import ClosedLoopDriver, WorkloadConfig
+
+ZERO1 = np.array([0])
+
+
+# ---------------------------------------------------------------------------
+# full replication
+
+
+def test_full_replication_local_reads_and_writes():
+    c = FullReplicationCluster(4, 3, latency=ConstantLatency(5.0))
+    a = c.add_client(0)
+    w = c.execute(a.write(0, np.array([9])))
+    assert w.latency == pytest.approx(10.0)  # one client round trip
+    r = c.execute(a.read(0))
+    assert r.latency == pytest.approx(10.0)
+    assert np.array_equal(r.value, np.array([9]))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_full_replication_causally_consistent(seed):
+    c = FullReplicationCluster(4, 5, latency=UniformLatency(0.5, 15.0), seed=seed)
+    driver = ClosedLoopDriver(
+        c, num_objects=5,
+        config=WorkloadConfig(ops_per_client=40, read_ratio=0.5, seed=seed),
+    )
+    driver.run()
+    c.run(for_time=2000)
+    check_causal_consistency(c.history, ZERO1)
+    check_returns_written_values(c.history, ZERO1)
+
+
+def test_full_replication_converges():
+    c = FullReplicationCluster(3, 2, latency=UniformLatency(0.5, 10.0), seed=3)
+    driver = ClosedLoopDriver(
+        c, num_objects=2,
+        config=WorkloadConfig(ops_per_client=20, read_ratio=0.0, seed=3),
+    )
+    driver.run()
+    c.run(for_time=2000)
+    for obj in range(2):
+        expected = expected_final_value(c.history, obj, ZERO1)
+        for s in c.servers:
+            assert np.array_equal(s.store[obj].value, expected)
+
+
+# ---------------------------------------------------------------------------
+# partial replication
+
+
+def make_partial(blocking=False, seed=0, latency=None):
+    return PartialReplicationCluster(
+        3, 4, placement=[{0, 1}, {1, 2}, {2, 3}],
+        latency=latency or ConstantLatency(2.0),
+        blocking=blocking, seed=seed,
+    )
+
+
+def test_partial_replication_local_read():
+    c = make_partial()
+    a = c.add_client(0)
+    c.execute(a.write(0, np.array([4])))
+    r = c.execute(a.read(0))
+    assert r.latency == pytest.approx(4.0)
+    assert np.array_equal(r.value, np.array([4]))
+
+
+def test_partial_replication_remote_read():
+    c = make_partial()
+    a, b = c.add_client(0), c.add_client(2)
+    c.execute(a.write(0, np.array([4])))
+    c.run(for_time=100)
+    r = c.execute(b.read(0))  # object 0 not at server 2
+    assert np.array_equal(r.value, np.array([4]))
+    # client rt (4) + server-to-replica rt (4)
+    assert r.latency == pytest.approx(8.0)
+    assert c.servers[2].remote_reads == 1
+
+
+def test_partial_replication_nearest_replica_by_rtt():
+    rtt = np.array(
+        [[0, 10, 100], [10, 0, 100], [100, 100, 0]], dtype=float
+    )
+    c = PartialReplicationCluster(
+        3, 1, placement=[{0}, {0}, set()],
+        latency=MatrixLatency(rtt), rtt=rtt, seed=0,
+    )
+    b = c.add_client(2)
+    r = c.execute(b.read(0))
+    assert r.done  # served by server 0 or 1 (both at RTT 100)
+
+
+def test_partial_replication_blocking_mode_waits_for_causal_apply():
+    """In blocking mode the home server holds the response until it has
+    applied the returned write -- reads take longer but stay causal."""
+    lat = UniformLatency(1.0, 30.0)
+    nonblocking = make_partial(blocking=False, seed=9, latency=lat)
+    blocking = make_partial(blocking=True, seed=9, latency=lat)
+    for c in (nonblocking, blocking):
+        a, b = c.add_client(0), c.add_client(2)
+        c.execute(a.write(0, np.array([4])))
+        r = c.execute(b.read(0))
+        assert np.array_equal(r.value, np.array([4]))
+    # same seed, same delays: the blocking read can only be slower
+    nb = nonblocking.history.reads()[0].latency
+    bl = blocking.history.reads()[0].latency
+    assert bl >= nb
+
+
+def test_partial_replication_unplaced_object_rejected():
+    c = PartialReplicationCluster(2, 2, placement=[{0}, {0}])
+    b = c.add_client(0)
+    with pytest.raises(ValueError, match="stored nowhere"):
+        c.execute(b.read(1))
+
+
+def test_partial_replication_converges():
+    c = make_partial(seed=5, latency=UniformLatency(0.5, 10.0))
+    driver = ClosedLoopDriver(
+        c, num_objects=4,
+        config=WorkloadConfig(ops_per_client=25, read_ratio=0.4, seed=5),
+    )
+    driver.run()
+    c.run(for_time=2000)
+    check_returns_written_values(c.history, ZERO1)
+    for obj in range(4):
+        expected = expected_final_value(c.history, obj, ZERO1)
+        for s in c.servers:
+            if obj in s.placement:
+                assert np.array_equal(s.store[obj].value, expected)
+
+
+# ---------------------------------------------------------------------------
+# intra-object erasure coding
+
+
+def test_intra_object_write_and_remote_assemble():
+    c = IntraObjectCluster(5, 3, k=2, value_len=4, latency=ConstantLatency(3.0))
+    a, b = c.add_client(0), c.add_client(4)
+    val = np.array([10, 20, 30, 40])
+    c.execute(a.write(0, val))
+    c.run(for_time=100)
+    r = c.execute(b.read(0))
+    assert np.array_equal(r.value, val)
+    # every read contacts k-1 = 1 remote server: client rt (6) + fetch rt (6)
+    assert r.latency == pytest.approx(12.0)
+
+
+def test_intra_object_no_read_is_local():
+    """The paper's point: fragmenting makes *every* read remote."""
+    c = IntraObjectCluster(6, 2, k=4, value_len=4, latency=ConstantLatency(1.0))
+    a = c.add_client(0)
+    c.execute(a.write(0, np.array([1, 2, 3, 4])))
+    c.run(for_time=50)
+    r = c.execute(a.read(0))
+    assert r.latency == pytest.approx(4.0)  # 2 client + 2 fetch round trip
+    assert c.servers[0].remote_fetches == 1
+
+
+def test_intra_object_initial_read():
+    c = IntraObjectCluster(5, 2, k=2, value_len=2, latency=ConstantLatency(1.0))
+    a = c.add_client(1)
+    r = c.execute(a.read(0))
+    assert np.array_equal(r.value, np.zeros(2))
+
+
+def test_intra_object_concurrent_writes_converge():
+    c = IntraObjectCluster(
+        5, 3, k=2, value_len=4, latency=UniformLatency(0.5, 12.0), seed=2
+    )
+    driver = ClosedLoopDriver(
+        c, num_objects=3,
+        config=WorkloadConfig(ops_per_client=20, read_ratio=0.4, seed=2),
+    )
+    driver.run()
+    c.run(for_time=3000)
+    assert not c.history.pending()
+    check_returns_written_values(c.history, np.zeros(4))
+
+
+def test_intra_object_storage_fraction():
+    c = IntraObjectCluster(6, 8, k=4, value_len=4)
+    assert c.servers[0].stored_values() == pytest.approx(2.0)  # K/k
+
+
+def test_intra_object_rejects_indivisible_value_len():
+    with pytest.raises(ValueError):
+        IntraObjectCluster(5, 2, k=3, value_len=4)

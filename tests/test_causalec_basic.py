@@ -1,0 +1,170 @@
+"""Basic CausalEC behaviours on the Example 1 (5,3) code."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    PrimeField,
+    example1_code,
+    reed_solomon_code,
+    replication_code,
+)
+
+
+@pytest.fixture
+def cluster():
+    return CausalECCluster(
+        example1_code(PrimeField(257)), latency=ConstantLatency(1.0), seed=0
+    )
+
+
+def v(cluster, x):
+    return cluster.value(x)
+
+
+# ---------------------------------------------------------------------------
+# reads and writes
+
+
+def test_initial_read_returns_zero(cluster):
+    c = cluster.add_client(server=3)
+    op = cluster.execute(c.read(0))
+    assert np.array_equal(op.value, cluster.code.zero_value())
+
+
+def test_write_is_local_one_round_trip(cluster):
+    """Property (I): writes return after one client<->server round trip."""
+    c = cluster.add_client(server=2)
+    op = cluster.execute(c.write(1, v(cluster, 9)))
+    assert op.done
+    assert op.latency == pytest.approx(2.0)  # 1 ms each way, no server waits
+
+
+def test_read_own_write_local(cluster):
+    c = cluster.add_client(server=0)
+    cluster.execute(c.write(0, v(cluster, 5)))
+    op = cluster.execute(c.read(0))
+    assert np.array_equal(op.value, v(cluster, 5))
+    assert op.latency == pytest.approx(2.0)
+    assert cluster.server(0).stats.local_reads >= 1
+
+
+def test_read_propagated_write_local(cluster):
+    c0 = cluster.add_client(server=0)
+    c1 = cluster.add_client(server=1)
+    cluster.execute(c0.write(1, v(cluster, 7)))
+    cluster.run(for_time=10)  # let the app message land
+    op = cluster.execute(c1.read(1))
+    assert np.array_equal(op.value, v(cluster, 7))
+    assert op.latency == pytest.approx(2.0)
+
+
+def test_remote_read_decodes_from_recovery_set(cluster):
+    """A read at server 5 for X2 after GC must decode via {4, 5}."""
+    c0 = cluster.add_client(server=1)
+    c4 = cluster.add_client(server=4)
+    cluster.execute(c0.write(1, v(cluster, 11)))
+    cluster.run(for_time=200)  # propagate + encode + garbage collect
+    assert cluster.server(4).history_size() == 0  # X2's value was GC'd
+    op = cluster.execute(c4.read(1))
+    assert np.array_equal(op.value, v(cluster, 11))
+    assert cluster.server(4).stats.remote_reads >= 1
+
+
+def test_overwrite_returns_latest(cluster):
+    c = cluster.add_client(server=0)
+    cluster.execute(c.write(0, v(cluster, 1)))
+    cluster.execute(c.write(0, v(cluster, 2)))
+    cluster.execute(c.write(0, v(cluster, 3)))
+    op = cluster.execute(c.read(0))
+    assert np.array_equal(op.value, v(cluster, 3))
+
+
+def test_two_objects_independent(cluster):
+    c = cluster.add_client(server=0)
+    cluster.execute(c.write(0, v(cluster, 1)))
+    cluster.execute(c.write(2, v(cluster, 2)))
+    assert np.array_equal(cluster.execute(c.read(0)).value, v(cluster, 1))
+    assert np.array_equal(cluster.execute(c.read(2)).value, v(cluster, 2))
+
+
+def test_client_well_formedness(cluster):
+    c = cluster.add_client(server=0)
+    c.write(0, v(cluster, 1))  # not yet completed
+    with pytest.raises(RuntimeError):
+        c.read(0)
+
+
+def test_vector_values():
+    code = example1_code(PrimeField(257), value_len=4)
+    cluster = CausalECCluster(code, latency=ConstantLatency(1.0))
+    c = cluster.add_client(server=0)
+    val = np.array([1, 2, 3, 4])
+    cluster.execute(c.write(0, val))
+    cluster.run(for_time=50)
+    c4 = cluster.add_client(server=4)
+    op = cluster.execute(c4.read(0))
+    assert np.array_equal(op.value, val)
+
+
+# ---------------------------------------------------------------------------
+# codeword state
+
+
+def test_codeword_reencoded_after_write(cluster):
+    c = cluster.add_client(server=0)
+    cluster.execute(c.write(0, v(cluster, 5)))
+    cluster.run(for_time=100)
+    # server 4 stores x1 + 2 x2 + x3; with x2 = x3 = 0 its symbol is x1 = 5
+    assert int(cluster.server(4).M.value[0][0]) == 5
+    # server 3 stores x1 + x2 + x3 = 5
+    assert int(cluster.server(3).M.value[0][0]) == 5
+    # server 1 stores x2 = 0
+    assert int(cluster.server(1).M.value[0][0]) == 0
+
+
+def test_codeword_tagvec_advances_everywhere(cluster):
+    c = cluster.add_client(server=2)
+    op = cluster.execute(c.write(0, v(cluster, 5)))
+    cluster.run(for_time=300)
+    for s in cluster.servers:
+        assert s.M.tagvec[0] == op.tag  # including servers not storing X1
+
+
+def test_replication_code_reads_always_local():
+    cluster = CausalECCluster(
+        replication_code(num_servers=3, num_objects=2),
+        latency=ConstantLatency(1.0),
+    )
+    c0, c2 = cluster.add_client(0), cluster.add_client(2)
+    cluster.execute(c0.write(0, cluster.value(3)))
+    cluster.run(for_time=50)
+    op = cluster.execute(c2.read(0))
+    assert np.array_equal(op.value, cluster.value(3))
+    assert cluster.server(2).stats.remote_reads == 0
+
+
+def test_mds_code_property_ii_round_trip():
+    """RS(5,3): reads decode with one round trip to any recovery set."""
+    cluster = CausalECCluster(
+        reed_solomon_code(PrimeField(257), 5, 3),
+        latency=ConstantLatency(2.0),
+    )
+    writer = cluster.add_client(server=0)
+    cluster.execute(writer.write(2, cluster.value(8)))
+    cluster.run(for_time=500)
+    reader = cluster.add_client(server=4)  # parity server: remote read
+    op = cluster.execute(reader.read(2))
+    assert np.array_equal(op.value, cluster.value(8))
+    # client->server (2ms)*2 + server->recovery-set round trip (2ms)*2 = 8ms
+    assert op.latency == pytest.approx(8.0)
+
+
+def test_no_reencoding_errors(cluster):
+    c = cluster.add_client(server=0)
+    for i in range(5):
+        cluster.execute(c.write(i % 3, v(cluster, i + 1)))
+    cluster.run(for_time=500)
+    cluster.assert_no_reencoding_errors()

@@ -1,0 +1,173 @@
+"""Randomized executions: many seeds, codes, and schedules, checked against
+Definition 5 (causal consistency), Theorem 4.4 (eventual visibility), and
+Theorem 4.5 (storage drain).  These are the workhorse correctness tests."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CausalECCluster,
+    PrimeField,
+    ServerConfig,
+    UniformLatency,
+    check_causal_consistency,
+    check_returns_written_values,
+    example1_code,
+    partial_replication_code,
+    reed_solomon_code,
+    replication_code,
+    six_dc_code,
+)
+from repro.consistency import (
+    check_causal_bad_patterns,
+    check_session_guarantees,
+)
+from repro.consistency.causal import expected_final_value
+from repro.workloads import ClosedLoopDriver, WorkloadConfig, ZipfianGenerator
+
+F = PrimeField(257)
+
+CODES = {
+    "example1": lambda: example1_code(F),
+    "six_dc": lambda: six_dc_code(F),
+    "rs_5_3": lambda: reed_solomon_code(F, 5, 3),
+    "rs_4_2": lambda: reed_solomon_code(F, 4, 2),
+    "replication": lambda: replication_code(F, 3, 3),
+    "partial_repl": lambda: partial_replication_code(
+        F, 4, [[0, 1], [1, 2], [2, 3], [3, 0]]
+    ),
+    "multi_symbol": lambda: __import__("repro").LinearCode(
+        F, 3, [np.array([[1, 0, 0], [0, 1, 1]]), [[0, 1, 0]], [[0, 0, 1]],
+               [[1, 1, 1]]],
+    ),
+}
+
+
+def run_random_execution(code, seed, ops=40, gc_interval=20.0, max_latency=12.0):
+    cluster = CausalECCluster(
+        code,
+        latency=UniformLatency(0.2, max_latency),
+        seed=seed,
+        config=ServerConfig(gc_interval=gc_interval),
+    )
+    driver = ClosedLoopDriver(
+        cluster,
+        num_objects=code.K,
+        keygen=ZipfianGenerator(code.K, 0.8),
+        config=WorkloadConfig(
+            ops_per_client=ops, read_ratio=0.5, think_time_mean=2.0, seed=seed
+        ),
+    )
+    driver.run()
+    cluster.run(for_time=5000)
+    return cluster
+
+
+def verify_execution(cluster):
+    cluster.assert_no_reencoding_errors()
+    zero = cluster.code.zero_value()
+    check_causal_consistency(cluster.history, zero)
+    check_returns_written_values(cluster.history, zero)
+    check_session_guarantees(cluster.history, zero)
+    check_causal_bad_patterns(cluster.history, zero)
+    # every invoked operation completed (liveness, all servers alive)
+    assert not cluster.history.pending()
+    # Theorem 4.5: transient state drained
+    assert cluster.total_transient_entries() == 0
+    # stable codewords encode the arbitration winners
+    finals = [
+        expected_final_value(cluster.history, obj, zero)
+        for obj in range(cluster.code.K)
+    ]
+    for s in range(cluster.code.N):
+        assert np.array_equal(
+            cluster.server(s).M.value, cluster.code.encode(s, finals)
+        )
+
+
+@pytest.mark.parametrize("code_name", sorted(CODES))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_execution_all_codes(code_name, seed):
+    cluster = run_random_execution(CODES[code_name](), seed=seed)
+    verify_execution(cluster)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_execution_example1_many_seeds(seed):
+    cluster = run_random_execution(example1_code(F), seed=100 + seed, ops=60)
+    verify_execution(cluster)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_execution_high_contention(seed):
+    """Single hot object, extreme write ratio, slow network."""
+    code = example1_code(F)
+    cluster = CausalECCluster(
+        code,
+        latency=UniformLatency(1.0, 40.0),
+        seed=seed,
+        config=ServerConfig(gc_interval=10.0),
+    )
+    driver = ClosedLoopDriver(
+        cluster,
+        num_objects=1,  # everyone hammers X1
+        config=WorkloadConfig(
+            ops_per_client=40, read_ratio=0.3, think_time_mean=0.5, seed=seed
+        ),
+    )
+    driver.run()
+    cluster.run(for_time=8000)
+    verify_execution(cluster)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_execution_eager_gc(seed):
+    cluster = run_random_execution(
+        example1_code(F), seed=seed, gc_interval=None
+    )
+    verify_execution(cluster)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_execution_lazy_gc(seed):
+    """Very lazy GC: long transient windows, same guarantees."""
+    cluster = run_random_execution(
+        example1_code(F), seed=seed, gc_interval=500.0
+    )
+    verify_execution(cluster)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    ops=st.integers(5, 30),
+    read_ratio=st.floats(0.0, 1.0),
+    max_latency=st.floats(0.5, 60.0),
+    gc=st.sampled_from([None, 5.0, 50.0, 400.0]),
+)
+def test_property_random_schedules(seed, ops, read_ratio, max_latency, gc):
+    """Hypothesis sweeps the schedule space: any latency regime, any mix."""
+    code = example1_code(F)
+    cluster = CausalECCluster(
+        code,
+        latency=UniformLatency(0.1, max_latency),
+        seed=seed,
+        config=ServerConfig(gc_interval=gc),
+    )
+    driver = ClosedLoopDriver(
+        cluster,
+        num_objects=code.K,
+        config=WorkloadConfig(
+            ops_per_client=ops, read_ratio=read_ratio,
+            think_time_mean=1.0, seed=seed,
+        ),
+    )
+    driver.run()
+    cluster.run(for_time=20 * max_latency + 5000)
+    verify_execution(cluster)

@@ -1,0 +1,187 @@
+"""Executable versions of the paper's theorems (4.1-4.5) and properties I-IV."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    PrimeField,
+    ServerConfig,
+    UniformLatency,
+    check_causal_consistency,
+    check_eventual_visibility,
+    example1_code,
+    six_dc_code,
+)
+from repro.consistency.causal import expected_final_value
+from repro.workloads import ClosedLoopDriver, WorkloadConfig
+
+
+def run_workload(code, seed, ops=40, gc_interval=20.0, latency=None):
+    cluster = CausalECCluster(
+        code,
+        latency=latency or UniformLatency(0.5, 10.0),
+        seed=seed,
+        config=ServerConfig(gc_interval=gc_interval),
+    )
+    driver = ClosedLoopDriver(
+        cluster,
+        num_objects=code.K,
+        config=WorkloadConfig(ops_per_client=ops, read_ratio=0.5, seed=seed),
+    )
+    driver.run()
+    cluster.run(for_time=3000)
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.1: causal consistency
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_theorem_41_causal_consistency(seed):
+    cluster = run_workload(example1_code(PrimeField(257)), seed)
+    cluster.assert_no_reencoding_errors()
+    check_causal_consistency(cluster.history, cluster.code.zero_value())
+
+
+def test_theorem_41_six_dc_code():
+    cluster = run_workload(six_dc_code(PrimeField(257)), seed=11)
+    cluster.assert_no_reencoding_errors()
+    check_causal_consistency(cluster.history, cluster.code.zero_value())
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.2: writes always terminate (locally)
+
+
+def test_theorem_42_writes_terminate_even_with_all_others_halted():
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=ConstantLatency(1.0)
+    )
+    for s in range(1, 5):
+        cluster.halt_server(s)
+    c = cluster.add_client(server=0)
+    for i in range(5):
+        op = cluster.execute(c.write(0, cluster.value(i + 1)))
+        assert op.done
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.3: reads terminate given one live recovery set
+
+
+def test_theorem_43_read_survives_halts_outside_recovery_set():
+    """Read X2 at server 5 with only {4, 5} alive ({4,5} recovers X2)."""
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=ConstantLatency(1.0)
+    )
+    writer = cluster.add_client(server=0)
+    cluster.execute(writer.write(1, cluster.value(21)))
+    cluster.run(for_time=100)
+    for s in (0, 1, 2):
+        cluster.halt_server(s)
+    reader = cluster.add_client(server=4)
+    op = cluster.execute(reader.read(1))
+    assert op.done
+    assert np.array_equal(op.value, cluster.value(21))
+
+
+def test_theorem_43_local_recovery_survives_everything_else():
+    """Read X1 at server 1 ({1} is a recovery set) with all others down."""
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=ConstantLatency(1.0)
+    )
+    writer = cluster.add_client(server=0)
+    cluster.execute(writer.write(0, cluster.value(9)))
+    cluster.run(for_time=100)
+    for s in range(1, 5):
+        cluster.halt_server(s)
+    reader = cluster.add_client(server=0)
+    op = cluster.execute(reader.read(0))
+    assert np.array_equal(op.value, cluster.value(9))
+
+
+def test_read_blocks_when_no_recovery_set_alive():
+    """Sanity inverse: with every recovery set broken the read cannot end."""
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=ConstantLatency(1.0)
+    )
+    writer = cluster.add_client(server=0)
+    cluster.execute(writer.write(1, cluster.value(5)))
+    cluster.run(for_time=200)  # ensure GC removed uncoded copies
+    # X2's recovery sets all intersect {2, 4, 5} (1-indexed {2},{4,5},...):
+    # halting servers 2, 4, 5 (0-indexed 1, 3, 4) breaks every one of them.
+    for s in (1, 3, 4):
+        cluster.halt_server(s)
+    reader = cluster.add_client(server=2)
+    op = reader.read(1)
+    cluster.run(for_time=5_000)
+    assert not op.done
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.4: eventual consistency / eventual visibility
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_theorem_44_eventual_visibility(seed):
+    code = example1_code(PrimeField(257))
+    cluster = run_workload(code, seed, ops=30)
+    final = {}
+    for obj in range(code.K):
+        vals = []
+        for s in range(code.N):
+            client = cluster.add_client(server=s)
+            op = cluster.execute(client.read(obj))
+            assert op.done
+            vals.append(op.value)
+        final[obj] = vals
+    check_eventual_visibility(
+        cluster.history, final, code.zero_value()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.5: storage converges to exactly the code's prescription
+
+
+@pytest.mark.parametrize("gc_interval", [None, 15.0])
+def test_theorem_45_transient_state_vanishes(gc_interval):
+    code = example1_code(PrimeField(257))
+    cluster = CausalECCluster(
+        code,
+        latency=UniformLatency(0.5, 8.0),
+        seed=5,
+        config=ServerConfig(gc_interval=gc_interval),
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(ops_per_client=25, read_ratio=0.3, seed=5),
+    )
+    driver.run()
+    assert cluster.total_history_entries() > 0  # transient state existed
+    cluster.run(for_time=5000)
+    # (a) history lists empty, (b) InQueue empty, (c) ReadL empty
+    for s in cluster.servers:
+        assert s.history_size() == 0, f"server {s.node_id} retains history"
+        assert len(s.inqueue) == 0
+        assert len(s.readl) == 0
+    # stable state: the only value-bearing state is the codeword symbol
+    for s in cluster.servers:
+        assert s.stored_value_bits(1.0) == code.symbols_at(s.node_id)
+
+
+def test_theorem_45_codeword_encodes_final_values():
+    """After quiescence every codeword symbol is the code's encoding of the
+    arbitration winners -- the stable state the code prescribes."""
+    code = example1_code(PrimeField(257))
+    cluster = run_workload(code, seed=23, ops=20)
+    finals = [
+        expected_final_value(cluster.history, obj, code.zero_value())
+        for obj in range(code.K)
+    ]
+    for s in range(code.N):
+        expected = code.encode(s, finals)
+        assert np.array_equal(cluster.server(s).M.value, expected)

@@ -1,0 +1,136 @@
+"""Chaos tests: crashes injected mid-execution under adversarial schedules.
+
+Halting nodes mid-propagation exercises the hardest corner of the model:
+app/del messages partially delivered, garbage collection stalled for some
+objects, reads racing dead recovery sets.  Completed operations must remain
+causally consistent (safety is unconditional); liveness is asserted only
+where the paper promises it (a live home server and a live recovery set).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    PrimeField,
+    ServerConfig,
+    UniformLatency,
+    example1_code,
+    reed_solomon_code,
+)
+from repro.consistency import (
+    check_causal_bad_patterns,
+    check_causal_consistency,
+    check_session_guarantees,
+)
+from repro.workloads import ClosedLoopDriver, WorkloadConfig
+
+F = PrimeField(257)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_crashes_preserve_safety(seed):
+    """Crash up to two random servers at random times during a workload;
+    every completed operation must still satisfy all three checkers."""
+    rng = np.random.default_rng(seed)
+    code = reed_solomon_code(F, 5, 3)  # tolerates 2 crashes
+    cluster = CausalECCluster(
+        code,
+        latency=UniformLatency(0.5, 12.0),
+        seed=seed,
+        config=ServerConfig(gc_interval=20.0),
+    )
+    victims = rng.choice(5, size=2, replace=False)
+    for i, victim in enumerate(victims):
+        cluster.scheduler.at(
+            float(rng.uniform(20, 250)),
+            lambda v=int(victim): cluster.servers[v].halt(),
+        )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(ops_per_client=25, read_ratio=0.5, seed=seed),
+    )
+    driver.start()
+    cluster.run(for_time=8_000)
+
+    cluster.assert_no_reencoding_errors()
+    zero = code.zero_value()
+    check_causal_consistency(cluster.history, zero)
+    check_session_guarantees(cluster.history, zero)
+    check_causal_bad_patterns(cluster.history, zero)
+
+    # liveness where promised: clients of live servers finish (MDS with 2
+    # crashes leaves a recovery set for everything)
+    live = {i for i in range(5) if not cluster.servers[i].halted}
+    for op in cluster.history.pending():
+        client = next(c for c in cluster.clients if c.node_id == op.client_id)
+        assert client.server_id not in live, (
+            f"op {op.opid} pending at live server {client.server_id}"
+        )
+
+
+def test_crash_during_propagation_then_read():
+    """The writer's server dies right after acking; the app broadcast was
+    already sent (FIFO reliable channels deliver it), so the write remains
+    readable everywhere."""
+    code = example1_code(F)
+    cluster = CausalECCluster(
+        code, latency=UniformLatency(1.0, 5.0), seed=1,
+        config=ServerConfig(gc_interval=20.0),
+    )
+    writer = cluster.add_client(0)
+    op = cluster.execute(writer.write(1, cluster.value(77)))
+    assert op.done
+    cluster.halt_server(0)  # dies with apps in flight
+    cluster.run(for_time=2_000)
+    for home in (1, 3):
+        reader = cluster.add_client(home)
+        r = cluster.execute(reader.read(1))
+        assert np.array_equal(r.value, cluster.value(77))
+
+
+def test_gc_stalls_but_reads_proceed_after_crash():
+    """With one server dead, the global deletion watermark cannot complete
+    (S needs del messages from every node), so histories stop draining for
+    new writes -- but reads keep being served from those histories."""
+    code = example1_code(F)
+    cluster = CausalECCluster(
+        code, latency=UniformLatency(0.5, 4.0), seed=2,
+        config=ServerConfig(gc_interval=15.0),
+    )
+    writer = cluster.add_client(0)
+    cluster.execute(writer.write(0, cluster.value(1)))
+    cluster.run(for_time=1_000)
+    assert cluster.total_history_entries() == 0  # drained while all alive
+
+    cluster.halt_server(4)
+    cluster.execute(writer.write(0, cluster.value(2)))
+    cluster.run(for_time=3_000)
+    # the new version cannot be globally acknowledged: it stays in history
+    assert cluster.total_history_entries() > 0
+    # yet reads at every live server return it
+    for home in (1, 2, 3):
+        reader = cluster.add_client(home)
+        r = cluster.execute(reader.read(0))
+        assert np.array_equal(r.value, cluster.value(2))
+
+
+def test_majority_crash_blocks_only_unrecoverable_objects():
+    code = example1_code(F)
+    cluster = CausalECCluster(
+        code, latency=UniformLatency(0.5, 4.0), seed=3,
+        config=ServerConfig(gc_interval=15.0),
+    )
+    writer = cluster.add_client(0)
+    for obj in range(3):
+        cluster.execute(writer.write(obj, cluster.value(obj + 10)))
+    cluster.run(for_time=2_000)  # drain
+    # halt servers 1, 2 (0-indexed 0, 1): X1's sets {1},{2,3,4},{2,3,5},
+    # {3,4,5}: {3,4,5} survives; X2's {2} dead, {4,5} survives
+    cluster.halt_server(0)
+    cluster.halt_server(1)
+    reader = cluster.add_client(2)
+    for obj in range(3):
+        op = cluster.execute(reader.read(obj))
+        assert op.done
+        assert np.array_equal(op.value, cluster.value(obj + 10))

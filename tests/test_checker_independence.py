@@ -1,0 +1,238 @@
+"""Self-tests for the certificate-free checkers (sessions + bad patterns),
+and cross-validation of all three checkers on real executions."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    CausalViolation,
+    PrimeField,
+    ServerConfig,
+    UniformLatency,
+    example1_code,
+)
+from repro.consistency import (
+    History,
+    Operation,
+    check_causal_bad_patterns,
+    check_session_guarantees,
+)
+from repro.workloads import ClosedLoopDriver, WorkloadConfig
+
+ZERO = np.array([0])
+
+
+def mk(client, opid, kind, obj, value, t):
+    return Operation(
+        client_id=client, opid=opid, kind=kind, obj=obj,
+        value=np.array([value]), invoke_time=t, response_time=t + 1,
+    )
+
+
+def hist(*ops):
+    h = History()
+    for op in ops:
+        h.record_invoke(op)
+    return h
+
+
+# ---------------------------------------------------------------------------
+# session guarantees
+
+
+def test_sessions_accept_simple():
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(1, "r1", "read", 0, 5, 2),
+    )
+    assert check_session_guarantees(h, ZERO) == []
+
+
+def test_sessions_reject_ryw_initial():
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(1, "r1", "read", 0, 0, 2),
+    )
+    with pytest.raises(CausalViolation, match="read-your-writes"):
+        check_session_guarantees(h, ZERO)
+
+
+def test_sessions_reject_ryw_earlier_own_write():
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(1, "w2", "write", 0, 6, 2),
+        mk(1, "r1", "read", 0, 5, 4),
+    )
+    with pytest.raises(CausalViolation, match="read-your-writes"):
+        check_session_guarantees(h, ZERO)
+
+
+def test_sessions_reject_monotonic_read_revert():
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(2, "w2", "write", 0, 6, 1),
+        mk(3, "r1", "read", 0, 5, 2),
+        mk(3, "r2", "read", 0, 6, 4),
+        mk(3, "r3", "read", 0, 5, 6),  # reverts past 6 back to 5
+    )
+    with pytest.raises(CausalViolation, match="monotonic reads"):
+        check_session_guarantees(h, ZERO)
+
+
+def test_sessions_allow_forward_changes():
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(2, "w2", "write", 0, 6, 1),
+        mk(3, "r1", "read", 0, 5, 2),
+        mk(3, "r2", "read", 0, 6, 4),
+    )
+    assert check_session_guarantees(h, ZERO) == []
+
+
+def test_sessions_reject_duplicate_values():
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(2, "w2", "write", 0, 5, 1),
+    )
+    with pytest.raises(CausalViolation, match="duplicate"):
+        check_session_guarantees(h, ZERO)
+
+
+def test_sessions_reject_unwritten_value():
+    h = hist(mk(1, "r1", "read", 0, 9, 0))
+    with pytest.raises(CausalViolation, match="unwritten"):
+        check_session_guarantees(h, ZERO)
+
+
+# ---------------------------------------------------------------------------
+# bad patterns
+
+
+def test_patterns_accept_empty_and_simple():
+    assert check_causal_bad_patterns(hist(), ZERO) == []
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(2, "r1", "read", 0, 5, 2),
+    )
+    assert check_causal_bad_patterns(h, ZERO) == []
+
+
+def test_patterns_thin_air_read():
+    h = hist(mk(1, "r1", "read", 0, 77, 0))
+    with pytest.raises(CausalViolation, match="ThinAirRead"):
+        check_causal_bad_patterns(h, ZERO)
+
+
+def test_patterns_write_co_init_read():
+    # session: write then read initial value
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(1, "r1", "read", 0, 0, 2),
+    )
+    with pytest.raises(CausalViolation, match="WriteCOInitRead"):
+        check_causal_bad_patterns(h, ZERO)
+
+
+def test_patterns_cyclic_cf():
+    """Two sessions observe two writes in opposite orders: no arbitration
+    total order can satisfy both (the classic CF cycle)."""
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(2, "w2", "write", 0, 6, 0),
+        # session 3: sees w1 then w2 then w1 again? no -- simplest cycle:
+        mk(3, "ra1", "read", 0, 5, 2),   # w1 visible
+        mk(3, "ra2", "read", 0, 6, 4),   # then w2: forces w1 < w2
+        mk(4, "rb1", "read", 0, 6, 2),   # w2 visible
+        mk(4, "rb2", "read", 0, 5, 4),   # then w1: forces w2 < w1
+    )
+    with pytest.raises(CausalViolation, match="CyclicCF"):
+        check_causal_bad_patterns(h, ZERO)
+
+
+def test_patterns_accept_concurrent_consistent_observation():
+    """Both sessions converge on the same order: fine."""
+    h = hist(
+        mk(1, "w1", "write", 0, 5, 0),
+        mk(2, "w2", "write", 0, 6, 0),
+        mk(3, "ra1", "read", 0, 5, 2),
+        mk(3, "ra2", "read", 0, 6, 4),
+        mk(4, "rb1", "read", 0, 5, 2),
+        mk(4, "rb2", "read", 0, 6, 4),
+    )
+    assert check_causal_bad_patterns(h, ZERO) == []
+
+
+def test_patterns_respect_cross_object_causality():
+    """w_a co w_b via a session; a reader that sees b but then reads obj0's
+    initial value violates WriteCOInitRead through transitivity."""
+    h = hist(
+        mk(1, "wa", "write", 0, 1, 0),
+        mk(1, "wb", "write", 1, 2, 2),  # wa co wb (session)
+        mk(2, "r1", "read", 1, 2, 4),   # sees wb => wa co r1
+        mk(2, "r2", "read", 0, 0, 6),   # initial value: violation
+    )
+    with pytest.raises(CausalViolation, match="WriteCOInitRead"):
+        check_causal_bad_patterns(h, ZERO)
+
+
+def test_patterns_pending_reads_ignored():
+    h = History()
+    h.record_invoke(mk(1, "w1", "write", 0, 5, 0))
+    pending = Operation(client_id=2, opid="r", kind="read", obj=0,
+                        invoke_time=1.0)
+    h.record_invoke(pending)
+    assert check_causal_bad_patterns(h, ZERO) == []
+
+
+# ---------------------------------------------------------------------------
+# three checkers agree on real executions
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_all_three_checkers_pass_on_causalec(seed):
+    code = example1_code(PrimeField(257), value_len=2)
+    cluster = CausalECCluster(
+        code, latency=UniformLatency(0.5, 18.0), seed=seed,
+        config=ServerConfig(gc_interval=30.0),
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(ops_per_client=40, read_ratio=0.5, seed=seed),
+    )
+    driver.run()
+    cluster.run(for_time=4000)
+    z = code.zero_value()
+    from repro.consistency import check_causal_consistency
+
+    check_causal_consistency(cluster.history, z)
+    check_session_guarantees(cluster.history, z)
+    check_causal_bad_patterns(cluster.history, z)
+
+
+def test_checkers_catch_baseline_violation():
+    """The partial-replication Horn-1 history fails the pattern checker
+    (independent confirmation of the Appendix A demonstration)."""
+    from repro import ConstantLatency
+    from repro.baselines import PartialReplicationCluster
+    from repro.sim.faults import DegradedLatency, LatencySpike
+
+    cluster = PartialReplicationCluster(
+        4, 2, placement=[set(), {0}, {1}, set()],
+        latency=ConstantLatency(2.0), blocking=False,
+    )
+    cluster.network.latency = DegradedLatency(
+        ConstantLatency(2.0), cluster.scheduler,
+        [LatencySpike(0.0, 1e9, 1000.0, src=0, dst=1)],
+    )
+    writer = cluster.add_client(0)
+    reader = cluster.add_client(3)
+    cluster.execute(writer.write(0, np.array([1])))
+    cluster.execute(writer.write(1, np.array([2])))
+    cluster.run(for_time=100.0)
+    cluster.execute(reader.read(1))
+    cluster.execute(reader.read(0))
+    errs = check_causal_bad_patterns(
+        cluster.history, ZERO, raise_on_violation=False
+    )
+    assert any("WriteCOInitRead" in e for e in errs)

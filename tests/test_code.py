@@ -1,0 +1,193 @@
+"""Tests for LinearCode: encoding, recovery sets, decoding, re-encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import GF256, LinearCode, PrimeField, example1_code
+
+F = PrimeField(257)
+
+
+def random_values(code, rng):
+    return [code.field.random_vector(rng, code.value_len) for _ in range(code.K)]
+
+
+# ---------------------------------------------------------------------------
+# construction and structure
+
+
+def test_rejects_zero_objects():
+    with pytest.raises(ValueError):
+        LinearCode(F, 0, [np.array([[1]])])
+
+
+def test_rejects_bad_value_len():
+    with pytest.raises(ValueError):
+        LinearCode(F, 1, [np.array([[1]])], value_len=0)
+
+
+def test_rejects_wrong_columns():
+    with pytest.raises(ValueError):
+        LinearCode(F, 3, [np.array([[1, 0]])])
+
+
+def test_one_dim_matrix_promoted():
+    code = LinearCode(F, 2, [[1, 1]])
+    assert code.symbols_at(0) == 1
+
+
+def test_objects_at():
+    code = LinearCode(F, 3, [[1, 0, 1], [0, 2, 0], [0, 0, 0]])
+    assert code.objects_at(0) == {0, 2}
+    assert code.objects_at(1) == {1}
+    assert code.objects_at(2) == frozenset()
+
+
+def test_multi_symbol_server():
+    code = LinearCode(F, 2, [np.array([[1, 0], [0, 1]])])
+    assert code.symbols_at(0) == 2
+    assert code.objects_at(0) == {0, 1}
+
+
+# ---------------------------------------------------------------------------
+# encoding / decoding
+
+
+def test_encode_matches_manual(small_code):
+    rng = np.random.default_rng(0)
+    xs = random_values(small_code, rng)
+    f = small_code.field
+    expected = f.add(f.add(xs[0], f.scalar_mul(2, xs[1])), xs[2])
+    assert np.array_equal(small_code.encode(4, xs)[0], expected)
+
+
+def test_encode_requires_k_values(small_code):
+    with pytest.raises(ValueError):
+        small_code.encode(0, [small_code.zero_value()])
+
+
+def test_decode_from_each_minimal_recovery_set(small_code):
+    rng = np.random.default_rng(1)
+    xs = random_values(small_code, rng)
+    syms = {s: small_code.encode(s, xs) for s in range(small_code.N)}
+    for k in range(small_code.K):
+        for rset in small_code.minimal_recovery_sets(k):
+            got = small_code.decode(k, {s: syms[s] for s in rset})
+            assert np.array_equal(got, xs[k]), (k, rset)
+
+
+def test_decode_returns_none_for_insufficient(small_code):
+    rng = np.random.default_rng(2)
+    xs = random_values(small_code, rng)
+    syms = {s: small_code.encode(s, xs) for s in range(small_code.N)}
+    # {4, 5} recovers X2 but not X1 or X3
+    assert small_code.decode(0, {3: syms[3], 4: syms[4]}) is None
+    assert small_code.decode(2, {3: syms[3], 4: syms[4]}) is None
+
+
+def test_is_recovery_set_superset_closed(small_code):
+    for k in range(small_code.K):
+        for rset in small_code.minimal_recovery_sets(k):
+            superset = set(rset) | {0, 1}
+            assert small_code.is_recovery_set(superset, k)
+
+
+def test_multi_symbol_decode():
+    """A server storing two symbols contributes both to decoding."""
+    code = LinearCode(F, 2, [np.array([[1, 1], [1, 2]]), np.array([[1, 0]])])
+    rng = np.random.default_rng(3)
+    xs = [code.field.random_vector(rng, 1) for _ in range(2)]
+    syms = {0: code.encode(0, xs)}
+    assert np.array_equal(code.decode(0, syms), xs[0])
+    assert np.array_equal(code.decode(1, syms), xs[1])
+
+
+# ---------------------------------------------------------------------------
+# re-encoding (Definition 4)
+
+
+@pytest.mark.parametrize("field", [PrimeField(7), PrimeField(257), GF256], ids=repr)
+def test_reencode_definition4(field):
+    """Gamma(Phi(x), x_k, x'_k) = Phi(x') for x, x' differing in slot k."""
+    if field.characteristic == 2:
+        code = LinearCode(field, 3, [[1, 1, 1], [1, 2, 3]], value_len=2)
+    else:
+        code = example1_code(field, value_len=2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def check(data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 100_000)))
+        xs = [field.random_vector(rng, code.value_len) for _ in range(code.K)]
+        k = data.draw(st.integers(0, code.K - 1))
+        s = data.draw(st.integers(0, code.N - 1))
+        new = field.random_vector(rng, code.value_len)
+        xs2 = list(xs)
+        xs2[k] = new
+        sym = code.encode(s, xs)
+        # direct swap
+        assert np.array_equal(
+            code.reencode(s, sym, k, xs[k], new), code.encode(s, xs2)
+        )
+        # two-step: remove then apply (the protocol's cancellation path)
+        removed = code.reencode(s, sym, k, xs[k], code.zero_value())
+        applied = code.reencode(s, removed, k, code.zero_value(), new)
+        assert np.array_equal(applied, code.encode(s, xs2))
+
+    check()
+
+
+def test_reencode_noop_when_equal(small_code):
+    rng = np.random.default_rng(4)
+    xs = random_values(small_code, rng)
+    sym = small_code.encode(3, xs)
+    out = small_code.reencode(3, sym, 0, xs[0], xs[0])
+    assert np.array_equal(out, sym)
+    assert out is not sym  # pure: returns a copy
+
+
+def test_reencode_does_not_mutate_input(small_code):
+    rng = np.random.default_rng(5)
+    xs = random_values(small_code, rng)
+    sym = small_code.encode(3, xs)
+    before = sym.copy()
+    small_code.reencode(3, sym, 1, xs[1], small_code.zero_value())
+    assert np.array_equal(sym, before)
+
+
+def test_reencode_unstored_object_is_noop(small_code):
+    """Re-encoding object X1 at server 2 (which stores only X2) is a no-op."""
+    rng = np.random.default_rng(6)
+    xs = random_values(small_code, rng)
+    sym = small_code.encode(1, xs)
+    new = small_code.field.random_vector(rng, small_code.value_len)
+    assert np.array_equal(small_code.reencode(1, sym, 0, xs[0], new), sym)
+
+
+# ---------------------------------------------------------------------------
+# misc
+
+
+def test_zero_symbol_shape(small_code):
+    z = small_code.zero_symbol(0)
+    assert z.shape == (1, small_code.value_len)
+    assert not np.any(z)
+
+
+def test_recovery_servers(small_code):
+    assert small_code.recovery_servers(0) == frozenset(range(5))
+
+
+def test_is_mds_false_for_example1(small_code):
+    # servers {2,4,5} (1-indexed) cannot recover X1: y5 - y4 = x2 duplicates
+    # y2, so Example 1's code is not MDS -- which is why its recovery sets
+    # are the irregular families listed in Sec. 1.2.
+    assert not small_code.is_mds()
+    assert not small_code.is_recovery_set({1, 3, 4}, 0)  # 0-indexed {2,4,5}
+
+
+def test_is_mds_false_for_multi_symbol():
+    code = LinearCode(F, 2, [np.array([[1, 0], [0, 1]]), np.array([[1, 1]])])
+    assert not code.is_mds()

@@ -1,0 +1,106 @@
+"""Tests for code reports (fault tolerance / storage / locality) and their
+agreement with live protocol behaviour."""
+
+import pytest
+
+from repro import ConstantLatency
+from repro.ec import (
+    CodeReport,
+    PrimeField,
+    example1_code,
+    partial_replication_code,
+    reed_solomon_code,
+    replication_code,
+    six_dc_code,
+)
+
+
+def test_mds_fault_tolerance_is_n_minus_k():
+    """Footnote 7: an MDS (N, k) code tolerates N - k crashes."""
+    for n, k in ((5, 3), (6, 4), (4, 2)):
+        r = CodeReport.of(reed_solomon_code(PrimeField(257), n, k))
+        assert r.fault_tolerance == n - k
+        assert r.is_mds
+        assert r.expansion == pytest.approx(n / k)
+
+
+def test_replication_report():
+    r = CodeReport.of(replication_code(num_servers=3, num_objects=2))
+    assert r.fault_tolerance == 2  # any single survivor serves everything
+    assert r.expansion == pytest.approx(3.0)
+    for o in r.objects:
+        assert o.local_servers == frozenset({0, 1, 2})
+
+
+def test_partial_replication_report():
+    code = partial_replication_code(None, 2, [[0], [0], [1]])
+    r = CodeReport.of(code)
+    # object 1 lives only at server 2: zero crashes guaranteed survivable
+    assert r.objects[1].fault_tolerance == 0
+    assert r.objects[0].fault_tolerance == 1
+    assert r.fault_tolerance == 0
+
+
+def test_example1_report():
+    r = CodeReport.of(example1_code())
+    assert r.fault_tolerance == 1
+    assert r.expansion == pytest.approx(5 / 3)
+    assert not r.is_mds
+    # X2 survives two crashes ({2}, {4,5}, {1,3,4}, {1,3,5} cover all pairs)
+    assert r.objects[1].fault_tolerance == 2
+    assert r.objects[0].local_servers == frozenset({0})
+
+
+def test_six_dc_report():
+    r = CodeReport.of(six_dc_code())
+    assert r.expansion == pytest.approx(6 / 4)
+    assert r.fault_tolerance == 1
+    # every object is locally readable somewhere
+    assert all(o.locally_readable for o in r.objects)
+
+
+def test_summary_text():
+    text = str(CodeReport.of(example1_code()))
+    assert "storage expansion: 1.67x" in text
+    assert "X2: 4 minimal recovery sets" in text
+
+
+def test_report_agrees_with_protocol_under_crashes():
+    """The report's per-object fault tolerance is exactly the number of
+    worst-case crashes the live protocol survives."""
+    from repro import CausalECCluster, ServerConfig
+
+    code = example1_code(PrimeField(257))
+    report = CodeReport.of(code)
+    obj = 1  # X2: tolerance 2
+    f = report.objects[obj].fault_tolerance
+    assert f == 2
+
+    # crashing the complement of any recovery-set-free... verify the claim:
+    # for EVERY set of f crashes there is a live recovery set
+    from itertools import combinations
+
+    for crashed in combinations(range(code.N), f):
+        alive = set(range(code.N)) - set(crashed)
+        cluster = CausalECCluster(
+            code, latency=ConstantLatency(1.0),
+            config=ServerConfig(gc_interval=20.0),
+        )
+        home = min(alive)
+        writer = cluster.add_client(home)
+        cluster.execute(writer.write(obj, cluster.value(9)))
+        cluster.run(for_time=1500)
+        for s in crashed:
+            cluster.halt_server(s)
+        reader = cluster.add_client(home)
+        op = cluster.execute(reader.read(obj))
+        assert op.done, f"read died with crashes {crashed}"
+
+    # and there exists a set of f+1 crashes that kills the object
+    killed_somewhere = False
+    for crashed in combinations(range(code.N), f + 1):
+        alive = frozenset(range(code.N)) - frozenset(crashed)
+        if not code.is_recovery_set(alive, obj):
+            killed_somewhere = True
+            break
+    assert killed_somewhere

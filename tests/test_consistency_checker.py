@@ -1,0 +1,186 @@
+"""Self-tests for the consistency checkers: they must accept valid histories
+and reject fabricated violations of each Definition 5 clause."""
+
+import numpy as np
+import pytest
+
+from repro.consistency import (
+    CausalViolation,
+    History,
+    Operation,
+    check_causal_consistency,
+    check_eventual_visibility,
+    check_returns_written_values,
+)
+from repro.consistency.causal import expected_final_value
+from repro.core.tags import Tag, VectorClock
+
+ZERO = np.array([0])
+
+
+def vc(*xs):
+    return VectorClock(tuple(xs))
+
+
+def write(client, opid, obj, value, ts, tag_id=None, t=0.0):
+    return Operation(
+        client_id=client, opid=opid, kind="write", obj=obj,
+        value=np.array([value]), invoke_time=t, response_time=t + 1,
+        ts=ts, tag=Tag(ts, client if tag_id is None else tag_id),
+    )
+
+
+def read(client, opid, obj, value, ts, tag=None, t=0.0):
+    return Operation(
+        client_id=client, opid=opid, kind="read", obj=obj,
+        value=np.array([value]), invoke_time=t, response_time=t + 1,
+        ts=ts, tag=tag,
+    )
+
+
+def hist(*ops):
+    h = History()
+    for op in ops:
+        h.record_invoke(op)
+    return h
+
+
+# ---------------------------------------------------------------------------
+# acceptance
+
+
+def test_accepts_empty_history():
+    assert check_causal_consistency(hist(), ZERO) == []
+
+
+def test_accepts_simple_session():
+    w = write(1, "w1", 0, 5, vc(1, 0))
+    r = read(1, "r1", 0, 5, vc(1, 0), tag=w.tag, t=2)
+    assert check_causal_consistency(hist(w, r), ZERO) == []
+
+
+def test_accepts_initial_value_read():
+    r = read(1, "r1", 0, 0, vc(0, 0))
+    assert check_causal_consistency(hist(r), ZERO) == []
+
+
+def test_accepts_concurrent_writes_read_consistently():
+    w1 = write(1, "w1", 0, 5, vc(1, 0))
+    w2 = write(2, "w2", 0, 6, vc(0, 1))
+    # reader saw both; w2 has the larger tag iff... compare:
+    winner = max([w1, w2], key=lambda w: w.tag)
+    r = read(3, "r1", 0, int(winner.value[0]), vc(1, 1), t=3)
+    assert check_causal_consistency(hist(w1, w2, r), ZERO) == []
+
+
+# ---------------------------------------------------------------------------
+# rejection, one clause at a time
+
+
+def test_rejects_duplicate_tags():
+    w1 = write(1, "w1", 0, 5, vc(1, 0))
+    w2 = write(1, "w2", 0, 6, vc(1, 0), t=2)
+    with pytest.raises(CausalViolation, match="duplicate write tag"):
+        check_causal_consistency(hist(w1, w2), ZERO)
+
+
+def test_rejects_session_timestamp_regression():
+    w1 = write(1, "w1", 0, 5, vc(2, 0))
+    w2 = write(1, "w2", 0, 6, vc(1, 0), t=2)
+    with pytest.raises(CausalViolation, match="regress"):
+        check_causal_consistency(hist(w1, w2), ZERO)
+
+
+def test_rejects_write_without_clock_advance():
+    w1 = write(1, "w1", 0, 5, vc(1, 0))
+    r1 = read(1, "r1", 0, 5, vc(1, 0), tag=w1.tag, t=2)
+    w2 = write(1, "w2", 1, 6, vc(1, 0), t=3)  # same ts as w1: illegal
+    errs = check_causal_consistency(
+        hist(w1, r1, w2), ZERO, raise_on_violation=False
+    )
+    assert any("advance" in e or "duplicate" in e for e in errs)
+
+
+def test_rejects_stale_read():
+    """A read whose ts dominates a write must not return an older value."""
+    w1 = write(1, "w1", 0, 5, vc(1, 0))
+    w2 = write(1, "w2", 0, 7, vc(2, 0), t=2)
+    stale = read(2, "r1", 0, 5, vc(2, 0), tag=w1.tag, t=4)
+    with pytest.raises(CausalViolation, match="last visible writer"):
+        check_causal_consistency(hist(w1, w2, stale), ZERO)
+
+
+def test_rejects_read_of_unwritten_value():
+    r = read(1, "r1", 0, 99, vc(0, 0))
+    with pytest.raises(CausalViolation, match="no visible write"):
+        check_causal_consistency(hist(r), ZERO)
+
+
+def test_rejects_forged_value_tag():
+    w1 = write(1, "w1", 0, 5, vc(1, 0))
+    forged = Tag(vc(1, 1), 9)
+    r = read(2, "r1", 0, 5, vc(1, 1), tag=forged, t=2)
+    with pytest.raises(CausalViolation, match="stamped value_tag"):
+        check_causal_consistency(hist(w1, r), ZERO)
+
+
+def test_rejects_missing_certificate():
+    w = Operation(client_id=1, opid="w", kind="write", obj=0,
+                  value=np.array([1]), invoke_time=0, response_time=1)
+    errs = check_causal_consistency(hist(w), ZERO, raise_on_violation=False)
+    assert any("certificate" in e for e in errs)
+
+
+def test_violation_list_mode():
+    r = read(1, "r1", 0, 99, vc(0, 0))
+    errs = check_causal_consistency(hist(r), ZERO, raise_on_violation=False)
+    assert len(errs) == 1
+
+
+# ---------------------------------------------------------------------------
+# returns-written-values (black box)
+
+
+def test_returns_written_values_accepts():
+    w = write(1, "w1", 0, 5, vc(1, 0))
+    r = read(2, "r1", 0, 5, vc(1, 0), t=2)
+    assert check_returns_written_values(hist(w, r), ZERO) == []
+
+
+def test_returns_written_values_rejects_phantom():
+    w = write(1, "w1", 0, 5, vc(1, 0))
+    r = read(2, "r1", 0, 123, vc(1, 0), t=2)
+    with pytest.raises(CausalViolation, match="never"):
+        check_returns_written_values(hist(w, r), ZERO)
+
+
+def test_returns_written_values_accepts_initial():
+    r = read(2, "r1", 0, 0, vc(0, 0))
+    assert check_returns_written_values(hist(r), ZERO) == []
+
+
+# ---------------------------------------------------------------------------
+# eventual visibility
+
+
+def test_expected_final_value():
+    w1 = write(1, "w1", 0, 5, vc(1, 0))
+    w2 = write(2, "w2", 0, 6, vc(1, 1), t=2)
+    h = hist(w1, w2)
+    assert expected_final_value(h, 0, ZERO)[0] == 6
+    assert np.array_equal(expected_final_value(h, 3, ZERO), ZERO)
+
+
+def test_eventual_visibility_accepts():
+    w = write(1, "w1", 0, 5, vc(1, 0))
+    h = hist(w)
+    assert check_eventual_visibility(h, {0: [np.array([5])] * 3}, ZERO) == []
+
+
+def test_eventual_visibility_rejects_divergence():
+    w = write(1, "w1", 0, 5, vc(1, 0))
+    h = hist(w)
+    with pytest.raises(CausalViolation, match="arbitration winner"):
+        check_eventual_visibility(
+            h, {0: [np.array([5]), np.array([4])]}, ZERO
+        )

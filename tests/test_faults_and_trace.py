@@ -1,0 +1,168 @@
+"""Tests for fault injection (scheduled halts, latency degradation) and
+message tracing, plus CausalEC behaviour under these adversaries."""
+
+import numpy as np
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    PrimeField,
+    ServerConfig,
+    check_causal_consistency,
+    example1_code,
+)
+from repro.sim import (
+    DegradedLatency,
+    FaultPlan,
+    LatencySpike,
+    ManualNetwork,
+    MessageTrace,
+    Scheduler,
+)
+from repro.workloads import ClosedLoopDriver, WorkloadConfig
+
+F = PrimeField(257)
+
+
+# ---------------------------------------------------------------------------
+# MessageTrace
+
+
+def test_trace_records_messages():
+    cluster = CausalECCluster(example1_code(F), latency=ConstantLatency(1.0))
+    trace = MessageTrace().attach(cluster.network)
+    client = cluster.add_client(0)
+    cluster.execute(client.write(0, cluster.value(1)))
+    cluster.run(for_time=100)
+    kinds = trace.by_kind()
+    assert kinds["write"] == 1
+    assert kinds["app"] == 4  # broadcast to the other four servers
+    assert kinds["write-return-ack"] == 1
+    assert len(trace) == sum(kinds.values())
+
+
+def test_trace_channel_and_window_filters():
+    cluster = CausalECCluster(example1_code(F), latency=ConstantLatency(1.0))
+    trace = MessageTrace().attach(cluster.network)
+    client = cluster.add_client(0)
+    cluster.execute(client.write(0, cluster.value(1)))
+    t_mid = cluster.now
+    cluster.run(for_time=500)
+    apps_from_0 = [r for r in trace.channel(0, 1) if r.kind == "app"]
+    assert len(apps_from_0) == 1
+    assert trace.between(0.0, t_mid)
+    assert trace.total_bits() >= 0.0
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_trace_on_manual_network():
+    net = ManualNetwork()
+    trace = MessageTrace().attach(net)
+    net.register(0, lambda s, m: None)
+    net.register(1, lambda s, m: None)
+
+    class M:
+        kind = "ping"
+        size_bits = 8.0
+
+    net.send(0, 1, M())
+    assert trace.by_kind() == {"ping": 1}
+    assert trace.bits_by_kind() == {"ping": 8.0}
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+
+
+def test_fault_plan_halts_at_time():
+    cluster = CausalECCluster(example1_code(F), latency=ConstantLatency(1.0))
+    FaultPlan().halt(50.0, 2).halt(60.0, 3).apply(cluster)
+    cluster.run(for_time=40)
+    assert not cluster.server(2).halted
+    cluster.run(for_time=30)
+    assert cluster.server(2).halted
+    assert cluster.server(3).halted
+    assert not cluster.server(0).halted
+
+
+def test_causalec_correct_across_scheduled_crashes():
+    """Servers crash mid-workload; completed ops stay causally consistent."""
+    cluster = CausalECCluster(
+        example1_code(F),
+        latency=ConstantLatency(2.0),
+        seed=3,
+        config=ServerConfig(gc_interval=25.0),
+    )
+    FaultPlan().halt(120.0, 2).apply(cluster)
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3, client_sites=[0, 1, 3, 4],
+        config=WorkloadConfig(ops_per_client=25, read_ratio=0.5, seed=3),
+    )
+    driver.start()
+    cluster.run(for_time=5000)
+    cluster.assert_no_reencoding_errors()
+    check_causal_consistency(cluster.history, cluster.code.zero_value())
+    # clients of live servers finished everything: server 3 (1-indexed) is
+    # not needed by any of X1/X2's singleton sets nor by {4,5} etc.
+    live_clients = {c.node_id for c in driver.clients}
+    done = [op for op in cluster.history.operations if op.done]
+    assert len(done) > 50
+
+
+# ---------------------------------------------------------------------------
+# DegradedLatency
+
+
+def test_latency_spike_window_and_channel():
+    sched = Scheduler()
+    base = ConstantLatency(1.0)
+    lat = DegradedLatency(base, sched).add_spike(
+        LatencySpike(start=10.0, end=20.0, factor=50.0, src=0, dst=1)
+    )
+    rng = np.random.default_rng(0)
+    assert lat.delay(0, 1, rng) == 1.0  # before the window
+    sched.at(15.0, lambda: None)
+    sched.run()
+    assert sched.now == 15.0
+    assert lat.delay(0, 1, rng) == 50.0  # inside the window
+    assert lat.delay(1, 0, rng) == 1.0  # other channel untouched
+    sched.at(25.0, lambda: None)
+    sched.run()
+    assert lat.delay(0, 1, rng) == 1.0  # after the window
+
+
+def test_latency_spike_wildcard_matches_all():
+    spike = LatencySpike(0.0, 10.0, 2.0)
+    assert spike.matches(5.0, 3, 4)
+    assert not spike.matches(15.0, 3, 4)
+
+
+def test_causalec_correct_under_latency_spikes():
+    """A 100x slowdown of one server's links is legal asynchrony: the
+    execution must remain causally consistent and eventually drain."""
+    code = example1_code(F)
+    sched_holder = {}
+
+    class LateBound(ConstantLatency):
+        def delay(self, src, dst, rng):
+            d = super().delay(src, dst, rng)
+            sched = sched_holder.get("s")
+            if sched is not None and 50.0 <= sched.now < 400.0 and src == 1:
+                d *= 100.0
+            return d
+
+    cluster = CausalECCluster(
+        code, latency=LateBound(1.0), seed=5,
+        config=ServerConfig(gc_interval=25.0),
+    )
+    sched_holder["s"] = cluster.scheduler
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(ops_per_client=20, read_ratio=0.5, seed=5),
+    )
+    driver.run()
+    cluster.run(for_time=10_000)
+    cluster.assert_no_reencoding_errors()
+    check_causal_consistency(cluster.history, code.zero_value())
+    assert cluster.total_transient_entries() == 0

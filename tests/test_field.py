@@ -1,0 +1,201 @@
+"""Unit and property tests for finite field arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.field import (
+    GF256,
+    BinaryExtensionField,
+    PrimeField,
+    default_field,
+)
+
+FIELDS = [PrimeField(7), PrimeField(257), GF256, BinaryExtensionField(4)]
+
+
+def elements(field):
+    return st.integers(min_value=0, max_value=field.order - 1)
+
+
+def vectors(field, n=4):
+    return st.lists(elements(field), min_size=n, max_size=n).map(
+        lambda xs: np.array(xs, dtype=field.dtype)
+    )
+
+
+# ---------------------------------------------------------------------------
+# construction
+
+
+def test_prime_field_rejects_composite():
+    with pytest.raises(ValueError):
+        PrimeField(6)
+
+
+def test_prime_field_rejects_one():
+    with pytest.raises(ValueError):
+        PrimeField(1)
+
+
+def test_binary_field_rejects_bad_degree():
+    with pytest.raises(ValueError):
+        BinaryExtensionField(0)
+    with pytest.raises(ValueError):
+        BinaryExtensionField(17)
+
+
+def test_binary_field_rejects_non_primitive_poly():
+    # x^8 + 1 is not primitive over GF(2)
+    with pytest.raises(ValueError):
+        BinaryExtensionField(8, primitive_poly=0x101)
+
+
+def test_gf256_order():
+    assert GF256.order == 256
+    assert GF256.characteristic == 2
+
+
+def test_default_field_odd_characteristic():
+    f = default_field()
+    assert f.characteristic % 2 == 1
+
+
+# ---------------------------------------------------------------------------
+# scalar axioms (hypothesis)
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: repr(f))
+def test_scalar_axioms(field):
+    @settings(max_examples=100, deadline=None)
+    @given(a=elements(field), b=elements(field), c=elements(field))
+    def check(a, b, c):
+        # commutativity / associativity of +
+        assert field.s_add(a, b) == field.s_add(b, a)
+        assert field.s_add(field.s_add(a, b), c) == field.s_add(a, field.s_add(b, c))
+        # additive identity and inverse
+        assert field.s_add(a, 0) == a
+        assert field.s_add(a, field.s_neg(a)) == 0
+        # multiplicative axioms
+        assert field.s_mul(a, b) == field.s_mul(b, a)
+        assert field.s_mul(field.s_mul(a, b), c) == field.s_mul(a, field.s_mul(b, c))
+        assert field.s_mul(a, 1) == a
+        assert field.s_mul(a, 0) == 0
+        # distributivity
+        assert field.s_mul(a, field.s_add(b, c)) == field.s_add(
+            field.s_mul(a, b), field.s_mul(a, c)
+        )
+
+    check()
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: repr(f))
+def test_scalar_inverse(field):
+    for a in range(1, min(field.order, 300)):
+        assert field.s_mul(a, field.s_inv(a)) == 1
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: repr(f))
+def test_zero_has_no_inverse(field):
+    with pytest.raises(ZeroDivisionError):
+        field.s_inv(0)
+
+
+# ---------------------------------------------------------------------------
+# vector operations
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: repr(f))
+def test_vector_ops_match_scalar_ops(field):
+    @settings(max_examples=50, deadline=None)
+    @given(a=vectors(field), b=vectors(field), c=elements(field))
+    def check(a, b, c):
+        added = field.add(a, b)
+        for i in range(len(a)):
+            assert int(added[i]) == field.s_add(int(a[i]), int(b[i]))
+        scaled = field.scalar_mul(c, a)
+        for i in range(len(a)):
+            assert int(scaled[i]) == field.s_mul(c, int(a[i]))
+        negd = field.neg(a)
+        assert field.is_zero(field.add(a, negd))
+        # sub is add of negation
+        assert np.array_equal(field.sub(a, b), field.add(a, field.neg(b)))
+
+    check()
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: repr(f))
+def test_vector_inputs_not_mutated(field):
+    a = field.validate(np.array([1, 2, 3, 0], dtype=field.dtype))
+    b = field.validate(np.array([3, 2, 1, 1], dtype=field.dtype))
+    a0, b0 = a.copy(), b.copy()
+    field.add(a, b)
+    field.neg(a)
+    field.scalar_mul(2, a)
+    field.sub(a, b)
+    assert np.array_equal(a, a0)
+    assert np.array_equal(b, b0)
+
+
+def test_zeros_and_is_zero(gf257):
+    z = gf257.zeros(5)
+    assert gf257.is_zero(z)
+    z2 = z.copy()
+    z2[3] = 1
+    assert not gf257.is_zero(z2)
+
+
+def test_validate_rejects_out_of_range(gf257):
+    with pytest.raises(ValueError):
+        gf257.validate(np.array([0, 257]))
+    with pytest.raises(ValueError):
+        gf257.validate(np.array([-1, 0]))
+
+
+def test_random_vector_in_range(gf257):
+    rng = np.random.default_rng(0)
+    v = gf257.random_vector(rng, 1000)
+    assert v.min() >= 0 and v.max() < 257
+
+
+def test_gf256_scalar_mul_zero_vector():
+    a = np.zeros(4, dtype=GF256.dtype)
+    out = GF256.scalar_mul(7, a)
+    assert GF256.is_zero(out)
+
+
+def test_gf256_characteristic_two_negation():
+    a = np.array([5, 9, 0, 255], dtype=GF256.dtype)
+    assert np.array_equal(GF256.neg(a), a)
+    assert GF256.is_zero(GF256.add(a, a))
+
+
+def test_equal():
+    f = PrimeField(7)
+    a = np.array([1, 2], dtype=f.dtype)
+    assert f.equal(a, a.copy())
+    assert not f.equal(a, np.array([1, 3], dtype=f.dtype))
+    assert not f.equal(a, np.array([1, 2, 3], dtype=f.dtype))
+
+
+def test_gf2_16_tables_and_roundtrip():
+    """The largest supported binary field: table construction and algebra."""
+    f = BinaryExtensionField(16)
+    assert f.order == 65536
+    assert f.s_mul(12345, f.s_inv(12345)) == 1
+    a = np.array([0, 1, 65535, 40000], dtype=f.dtype)
+    assert f.is_zero(f.add(a, a))
+    out = f.scalar_mul(40000, a)
+    for i, x in enumerate(a):
+        assert int(out[i]) == f.s_mul(40000, int(x))
+
+
+def test_gf2_16_supports_reed_solomon():
+    from repro.ec import reed_solomon_code
+
+    code = reed_solomon_code(BinaryExtensionField(16), 6, 4)
+    rng = np.random.default_rng(0)
+    xs = [code.field.random_vector(rng, 1) for _ in range(4)]
+    syms = {s: code.encode(s, xs) for s in (0, 2, 4, 5)}
+    assert np.array_equal(code.decode(3, syms), xs[3])

@@ -1,0 +1,125 @@
+"""Tests for the grouped multi-key store (Sec. 4.2's per-group codes)."""
+
+import pytest
+
+from repro import ConstantLatency, PrimeField, ServerConfig, UniformLatency
+from repro.ec import example1_code
+from repro.kv.grouped import GroupedCausalKVStore
+
+
+def make_store(num_keys=7, **kwargs):
+    keys = [f"key{i:03d}" for i in range(num_keys)]
+    kwargs.setdefault("latency", ConstantLatency(1.0))
+    return GroupedCausalKVStore(keys, **kwargs)
+
+
+def test_grouping_layout():
+    store = make_store(num_keys=7, group_size=3)
+    assert store.num_groups == 3
+    assert [len(g) for g in store.group_keys] == [3, 3, 1]
+    assert store.locate("key000") == (0, 0)
+    assert store.locate("key004") == (1, 1)
+    assert store.locate("key006") == (2, 0)
+
+
+def test_put_get_across_groups():
+    store = make_store(num_keys=7, group_size=3)
+    s = store.session(0)
+    for i in range(7):
+        s.put(f"key{i:03d}", f"value-{i}".encode())
+    store.settle()
+    remote = store.session(4)
+    for i in range(7):
+        assert remote.get(f"key{i:03d}") == f"value-{i}".encode()
+
+
+def test_unwritten_keys_empty():
+    store = make_store()
+    assert store.session(2).get("key005") == b""
+
+
+def test_unknown_key():
+    store = make_store()
+    with pytest.raises(KeyError):
+        store.locate("missing")
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(ValueError, match="distinct"):
+        GroupedCausalKVStore(["a", "a"])
+
+
+def test_empty_keys_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        GroupedCausalKVStore([])
+
+
+def test_bad_group_size():
+    with pytest.raises(ValueError, match="group_size"):
+        make_store(group_size=0)
+
+
+def test_custom_code_factory():
+    def factory(n, k, vlen):
+        if k == 3:
+            return example1_code(PrimeField(257), value_len=vlen)
+        from repro.ec import reed_solomon_code
+
+        return reed_solomon_code(PrimeField(257), n, k, value_len=vlen)
+
+    store = make_store(num_keys=4, group_size=3, code_factory=factory)
+    assert store.clusters[0].code.name.startswith("example1")
+    s = store.session(1)
+    s.put("key001", b"mixed")
+    store.settle()
+    assert store.session(3).get("key001") == b"mixed"
+
+
+def test_session_read_your_writes_across_groups():
+    store = make_store(num_keys=9, group_size=2,
+                       latency=UniformLatency(0.5, 10.0))
+    s = store.session(2)
+    for i in range(9):
+        key = f"key{i:03d}"
+        s.put(key, f"v{i}".encode())
+        assert s.get(key) == f"v{i}".encode()
+
+
+def test_crash_site_affects_all_groups():
+    store = make_store(num_keys=6, group_size=3)  # RS(5,3): 2-fault tolerant
+    s = store.session(0)
+    s.put("key000", b"a")
+    s.put("key004", b"b")
+    store.settle()
+    store.crash_site(0)
+    store.crash_site(1)
+    r = store.session(3)
+    assert r.get("key000") == b"a"
+    assert r.get("key004") == b"b"
+
+
+def test_groups_drain_independently():
+    store = make_store(num_keys=6, group_size=3,
+                       config=ServerConfig(gc_interval=20.0))
+    s = store.session(0)
+    for i in range(6):
+        s.put(f"key{i:03d}", bytes([i]))
+    store.settle(for_time=10_000)
+    assert store.total_transient_entries() == 0
+
+
+def test_shared_clock():
+    store = make_store(num_keys=4, group_size=2)
+    s = store.session(0)
+    s.put("key000", b"x")  # group 0
+    t1 = store.scheduler.now
+    s.put("key002", b"y")  # group 1, later on the SAME clock
+    assert store.scheduler.now > t1
+
+
+def test_message_accounting_aggregates():
+    store = make_store(num_keys=4, group_size=2)
+    s = store.session(0)
+    s.put("key000", b"x")
+    store.settle()
+    assert store.total_messages() > 0

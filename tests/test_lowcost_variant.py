@@ -1,0 +1,205 @@
+"""Tests for the Sec. 4.2 / Appendix G low-cost variant:
+
+* val_inq sent to the nearest recovery set first, broadcast after timeout;
+* del messages routed through a leader that forwards them.
+
+Both options must preserve every correctness property; the leader routing
+must reduce the per-writer del fan-out, and the recovery-set policy must
+reduce read message counts while falling back to broadcast under halts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    ConstantLatency,
+    PrimeField,
+    ServerConfig,
+    UniformLatency,
+    check_causal_consistency,
+    example1_code,
+    reed_solomon_code,
+)
+from repro.workloads import ClosedLoopDriver, WorkloadConfig
+
+F = PrimeField(257)
+
+
+def run_workload(config, seed=0, ops=40, code=None):
+    cluster = CausalECCluster(
+        code or example1_code(F),
+        latency=UniformLatency(0.5, 8.0),
+        seed=seed,
+        config=config,
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=cluster.code.K,
+        config=WorkloadConfig(ops_per_client=ops, read_ratio=0.5, seed=seed),
+    )
+    driver.run()
+    cluster.run(for_time=6000)
+    return cluster
+
+
+def verify(cluster):
+    cluster.assert_no_reencoding_errors()
+    check_causal_consistency(cluster.history, cluster.code.zero_value())
+    assert not cluster.history.pending()
+    assert cluster.total_transient_entries() == 0
+
+
+# ---------------------------------------------------------------------------
+# leader-routed del messages
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_leader_dels_preserve_correctness(seed):
+    cluster = run_workload(
+        ServerConfig(gc_interval=25.0, del_leader=0), seed=seed
+    )
+    verify(cluster)
+
+
+def test_leader_dels_reduce_non_leader_fanout():
+    sent_from = {}
+
+    def count(cluster):
+        counts = dict.fromkeys(range(cluster.num_servers), 0)
+
+        def monitor(src, dst, msg):
+            if getattr(msg, "kind", None) == "del" and src < cluster.num_servers:
+                counts[src] += 1
+
+        cluster.network.monitor = monitor
+        writer = cluster.add_client(3)  # a non-leader server
+        for i in range(5):
+            cluster.execute(writer.write(0, cluster.value(i + 1)))
+            cluster.run(for_time=500)
+        cluster.run(for_time=3000)
+        return counts
+
+    direct = count(
+        CausalECCluster(
+            example1_code(F), latency=ConstantLatency(1.0),
+            config=ServerConfig(gc_interval=25.0),
+        )
+    )
+    leadered = count(
+        CausalECCluster(
+            example1_code(F), latency=ConstantLatency(1.0),
+            config=ServerConfig(gc_interval=25.0, del_leader=0),
+        )
+    )
+    # the writing (non-leader) server sends fewer del messages when routed
+    assert leadered[3] < direct[3]
+    # and the leader carries the fan-out instead
+    assert leadered[0] >= direct[0]
+
+
+def test_leader_is_a_server_that_also_writes():
+    """The leader itself writing must not double-forward its own dels."""
+    cluster = CausalECCluster(
+        example1_code(F), latency=ConstantLatency(1.0),
+        config=ServerConfig(gc_interval=20.0, del_leader=2),
+    )
+    writer = cluster.add_client(2)
+    for i in range(4):
+        cluster.execute(writer.write(1, cluster.value(i + 1)))
+    cluster.run(for_time=4000)
+    verify(cluster)
+
+
+def test_leader_halt_preserves_safety_not_drainage():
+    """With the leader down, operations stay causal; drainage may stall."""
+    cluster = CausalECCluster(
+        example1_code(F), latency=ConstantLatency(1.0),
+        config=ServerConfig(gc_interval=20.0, del_leader=0),
+    )
+    writer = cluster.add_client(1)
+    cluster.execute(writer.write(0, cluster.value(7)))
+    cluster.run(for_time=200)
+    cluster.halt_server(0)
+    cluster.execute(writer.write(0, cluster.value(8)))
+    reader = cluster.add_client(3)
+    op = cluster.execute(reader.read(0))
+    assert op.done
+    cluster.run(for_time=2000)
+    check_causal_consistency(cluster.history, cluster.code.zero_value())
+
+
+# ---------------------------------------------------------------------------
+# recovery-set read policy
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_recovery_set_policy_preserves_correctness(seed):
+    cluster = run_workload(
+        ServerConfig(
+            gc_interval=25.0, read_policy="recovery_set", read_timeout=200.0
+        ),
+        seed=seed,
+        code=reed_solomon_code(F, 5, 3, systematic=False),
+    )
+    verify(cluster)
+
+
+def test_recovery_set_policy_sends_fewer_inqs():
+    def inq_count(policy):
+        cluster = CausalECCluster(
+            reed_solomon_code(F, 6, 3, systematic=False),
+            latency=ConstantLatency(1.0),
+            config=ServerConfig(
+                gc_interval=20.0, read_policy=policy, read_timeout=500.0
+            ),
+        )
+        writer = cluster.add_client(0)
+        for obj in range(3):
+            cluster.execute(writer.write(obj, cluster.value(obj + 1)))
+        cluster.run(for_time=3000)  # settle + GC
+        before = cluster.network.stats.messages.get("val_inq", 0)
+        reader = cluster.add_client(5)
+        for obj in range(3):
+            cluster.execute(reader.read(obj))
+        return cluster.network.stats.messages.get("val_inq", 0) - before
+
+    assert inq_count("recovery_set") < inq_count("broadcast")
+
+
+def test_recovery_set_policy_times_out_to_broadcast_under_halts():
+    """If the nearest recovery set is dead, the timeout broadcast saves the
+    read via the surviving one (liveness with the optimisation on)."""
+    code = example1_code(F)
+    cluster = CausalECCluster(
+        code,
+        latency=ConstantLatency(1.0),
+        config=ServerConfig(
+            gc_interval=20.0, read_policy="recovery_set", read_timeout=50.0
+        ),
+    )
+    writer = cluster.add_client(0)
+    cluster.execute(writer.write(1, cluster.value(33)))
+    cluster.run(for_time=2000)  # GC: uncoded copies gone
+    # X2's cheapest set at server 3 (0-indexed 2) is {2} (server 2 itself,
+    # 1-indexed) or {4,5}; halt server 2 (0-indexed 1) and one of {4,5}'s
+    # complement so a broadcast is required
+    cluster.halt_server(1)  # kills the singleton set {2}
+    reader = cluster.add_client(2)
+    op = cluster.execute(reader.read(1))
+    assert op.done
+    assert np.array_equal(op.value, cluster.value(33))
+    assert op.latency > 50.0  # the timeout fired before the fallback
+
+
+def test_combined_lowcost_variant():
+    """Both optimisations together: the configuration Sec. 4.2 analyses."""
+    cluster = run_workload(
+        ServerConfig(
+            gc_interval=30.0,
+            read_policy="recovery_set",
+            read_timeout=200.0,
+            del_leader=0,
+        ),
+        seed=7,
+    )
+    verify(cluster)

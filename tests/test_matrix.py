@@ -1,0 +1,115 @@
+"""Tests for finite-field linear algebra (rref, solve, invert)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import GF256, PrimeField
+from repro.ec.matrix import in_rowspan, invert, matmul, rank, rref, solve_left
+
+F7 = PrimeField(7)
+
+
+def test_rref_identity():
+    eye = np.eye(3, dtype=F7.dtype)
+    red, pivots = rref(F7, eye)
+    assert np.array_equal(red, eye)
+    assert pivots == [0, 1, 2]
+
+
+def test_rref_dependent_rows():
+    a = np.array([[1, 2, 3], [2, 4, 6], [0, 1, 1]], dtype=F7.dtype)
+    assert rank(F7, a) == 2
+
+
+def test_rref_rejects_non_matrix():
+    with pytest.raises(ValueError):
+        rref(F7, np.array([1, 2, 3]))
+
+
+def test_rank_zero_matrix():
+    assert rank(F7, np.zeros((3, 4), dtype=F7.dtype)) == 0
+
+
+def test_matmul_matches_integer_matmul_mod_p():
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 7, size=(3, 4)).astype(F7.dtype)
+    b = rng.integers(0, 7, size=(4, 2)).astype(F7.dtype)
+    expected = (a.astype(np.int64) @ b.astype(np.int64)) % 7
+    assert np.array_equal(matmul(F7, a, b), expected)
+
+
+def test_matmul_dimension_mismatch():
+    with pytest.raises(ValueError):
+        matmul(F7, np.zeros((2, 3), dtype=F7.dtype), np.zeros((2, 3), dtype=F7.dtype))
+
+
+def test_solve_left_simple():
+    # lam @ A = b with A invertible
+    a = np.array([[1, 1], [0, 1]], dtype=F7.dtype)
+    b = np.array([2, 3], dtype=F7.dtype)
+    lam = solve_left(F7, a, b)
+    assert lam is not None
+    assert np.array_equal(matmul(F7, lam.reshape(1, -1), a)[0], b)
+
+
+def test_solve_left_inconsistent():
+    a = np.array([[1, 0, 0]], dtype=F7.dtype)
+    b = np.array([0, 1, 0], dtype=F7.dtype)
+    assert solve_left(F7, a, b) is None
+
+
+def test_in_rowspan():
+    a = np.array([[1, 0, 1], [0, 1, 1]], dtype=F7.dtype)
+    assert in_rowspan(F7, a, np.array([1, 1, 2], dtype=F7.dtype))
+    assert not in_rowspan(F7, a, np.array([0, 0, 1], dtype=F7.dtype))
+
+
+def test_invert_round_trip():
+    rng = np.random.default_rng(2)
+    for _ in range(10):
+        a = rng.integers(0, 7, size=(4, 4)).astype(F7.dtype)
+        if rank(F7, a) < 4:
+            continue
+        inv = invert(F7, a)
+        assert np.array_equal(matmul(F7, a, inv), np.eye(4, dtype=F7.dtype))
+
+
+def test_invert_singular_raises():
+    a = np.array([[1, 2], [2, 4]], dtype=F7.dtype)
+    with pytest.raises(np.linalg.LinAlgError):
+        invert(F7, a)
+
+
+def test_invert_requires_square():
+    with pytest.raises(ValueError):
+        invert(F7, np.zeros((2, 3), dtype=F7.dtype))
+
+
+@pytest.mark.parametrize("field", [F7, PrimeField(257), GF256], ids=repr)
+def test_solve_left_random_consistent_systems(field):
+    """Solutions returned by solve_left actually solve the system."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def check(data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        n, m = data.draw(st.integers(1, 5)), data.draw(st.integers(1, 5))
+        a = rng.integers(0, field.order, size=(n, m)).astype(field.dtype)
+        true_lam = rng.integers(0, field.order, size=(1, n)).astype(field.dtype)
+        b = matmul(field, true_lam, a)[0]
+        lam = solve_left(field, a, b)
+        assert lam is not None  # consistent by construction
+        assert np.array_equal(matmul(field, lam.reshape(1, -1), a)[0], b)
+
+    check()
+
+
+def test_rref_is_idempotent():
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 7, size=(4, 6)).astype(F7.dtype)
+    red, p1 = rref(F7, a)
+    red2, p2 = rref(F7, red)
+    assert np.array_equal(red, red2)
+    assert p1 == p2

@@ -1,0 +1,111 @@
+"""Tests for the open-loop (Poisson arrival) workload driver."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    PrimeField,
+    ServerConfig,
+    UniformLatency,
+    example1_code,
+)
+from repro.consistency import (
+    check_causal_bad_patterns,
+    check_causal_consistency,
+)
+from repro.workloads import OpenLoopConfig, OpenLoopDriver, ZipfianGenerator
+
+
+def make_cluster(seed=0, value_len=2):
+    return CausalECCluster(
+        example1_code(PrimeField(257), value_len=value_len),
+        latency=UniformLatency(0.5, 6.0),
+        seed=seed,
+        config=ServerConfig(gc_interval=25.0),
+    )
+
+
+def test_arrival_rate_approximates_config():
+    cluster = make_cluster()
+    cfg = OpenLoopConfig(rate_per_site=200.0, duration=2_000.0, seed=1)
+    driver = OpenLoopDriver(cluster, num_objects=3, config=cfg)
+    driver.run()
+    expected = 200.0 * 2.0 * cluster.num_servers  # rate * seconds * sites
+    assert driver.offered_ops() == pytest.approx(expected, rel=0.15)
+
+
+def test_open_loop_ops_complete_and_stay_causal():
+    cluster = make_cluster(seed=2)
+    driver = OpenLoopDriver(
+        cluster, num_objects=3,
+        keygen=ZipfianGenerator(3, 0.9),
+        config=OpenLoopConfig(rate_per_site=100.0, duration=1_000.0, seed=2),
+    )
+    driver.run()
+    assert not cluster.history.pending()
+    assert driver.dropped == 0
+    zero = cluster.code.zero_value()
+    cluster.assert_no_reencoding_errors()
+    check_causal_consistency(cluster.history, zero)
+    check_causal_bad_patterns(cluster.history, zero)
+
+
+def test_client_pool_grows_under_concurrency():
+    cluster = make_cluster(seed=3)
+    driver = OpenLoopDriver(
+        cluster, num_objects=3,
+        config=OpenLoopConfig(rate_per_site=2_000.0, duration=200.0, seed=3),
+    )
+    driver.run()
+    # at 2000 ops/s with multi-ms latencies, one client cannot keep up
+    assert any(len(pool) > 1 for pool in driver._pools.values())
+
+
+def test_max_clients_bounds_pool_and_counts_drops():
+    cluster = make_cluster(seed=4)
+    driver = OpenLoopDriver(
+        cluster, num_objects=3,
+        config=OpenLoopConfig(
+            rate_per_site=5_000.0, duration=100.0, seed=4,
+            max_clients_per_site=1,
+        ),
+    )
+    driver.run()
+    assert all(len(pool) <= 1 for pool in driver._pools.values())
+    assert driver.dropped > 0
+    assert driver.offered_ops() == len(cluster.history) + driver.dropped
+
+
+def test_sites_subset():
+    cluster = make_cluster(seed=5)
+    driver = OpenLoopDriver(
+        cluster, num_objects=3, sites=[0, 2],
+        config=OpenLoopConfig(rate_per_site=50.0, duration=500.0, seed=5),
+    )
+    driver.run()
+    homes = {c.server_id for c in cluster.clients}
+    assert homes <= {0, 2}
+
+
+def test_write_rate_controls_history_occupancy():
+    """Appendix H's lever: doubling the write arrival rate roughly doubles
+    the time-averaged history occupancy at fixed T_gc."""
+    def occupancy(rate, seed=6):
+        cluster = make_cluster(seed=seed)
+        driver = OpenLoopDriver(
+            cluster, num_objects=3,
+            config=OpenLoopConfig(
+                rate_per_site=rate, duration=3_000.0, read_ratio=0.0, seed=seed,
+            ),
+        )
+        driver.start()
+        samples = []
+        end = cluster.now + 3_000.0
+        while cluster.now < end:
+            cluster.run(for_time=50.0)
+            samples.append(cluster.total_history_entries())
+        return float(np.mean(samples))
+
+    low, high = occupancy(20.0), occupancy(80.0)
+    assert high > 2.0 * low

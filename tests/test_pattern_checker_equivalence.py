@@ -1,0 +1,169 @@
+"""Equivalence-test the polynomial bad-pattern checker against a brute-force
+reference on random small histories.
+
+Reference decision procedure (for differentiated histories): a history is
+causally consistent with LWW reads iff there exists an arbitration total
+order over writes, extending the minimal causal order ``co`` (transitive
+closure of session order + writes-into-reads), under which every read
+returns the arbitration-max write among the writes co-preceding it (and
+initial-value reads have no co-preceding write to their object).
+Minimality of ``co`` is optimal: any valid visibility order contains it,
+and enlarging visibility only adds arbitration obligations.
+
+The brute force enumerates all permutations of the writes (histories are
+kept tiny); the polynomial checker must agree exactly.
+"""
+
+from itertools import permutations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import History, Operation, check_causal_bad_patterns
+
+ZERO = np.array([0])
+
+
+def _closure(n, edges):
+    adj = [[False] * n for _ in range(n)]
+    for a, b in edges:
+        adj[a][b] = True
+    for k in range(n):
+        for i in range(n):
+            if adj[i][k]:
+                for j in range(n):
+                    if adj[k][j]:
+                        adj[i][j] = True
+    return adj
+
+
+def brute_force_causal(history: History, zero) -> bool:
+    ops = [op for op in history.operations if op.kind == "write" or op.done]
+    n = len(ops)
+    writers = {}
+    for i, op in enumerate(ops):
+        if op.kind == "write":
+            key = (op.obj, int(op.value[0]))
+            if key in writers:
+                raise ValueError("history not differentiated")
+            writers[key] = i
+
+    edges = []
+    for session in history.by_client().values():
+        chain = [i for i, op in enumerate(ops) if op in session]
+        edges += list(zip(chain, chain[1:]))
+    reads = []
+    ok = True
+    for i, op in enumerate(ops):
+        if op.kind != "read":
+            continue
+        v = int(op.value[0])
+        if v == int(zero[0]):
+            reads.append((i, None))
+            continue
+        w = writers.get((op.obj, v))
+        if w is None:
+            return False  # thin-air read
+        edges.append((w, i))
+        reads.append((i, w))
+
+    co = _closure(n, edges)
+    if any(co[i][i] for i in range(n)):
+        return False
+
+    writes = [i for i in range(n) if ops[i].kind == "write"]
+    for perm in permutations(writes):
+        rank = {w: r for r, w in enumerate(perm)}
+        # arbitration must extend co among writes
+        if any(
+            co[w1][w2] and rank[w1] > rank[w2]
+            for w1 in writes
+            for w2 in writes
+            if w1 != w2
+        ):
+            continue
+        good = True
+        for r, w in reads:
+            visible = [
+                w2 for w2 in writes
+                if ops[w2].obj == ops[r].obj and co[w2][r]
+            ]
+            if w is None:
+                if visible:
+                    good = False
+                    break
+            else:
+                if max(visible, key=lambda x: rank[x]) != w:
+                    good = False
+                    break
+        if good:
+            return True
+    return not writes and all(w is None for _, w in reads)
+
+
+# ---------------------------------------------------------------------------
+# random history generator
+
+
+def random_history(rng, num_clients=3, num_objects=2, num_ops=8,
+                   corrupt=False):
+    """A random history: mostly-plausible interleavings, optionally with a
+    corrupted read value to induce violations."""
+    h = History()
+    counter = 0
+    written: dict[int, list[int]] = {0: [], 1: [], 2: []}
+    t = 0.0
+    for _ in range(num_ops):
+        client = int(rng.integers(0, num_clients))
+        obj = int(rng.integers(0, num_objects))
+        t += 1.0
+        if rng.random() < 0.5:
+            counter += 1
+            written.setdefault(obj, []).append(counter)
+            h.record_invoke(Operation(
+                client_id=client, opid=("w", counter), kind="write", obj=obj,
+                value=np.array([counter]), invoke_time=t, response_time=t + 0.5,
+            ))
+        else:
+            pool = written.get(obj, [])
+            if pool and rng.random() < 0.8:
+                v = int(pool[int(rng.integers(0, len(pool)))])
+            else:
+                v = 0
+            h.record_invoke(Operation(
+                client_id=client, opid=("r", t), kind="read", obj=obj,
+                value=np.array([v]), invoke_time=t, response_time=t + 0.5,
+            ))
+    return h
+
+
+@settings(max_examples=120, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_pattern_checker_matches_brute_force(seed):
+    rng = np.random.default_rng(seed)
+    h = random_history(rng, num_ops=int(rng.integers(3, 9)))
+    expected = brute_force_causal(h, ZERO)
+    got = check_causal_bad_patterns(h, ZERO, raise_on_violation=False) == []
+    assert got == expected, (
+        f"disagreement on seed {seed}: pattern={got} brute={expected}"
+    )
+
+
+def test_brute_force_sanity():
+    h = History()
+    h.record_invoke(Operation(
+        client_id=1, opid="w1", kind="write", obj=0,
+        value=np.array([1]), invoke_time=0, response_time=1,
+    ))
+    h.record_invoke(Operation(
+        client_id=1, opid="r1", kind="read", obj=0,
+        value=np.array([1]), invoke_time=2, response_time=3,
+    ))
+    assert brute_force_causal(h, ZERO)
+    # same session reading the initial value after its write: inconsistent
+    h.record_invoke(Operation(
+        client_id=1, opid="r2", kind="read", obj=0,
+        value=np.array([0]), invoke_time=4, response_time=5,
+    ))
+    assert not brute_force_causal(h, ZERO)

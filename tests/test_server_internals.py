@@ -1,0 +1,263 @@
+"""White-box tests of CausalEC server internals, including the invariants
+the paper's proofs rely on, checked after every message delivery:
+
+* Lemma B.1 / D.4: vector clocks and M.tagvec are monotone;
+* Lemma C.6: vc dominates M.tagvec[X].ts for every object;
+* the GC watermark satisfies tmax[X] <= M.tagvec[X] (stated in Sec. 3);
+* Lemma C.8(ii): M.val is always the code's encoding of the writes named
+  by M.tagvec.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LOCALHOST,
+    PrimeField,
+    ServerConfig,
+    example1_code,
+)
+from repro.core.client import Client
+from repro.core.messages import ValResp, ValRespEncoded
+from repro.core.server import CausalECServer
+from repro.core.tags import zero_tag
+from repro.consistency.history import History
+from repro.sim.manual import ManualNetwork
+from repro.sim.scheduler import Scheduler
+
+F = PrimeField(257)
+
+
+def build(code=None):
+    code = code or example1_code(F)
+    sched = Scheduler()
+    net = ManualNetwork()
+    servers = [
+        CausalECServer(i, sched, net, code, ServerConfig(gc_interval=None))
+        for i in range(code.N)
+    ]
+    history = History()
+    clients = [
+        Client(code.N + i, sched, net, server_id=i, history=history)
+        for i in range(code.N)
+    ]
+    return code, net, servers, clients
+
+
+def pump_clients(code, net):
+    while True:
+        progress = False
+        for src, dst in net.channels():
+            if src >= code.N or dst >= code.N:
+                net.deliver(src, dst, count=10_000)
+                progress = True
+        if not progress:
+            return
+
+
+# ---------------------------------------------------------------------------
+# zero-tag convention and lookups
+
+
+def test_lookup_zero_tag_always_resolves():
+    code, net, servers, clients = build()
+    s = servers[0]
+    z = zero_tag(code.N)
+    assert np.array_equal(s._lookup(0, z), code.zero_value())
+    # even after the explicit initial entry is removed
+    s.L[0].remove(z)
+    assert np.array_equal(s._lookup(0, z), code.zero_value())
+
+
+def test_lookup_missing_tag_none():
+    code, net, servers, clients = build()
+    from repro.core.tags import Tag, VectorClock
+
+    t = Tag(VectorClock((1, 0, 0, 0, 0)), 9)
+    assert servers[0]._lookup(0, t) is None
+
+
+# ---------------------------------------------------------------------------
+# val_inq case analysis
+
+
+def test_val_inq_case_iii_leaves_version_encoded():
+    """If the responder cannot cancel its encoded version, the symbol ships
+    unchanged with its original tag (prose case iii)."""
+    code, net, servers, clients = build()
+    s3 = servers[3]  # stores x1+x2+x3
+    # two writes: the first version ends up garbage-collected everywhere
+    op1 = clients[0].write(0, np.array([5]))
+    pump_clients(code, net)
+    net.deliver_all()
+    clients[0].write(0, np.array([6]))
+    pump_clients(code, net)
+    net.deliver_all()  # everyone applies, encodes, eagerly GCs
+    assert s3.M.tagvec[0] != zero_tag(code.N)
+    assert s3._lookup(0, s3.M.tagvec[0]) is None  # GC removed it
+
+    # a val_inq wanting the *old* version of X1 cannot be satisfied, and
+    # s3 cannot cancel its current version either: case (iii)
+    captured = []
+    net.monitor = lambda src, dst, m: captured.append((src, dst, m))
+    from repro.core.messages import ValInq
+
+    wanted = {x: zero_tag(code.N) for x in range(code.K)}
+    wanted[0] = op1.tag
+    s3.on_message(1, ValInq(99, ("t", 1), 0, wanted))
+    resp = [m for _, _, m in captured if isinstance(m, ValRespEncoded)]
+    assert len(resp) == 1
+    # X1's effect was NOT cancelled: tag still the encoded (non-wanted) one
+    assert resp[0].tagvec[0] == s3.M.tagvec[0]
+    assert np.array_equal(resp[0].symbol, s3.M.value)
+
+
+def test_val_inq_uncoded_hit_sends_val_resp():
+    code, net, servers, clients = build()
+    op = clients[0].write(1, np.array([7]))
+    pump_clients(code, net)
+    tag = op.tag
+    captured = []
+    net.monitor = lambda src, dst, m: captured.append(m)
+    from repro.core.messages import ValInq
+
+    wanted = {x: zero_tag(code.N) for x in range(code.K)}
+    wanted[1] = tag
+    servers[0].on_message(2, ValInq(99, ("t", 2), 1, wanted))
+    resp = [m for m in captured if isinstance(m, ValResp)]
+    assert len(resp) == 1
+    assert np.array_equal(resp[0].value, np.array([7]))
+
+
+# ---------------------------------------------------------------------------
+# stale / duplicate responses
+
+
+def test_val_resp_for_unknown_opid_ignored():
+    code, net, servers, clients = build()
+    s = servers[0]
+    before = len(s.readl)
+    s.on_message(
+        1,
+        ValResp(0, np.array([1]), 99, ("nope", 0),
+                {x: zero_tag(code.N) for x in range(code.K)}),
+    )
+    assert len(s.readl) == before
+
+
+def test_val_resp_encoded_for_unknown_opid_ignored():
+    code, net, servers, clients = build()
+    s = servers[0]
+    s.on_message(
+        1,
+        ValRespEncoded(
+            code.zero_symbol(1),
+            {x: zero_tag(code.N) for x in range(code.K)},
+            99, ("nope", 0), 0,
+            {x: zero_tag(code.N) for x in range(code.K)},
+        ),
+    )
+    assert s.stats.error1_events == 0 and s.stats.error2_events == 0
+
+
+# ---------------------------------------------------------------------------
+# internal reads
+
+
+def test_internal_read_not_duplicated():
+    code, net, servers, clients = build()
+    # write twice quickly; deliver apps to server 3 but withhold some so the
+    # encoded version leaves history while newer versions queue up
+    clients[0].write(0, np.array([1]))
+    pump_clients(code, net)
+    net.deliver_all()
+    clients[0].write(0, np.array([2]))
+    pump_clients(code, net)
+    net.deliver_all()
+    s3 = servers[3]
+    localhost_entries = [
+        e for e in s3.readl.entries() if e.client_id == LOCALHOST
+    ]
+    # eager delivery resolves everything: no lingering duplicates
+    assert len(localhost_entries) == 0
+
+
+# ---------------------------------------------------------------------------
+# proof invariants along adversarial executions
+
+
+def check_invariants(code, servers):
+    for s in servers:
+        for x in range(code.K):
+            mtag = s.M.tagvec[x]
+            # Lemma C.6(b): vc dominates M.tagvec[X].ts
+            assert mtag.ts.leq(s.vc), (s.node_id, x)
+            # GC watermark invariant
+            assert s.tmax[x] <= mtag, (s.node_id, x)
+            # Lemma C.6(a): history tags dominated by vc
+            for t in s.L[x].tags():
+                assert t.ts.leq(s.vc)
+    # Lemma D.10: for X not stored at s but stored at s', at any point
+    # M_s.tagvec[X] <= M_s'.tagvec[X] (non-storing tags only advance after
+    # every storing node acknowledged)
+    for x in range(code.K):
+        storing = [s for s in servers if x in s.objects]
+        others = [s for s in servers if x not in s.objects]
+        for s in others:
+            for sp in storing:
+                assert s.M.tagvec[x] <= sp.M.tagvec[x], (
+                    f"D.10 violated: s{s.node_id} ahead of s{sp.node_id} "
+                    f"on X{x + 1}"
+                )
+
+
+def check_codeword_encoding(code, servers, value_of):
+    """Lemma C.8(ii): M.val == Phi_s(values named by M.tagvec)."""
+    for s in servers:
+        vals = []
+        for x in range(code.K):
+            t = s.M.tagvec[x]
+            vals.append(value_of.get((x, t), code.zero_value()))
+        assert np.array_equal(s.M.value, code.encode(s.node_id, vals)), (
+            s.node_id
+        )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_invariants_hold_after_every_delivery(seed):
+    code, net, servers, clients = build()
+    rng = np.random.default_rng(seed)
+    value_of = {}
+    counter = 0
+    monotone_tags = {
+        (s.node_id, x): s.M.tagvec[x] for s in servers for x in range(code.K)
+    }
+    for _ in range(120):
+        roll = rng.random()
+        if roll < 0.35:
+            server = int(rng.integers(0, code.N))
+            obj = int(rng.integers(0, code.K))
+            if not clients[server].busy:
+                counter += 1
+                op = clients[server].write(obj, np.array([counter % 257]))
+                pump_clients(code, net)
+                value_of[(obj, op.tag)] = np.array([counter % 257])
+        else:
+            chans = [
+                c for c in net.channels() if c[0] < code.N and c[1] < code.N
+            ]
+            if chans:
+                net.deliver(*chans[int(rng.integers(0, len(chans)))])
+                pump_clients(code, net)
+        check_invariants(code, servers)
+        check_codeword_encoding(code, servers, value_of)
+        # Lemma D.4: M.tagvec monotone
+        for s in servers:
+            for x in range(code.K):
+                key = (s.node_id, x)
+                assert monotone_tags[key] <= s.M.tagvec[x]
+                monotone_tags[key] = s.M.tagvec[x]
+    net.deliver_all()
+    pump_clients(code, net)
+    check_invariants(code, servers)
+    check_codeword_encoding(code, servers, value_of)

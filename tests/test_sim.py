@@ -1,0 +1,246 @@
+"""Tests for the discrete-event scheduler and the FIFO network."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    ConstantLatency,
+    ExponentialLatency,
+    MatrixLatency,
+    Network,
+    Node,
+    Scheduler,
+    UniformLatency,
+)
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+
+
+def test_events_fire_in_time_order():
+    s = Scheduler()
+    order = []
+    s.schedule(5, lambda: order.append("b"))
+    s.schedule(1, lambda: order.append("a"))
+    s.schedule(9, lambda: order.append("c"))
+    s.run()
+    assert order == ["a", "b", "c"]
+    assert s.now == 9
+
+
+def test_equal_time_events_fire_in_schedule_order():
+    s = Scheduler()
+    order = []
+    for i in range(5):
+        s.schedule(1.0, lambda i=i: order.append(i))
+    s.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cancellation():
+    s = Scheduler()
+    fired = []
+    h = s.schedule(1, lambda: fired.append(1))
+    h.cancel()
+    assert h.cancelled
+    s.run()
+    assert fired == []
+
+
+def test_schedule_during_run():
+    s = Scheduler()
+    order = []
+
+    def first():
+        order.append("first")
+        s.schedule(1, lambda: order.append("second"))
+
+    s.schedule(1, first)
+    s.run()
+    assert order == ["first", "second"]
+    assert s.now == 2
+
+
+def test_run_until():
+    s = Scheduler()
+    fired = []
+    s.schedule(1, lambda: fired.append(1))
+    s.schedule(10, lambda: fired.append(2))
+    s.run(until=5)
+    assert fired == [1]
+    assert s.now == 5
+    s.run()
+    assert fired == [1, 2]
+
+
+def test_run_max_events():
+    s = Scheduler()
+    fired = []
+    for i in range(10):
+        s.schedule(i + 1, lambda i=i: fired.append(i))
+    s.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_when():
+    s = Scheduler()
+    fired = []
+    for i in range(10):
+        s.schedule(i + 1, lambda i=i: fired.append(i))
+    s.run(stop_when=lambda: len(fired) >= 4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_negative_delay_rejected():
+    s = Scheduler()
+    with pytest.raises(ValueError):
+        s.schedule(-1, lambda: None)
+
+
+def test_past_scheduling_rejected():
+    s = Scheduler()
+    s.schedule(5, lambda: None)
+    s.run()
+    with pytest.raises(ValueError):
+        s.at(1, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# network
+
+
+class Recorder(Node):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, src, msg):
+        self.received.append((self.scheduler.now, src, msg))
+
+
+class Msg:
+    kind = "test"
+    size_bits = 100.0
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __repr__(self):
+        return f"Msg({self.tag})"
+
+
+def make_net(latency, seed=0):
+    sched = Scheduler()
+    net = Network(sched, latency=latency, rng=np.random.default_rng(seed))
+    nodes = [Recorder(i, sched, net) for i in range(3)]
+    return sched, net, nodes
+
+
+def test_fifo_under_jittery_latency():
+    """Per-channel FIFO must hold even when later sends draw lower delays."""
+    sched, net, nodes = make_net(UniformLatency(0.1, 50.0), seed=42)
+    for i in range(50):
+        net.send(0, 1, Msg(i))
+    sched.run()
+    tags = [m.tag for _, _, m in nodes[1].received]
+    assert tags == list(range(50))
+
+
+def test_constant_latency_delivery_time():
+    sched, net, nodes = make_net(ConstantLatency(7.5))
+    net.send(0, 1, Msg("x"))
+    sched.run()
+    (t, src, msg), = nodes[1].received
+    assert t == pytest.approx(7.5)
+    assert src == 0
+
+
+def test_matrix_latency_uses_half_rtt():
+    rtt = np.array([[0, 100], [100, 0]], dtype=float)
+    sched = Scheduler()
+    net = Network(sched, latency=MatrixLatency(rtt))
+    nodes = [Recorder(i, sched, net) for i in range(2)]
+    net.send(0, 1, Msg("x"))
+    sched.run()
+    assert nodes[1].received[0][0] == pytest.approx(50.0)
+
+
+def test_halted_node_receives_nothing():
+    sched, net, nodes = make_net(ConstantLatency(1))
+    nodes[1].halt()
+    net.send(0, 1, Msg("x"))
+    sched.run()
+    assert nodes[1].received == []
+
+
+def test_halted_node_sends_nothing():
+    sched, net, nodes = make_net(ConstantLatency(1))
+    nodes[0].halt()
+    nodes[0].send(1, Msg("x"))
+    sched.run()
+    assert nodes[1].received == []
+
+
+def test_halted_node_timers_suppressed():
+    sched, net, nodes = make_net(ConstantLatency(1))
+    fired = []
+    nodes[0].set_timer(5, lambda: fired.append(1))
+    nodes[0].halt()
+    sched.run()
+    assert fired == []
+
+
+def test_unknown_destination_raises():
+    sched, net, nodes = make_net(ConstantLatency(1))
+    with pytest.raises(KeyError):
+        net.send(0, 99, Msg("x"))
+
+
+def test_duplicate_registration_rejected():
+    sched = Scheduler()
+    net = Network(sched)
+    Recorder(0, sched, net)
+    with pytest.raises(ValueError):
+        Recorder(0, sched, net)
+
+
+def test_stats_accounting():
+    sched, net, nodes = make_net(ConstantLatency(1))
+    for _ in range(3):
+        net.send(0, 1, Msg("x"))
+    sched.run()
+    assert net.stats.messages["test"] == 3
+    assert net.stats.bits["test"] == pytest.approx(300.0)
+    assert net.stats.total_messages == 3
+    assert net.stats.total_bits == pytest.approx(300.0)
+
+
+def test_monitor_callback():
+    sched, net, nodes = make_net(ConstantLatency(1))
+    seen = []
+    net.monitor = lambda s, d, m: seen.append((s, d, m.tag))
+    net.send(0, 2, Msg("y"))
+    sched.run()
+    assert seen == [(0, 2, "y")]
+
+
+def test_exponential_latency_positive():
+    lat = ExponentialLatency(1.0, 5.0)
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        assert lat.delay(0, 1, rng) >= 1.0
+
+
+def test_determinism_same_seed():
+    results = []
+    for _ in range(2):
+        sched, net, nodes = make_net(UniformLatency(0.1, 10), seed=7)
+        for i in range(20):
+            net.send(0, 1, Msg(i))
+            net.send(0, 2, Msg(i))
+        sched.run()
+        results.append(
+            [(round(t, 9), m.tag) for t, _, m in nodes[1].received + nodes[2].received]
+        )
+    assert results[0] == results[1]

@@ -1,0 +1,271 @@
+"""Tests for the CausalEC server state containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import (
+    DeletionList,
+    HistoryList,
+    InQueue,
+    InQueueEntry,
+    ReadEntry,
+    ReadList,
+)
+from repro.core.tags import LOCALHOST, Tag, VectorClock, zero_tag
+
+ZERO = zero_tag(3)
+
+
+def tag(*components, cid=0):
+    return Tag(VectorClock(tuple(components)), cid)
+
+
+def val(x):
+    return np.array([x])
+
+
+# ---------------------------------------------------------------------------
+# HistoryList
+
+
+def test_history_empty_conventions():
+    h = HistoryList(ZERO)
+    assert len(h) == 0
+    assert h.highest_tag == ZERO
+    assert h.highest_value() is None
+    assert h.get(tag(1, 0, 0)) is None
+
+
+def test_history_add_get_remove():
+    h = HistoryList(ZERO)
+    t1, t2 = tag(1, 0, 0), tag(2, 0, 0)
+    h.add(t1, val(10))
+    h.add(t2, val(20))
+    assert len(h) == 2
+    assert t1 in h
+    assert np.array_equal(h.get(t1), val(10))
+    assert h.highest_tag == t2
+    assert np.array_equal(h.highest_value(), val(20))
+    h.remove(t2)
+    assert h.highest_tag == t1
+    h.remove(t2)  # idempotent
+
+
+def test_history_highest_with_concurrent_tags():
+    h = HistoryList(ZERO)
+    a, b = tag(2, 0, 0, cid=1), tag(0, 0, 2, cid=0)
+    h.add(a, val(1))
+    h.add(b, val(2))
+    assert h.highest_tag == max(a, b)
+
+
+# ---------------------------------------------------------------------------
+# DeletionList
+
+
+def test_deletion_list_max_common():
+    d = DeletionList()
+    assert d.max_common(range(3)) is None
+    d.add(tag(1, 0, 0), 0)
+    d.add(tag(2, 0, 0), 1)
+    assert d.max_common(range(3)) is None  # node 2 silent
+    d.add(tag(3, 0, 0), 2)
+    assert d.max_common(range(3)) == tag(1, 0, 0)
+    d.add(tag(5, 0, 0), 0)
+    assert d.max_common(range(3)) == tag(2, 0, 0)
+    assert d.max_common([0]) == tag(5, 0, 0)
+
+
+def test_deletion_list_exact_membership():
+    d = DeletionList()
+    t = tag(1, 1, 0)
+    d.add(t, 0)
+    d.add(t, 1)
+    assert not d.has_exact_from_all(t, range(3))
+    d.add(t, 2)
+    assert d.has_exact_from_all(t, range(3))
+    assert not d.has_exact_from_all(tag(9, 9, 9), range(3))
+
+
+def test_deletion_list_prune_keeps_maxima():
+    d = DeletionList()
+    for i in range(1, 6):
+        d.add(tag(i, 0, 0), 0)
+    d.prune_below(tag(4, 0, 0))
+    assert d.max_from(0) == tag(5, 0, 0)
+    assert d.has_exact_from_all(tag(4, 0, 0), [0])
+    assert not d.has_exact_from_all(tag(2, 0, 0), [0])
+    assert d.total_entries() == 2
+
+
+# ---------------------------------------------------------------------------
+# InQueue (causal application predicate)
+
+
+def test_inqueue_applies_next_expected():
+    q = InQueue()
+    vc = VectorClock((0, 0, 0))
+    q.add(InQueueEntry(1, 0, val(1), tag(0, 1, 0)))
+    e = q.pop_applicable(vc)
+    assert e is not None and e.tag == tag(0, 1, 0)
+    assert len(q) == 0
+
+
+def test_inqueue_blocks_on_gap():
+    q = InQueue()
+    vc = VectorClock((0, 0, 0))
+    q.add(InQueueEntry(1, 0, val(2), tag(0, 2, 0)))  # skips seq 1 from node 1
+    assert q.pop_applicable(vc) is None
+    assert len(q) == 1
+
+
+def test_inqueue_blocks_on_missing_dependency():
+    q = InQueue()
+    vc = VectorClock((0, 0, 0))
+    # write from node 1 that causally depends on node 0's first write
+    q.add(InQueueEntry(1, 0, val(1), tag(1, 1, 0)))
+    assert q.pop_applicable(vc) is None
+    assert q.pop_applicable(VectorClock((1, 0, 0))) is not None
+
+
+def test_inqueue_scans_past_blocked_head():
+    q = InQueue()
+    vc = VectorClock((0, 0, 0))
+    blocked = InQueueEntry(1, 0, val(1), tag(1, 1, 0))  # needs vc[0] >= 1
+    ready = InQueueEntry(2, 0, val(2), tag(0, 0, 1))
+    q.add(blocked)
+    q.add(ready)
+    e = q.pop_applicable(vc)
+    assert e is ready
+    assert len(q) == 1
+
+
+def test_inqueue_prefers_smaller_lamport_when_both_ready():
+    q = InQueue()
+    vc = VectorClock((0, 0, 0))
+    a = InQueueEntry(1, 0, val(1), tag(0, 1, 0))
+    b = InQueueEntry(2, 0, val(2), tag(0, 0, 1))
+    q.add(b)
+    q.add(a)
+    first = q.pop_applicable(vc)
+    assert first.tag.ts.lamport == 1  # both lamport 1; order by client id
+    # either is fine causally; ensure both drain
+    vc2 = vc.with_component(first.sender, 1)
+    assert q.pop_applicable(vc2) is not None
+
+
+# ---------------------------------------------------------------------------
+# ReadList
+
+
+def entry(opid, obj=0, client=5):
+    return ReadEntry(client, opid, obj, {0: ZERO, 1: ZERO}, {0: val(0)})
+
+
+def test_readlist_add_get_remove():
+    rl = ReadList()
+    e = entry("a")
+    rl.add(e)
+    assert rl.get("a") is e
+    assert len(rl) == 1
+    rl.remove("a")
+    assert rl.get("a") is None
+    rl.remove("a")  # idempotent
+
+
+def test_readlist_duplicate_opid_rejected():
+    rl = ReadList()
+    rl.add(entry("a"))
+    with pytest.raises(ValueError):
+        rl.add(entry("a"))
+
+
+def test_readlist_for_object():
+    rl = ReadList()
+    rl.add(entry("a", obj=0))
+    rl.add(entry("b", obj=1))
+    rl.add(entry("c", obj=0))
+    assert {e.opid for e in rl.for_object(0)} == {"a", "c"}
+
+
+def test_readlist_localhost_lookup():
+    rl = ReadList()
+    e = ReadEntry(LOCALHOST, "x", 1, {0: ZERO, 1: tag(1, 0, 0)}, {})
+    rl.add(e)
+    assert rl.localhost_entry_for(1, tag(1, 0, 0), LOCALHOST)
+    assert not rl.localhost_entry_for(1, tag(2, 0, 0), LOCALHOST)
+    assert not rl.localhost_entry_for(0, ZERO, LOCALHOST)
+
+
+# ---------------------------------------------------------------------------
+# DeletionList pruning never changes observable queries (property test)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class _ReferenceDeletionList:
+    """Unpruned reference model for DeletionList's aggregate queries."""
+
+    def __init__(self):
+        self.entries: dict[int, set] = {}
+
+    def add(self, t, node):
+        self.entries.setdefault(node, set()).add(t)
+
+    def max_from(self, node):
+        s = self.entries.get(node)
+        return max(s) if s else None
+
+    def max_common(self, nodes):
+        best = None
+        for n in nodes:
+            m = self.max_from(n)
+            if m is None:
+                return None
+            if best is None or m < best:
+                best = m
+        return best
+
+    def has_exact_from_all(self, t, nodes):
+        return all(t in self.entries.get(n, ()) for n in nodes)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(1, 8), st.integers(0, 2)), min_size=1, max_size=25
+    ),
+    prune_points=st.lists(st.integers(0, 25), max_size=4),
+)
+def test_deletion_list_prune_preserves_queries(ops, prune_points):
+    """Pruning below a monotone watermark must preserve every query the
+    protocol performs: per-node maxima, the common watermark, and exact
+    membership at or above the watermark."""
+    real = DeletionList()
+    ref = _ReferenceDeletionList()
+    watermark = ZERO
+    nodes = range(3)
+    for i, (lamport, node) in enumerate(ops):
+        t = tag(lamport, 0, 0, cid=node)
+        real.add(t, node)
+        ref.add(t, node)
+        if i in prune_points:
+            # the protocol only prunes below tmax, which is monotone and
+            # bounded by the common watermark
+            common = ref.max_common(nodes)
+            if common is not None and common > watermark:
+                watermark = common
+            real.prune_below(watermark)
+        for n in nodes:
+            assert real.max_from(n) == ref.max_from(n)
+        assert real.max_common(nodes) == ref.max_common(nodes)
+        assert real.max_common([0, 1]) == ref.max_common([0, 1])
+        # exact membership at or above the watermark (all the protocol asks)
+        for lam in range(1, 9):
+            probe = tag(lam, 0, 0, cid=0)
+            if not (probe < watermark):
+                for n in nodes:
+                    assert real.has_exact_from_all(probe, [n]) == \
+                        ref.has_exact_from_all(probe, [n])

@@ -1,0 +1,176 @@
+"""Tests for key generators and the closed-loop workload driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CausalECCluster, PrimeField, UniformLatency, example1_code
+from repro.workloads import (
+    ClosedLoopDriver,
+    HotspotGenerator,
+    UniformGenerator,
+    WorkloadConfig,
+    ZipfianGenerator,
+    zipf_harmonic,
+    zipf_tail_mass,
+)
+
+
+# ---------------------------------------------------------------------------
+# harmonic numbers
+
+
+def test_zipf_harmonic_exact_small():
+    assert zipf_harmonic(1, 0.99) == pytest.approx(1.0)
+    assert zipf_harmonic(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+
+
+def test_zipf_harmonic_monotone():
+    assert zipf_harmonic(100, 0.99) < zipf_harmonic(1000, 0.99)
+
+
+def test_zipf_harmonic_approximation_continuity():
+    """Exact and approximate branches agree near the cutoff scale."""
+    theta = 0.99
+    exact = zipf_harmonic(10_000_000, theta)
+    # reconstruct what the approximate branch would yield just above cutoff
+    above = zipf_harmonic(10_000_001, theta)
+    assert above == pytest.approx(exact + 10_000_001 ** -theta, rel=1e-9)
+
+
+def test_zipf_harmonic_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        zipf_harmonic(0, 0.99)
+
+
+def test_zipf_tail_mass():
+    assert zipf_tail_mass(100, 0.99, 1) == pytest.approx(1.0)
+    assert 0 < zipf_tail_mass(100, 0.99, 50) < 0.5
+
+
+# ---------------------------------------------------------------------------
+# generators
+
+
+def test_uniform_generator_range_and_probability():
+    g = UniformGenerator(10)
+    rng = np.random.default_rng(0)
+    samples = [g.sample(rng) for _ in range(1000)]
+    assert min(samples) >= 0 and max(samples) < 10
+    assert g.probability(3) == pytest.approx(0.1)
+
+
+def test_zipfian_empirical_matches_pmf():
+    g = ZipfianGenerator(50, theta=0.99)
+    rng = np.random.default_rng(1)
+    counts = np.zeros(50)
+    n = 40_000
+    for _ in range(n):
+        counts[g.sample(rng)] += 1
+    for rank in (0, 1, 5, 20):
+        assert counts[rank] / n == pytest.approx(g.probability(rank), rel=0.15)
+
+
+def test_zipfian_skew():
+    g = ZipfianGenerator(1000, theta=0.99)
+    assert g.probability(0) > 50 * g.probability(999)
+
+
+def test_zipfian_probabilities_sum_to_one():
+    g = ZipfianGenerator(200, theta=0.7)
+    assert sum(g.probability(i) for i in range(200)) == pytest.approx(1.0)
+
+
+def test_zipfian_rejects_empty():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+
+
+def test_hotspot_generator():
+    g = HotspotGenerator(100, hot_fraction=0.1, hot_traffic=0.9)
+    rng = np.random.default_rng(2)
+    hot = sum(1 for _ in range(5000) if g.sample(rng) < 10)
+    assert hot / 5000 == pytest.approx(0.9, abs=0.03)
+    assert sum(g.probability(i) for i in range(100)) == pytest.approx(1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 500), theta=st.floats(0.1, 1.3), seed=st.integers(0, 100))
+def test_zipfian_samples_in_range(n, theta, seed):
+    g = ZipfianGenerator(n, theta)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        assert 0 <= g.sample(rng) < n
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+
+def test_driver_issues_exact_budget():
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=UniformLatency(0.5, 3.0), seed=0
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(ops_per_client=7, read_ratio=0.5, seed=0),
+    )
+    driver.run()
+    assert len(cluster.history) == 7 * cluster.num_servers
+    assert driver.done()
+
+
+def test_driver_well_formed_sessions():
+    """At most one pending op per client at every point (Sec. 2.1)."""
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=UniformLatency(0.5, 3.0), seed=1
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(ops_per_client=10, seed=1),
+    )
+    driver.run()
+    for client, ops in cluster.history.by_client().items():
+        for prev, nxt in zip(ops, ops[1:]):
+            assert prev.response_time is not None
+            assert prev.response_time <= nxt.invoke_time
+
+
+def test_driver_unique_write_values():
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257), value_len=2),
+        latency=UniformLatency(0.5, 3.0), seed=2,
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(ops_per_client=30, read_ratio=0.0, seed=2),
+    )
+    driver.run()
+    seen = {tuple(op.value) for op in cluster.history.writes()}
+    assert len(seen) == len(cluster.history.writes())
+
+
+def test_driver_read_ratio():
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=UniformLatency(0.5, 3.0), seed=3
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3,
+        config=WorkloadConfig(ops_per_client=100, read_ratio=0.8, seed=3),
+    )
+    driver.run()
+    reads = len(cluster.history.reads())
+    assert reads / len(cluster.history) == pytest.approx(0.8, abs=0.07)
+
+
+def test_driver_client_sites():
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), latency=UniformLatency(0.5, 3.0), seed=4
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=3, client_sites=[0, 0, 2],
+        config=WorkloadConfig(ops_per_client=2, seed=4),
+    )
+    driver.run()
+    assert [c.server_id for c in driver.clients] == [0, 0, 2]

@@ -1,0 +1,145 @@
+"""Tests for the YCSB core-workload presets and the latest distribution."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CausalECCluster,
+    PrimeField,
+    ServerConfig,
+    UniformLatency,
+    example1_code,
+)
+from repro.consistency import (
+    check_causal_bad_patterns,
+    check_causal_consistency,
+)
+from repro.workloads import (
+    YCSB_PRESETS,
+    ClosedLoopDriver,
+    LatestGenerator,
+    WorkloadConfig,
+    ycsb_preset,
+)
+
+
+# ---------------------------------------------------------------------------
+# presets
+
+
+def test_preset_lookup_case_insensitive():
+    assert ycsb_preset("a").name == "A"
+    assert ycsb_preset("F").read_modify_write
+
+
+def test_preset_unknown():
+    with pytest.raises(ValueError, match="unknown YCSB preset"):
+        ycsb_preset("E")
+
+
+def test_preset_catalog():
+    assert set(YCSB_PRESETS) == {"A", "B", "C", "D", "F"}
+    assert YCSB_PRESETS["C"].read_ratio == 1.0
+    assert YCSB_PRESETS["D"].distribution == "latest"
+
+
+def test_preset_keygen_types():
+    from repro.workloads import ZipfianGenerator
+
+    assert isinstance(ycsb_preset("A").make_keygen(10), ZipfianGenerator)
+    assert isinstance(ycsb_preset("D").make_keygen(10), LatestGenerator)
+
+
+# ---------------------------------------------------------------------------
+# latest distribution
+
+
+def test_latest_prefers_newest():
+    g = LatestGenerator(100, theta=0.99)
+    g.newest = 50
+    rng = np.random.default_rng(0)
+    samples = [g.sample(rng) for _ in range(5000)]
+    # the newest key must be the modal sample
+    counts = np.bincount(samples, minlength=100)
+    assert counts.argmax() == 50
+
+
+def test_latest_advance_shifts_hotspot():
+    g = LatestGenerator(10)
+    assert g.advance() == 1
+    assert g.advance() == 2
+    rng = np.random.default_rng(1)
+    samples = [g.sample(rng) for _ in range(3000)]
+    counts = np.bincount(samples, minlength=10)
+    assert counts.argmax() == 2
+
+
+def test_latest_wraps_around():
+    g = LatestGenerator(3)
+    for _ in range(5):
+        g.advance()
+    assert g.newest == 2
+    rng = np.random.default_rng(2)
+    assert all(0 <= g.sample(rng) < 3 for _ in range(100))
+
+
+# ---------------------------------------------------------------------------
+# driver integration
+
+
+def run_preset(name, seed=0, ops=30):
+    code = example1_code(PrimeField(257))
+    cluster = CausalECCluster(
+        code, latency=UniformLatency(0.5, 8.0), seed=seed,
+        config=ServerConfig(gc_interval=25.0),
+    )
+    driver = ClosedLoopDriver(
+        cluster, num_objects=code.K, preset=ycsb_preset(name),
+        config=WorkloadConfig(ops_per_client=ops, seed=seed),
+    )
+    driver.run()
+    cluster.run(for_time=3000)
+    return cluster
+
+
+@pytest.mark.parametrize("name", sorted(YCSB_PRESETS))
+def test_presets_run_causally(name):
+    cluster = run_preset(name)
+    cluster.assert_no_reencoding_errors()
+    zero = cluster.code.zero_value()
+    check_causal_consistency(cluster.history, zero)
+    check_causal_bad_patterns(cluster.history, zero)
+
+
+def test_workload_c_is_read_only():
+    cluster = run_preset("C")
+    assert not cluster.history.writes()
+
+
+def test_workload_b_mostly_reads():
+    cluster = run_preset("B", ops=60)
+    reads = len(cluster.history.reads())
+    assert reads / len(cluster.history) > 0.85
+
+
+def test_workload_f_pairs_reads_with_writes():
+    cluster = run_preset("F", ops=40)
+    writes = cluster.history.writes()
+    reads = cluster.history.reads()
+    assert writes, "workload F must produce write-backs"
+    # every write is a write-back of the key read immediately before it by
+    # the same client
+    by_client = cluster.history.by_client()
+    for ops in by_client.values():
+        for prev, nxt in zip(ops, ops[1:]):
+            if nxt.kind == "write":
+                assert prev.kind == "read" and prev.obj == nxt.obj
+
+
+def test_workload_d_writes_follow_recency():
+    cluster = run_preset("D", ops=60, seed=3)
+    writes = cluster.history.writes()
+    if len(writes) >= 2:
+        # inserts advance cyclically: consecutive written keys differ
+        keys = [w.obj for w in writes]
+        assert any(a != b for a, b in zip(keys, keys[1:])) or len(set(keys)) == 1
