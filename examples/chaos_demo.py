@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Chaos demo: CausalEC surviving a hostile network.
+
+The paper assumes reliable FIFO channels and halting faults.  This demo
+deliberately breaks the substrate under the protocol -- messages dropped
+with double-digit probability, duplicate deliveries, a timed network
+partition, and a server crash recovered from its durable snapshot -- and
+shows the ARQ transport + recovery machinery rebuilding the paper's model
+out of the wreckage: every completed operation stays causally consistent
+(Theorem 4.1) and the storage still converges (Theorem 4.5).
+
+Run:  python examples/chaos_demo.py
+"""
+
+from repro import PrimeField, example1_code, run_chaos, run_chaos_suite
+
+SEEDS = range(3)
+
+
+def main() -> None:
+    code = example1_code(PrimeField(257))
+    print(f"code: {code.name} -- {code.N} servers, {code.K} objects")
+    print(f"chaos: drops (p <= 0.3), duplicates, one partition window, "
+          f"one crash-restart per seed\n")
+
+    results = run_chaos_suite(code, seeds=SEEDS)
+    for r in results:
+        print(r.summary())
+        print()
+
+    ok = sum(r.ok for r in results)
+    print(f"verdict: {ok}/{len(results)} seeded schedules passed every "
+          f"checker and converged")
+    if ok != len(results):
+        raise SystemExit(1)
+
+    # zoom into one schedule to show what actually happened on the wire
+    r = run_chaos(code, seed=1)
+    s = r.schedule
+    (w,) = s.partitions
+    down, up, victim = s.crashes[0]
+    print(f"\nseed 1 under the microscope:")
+    print(f"  partition [{w.start:.0f}ms, {w.end:.0f}ms): "
+          f"{sorted(w.groups[0])} cut from {sorted(w.groups[1])}")
+    print(f"  server {victim} crashed at {down:.0f}ms, recovered from its "
+          f"durable snapshot at {up:.0f}ms")
+    print(f"  the links dropped {r.dropped} messages and duplicated "
+          f"{r.duplicated}; ARQ retransmitted {r.retransmissions} segments "
+          f"and suppressed {r.duplicates_suppressed} duplicates")
+    print(f"  yet all {r.completed} completed operations are causally "
+          f"consistent and the state drained to a single codeword per "
+          f"server")
+
+
+if __name__ == "__main__":
+    main()

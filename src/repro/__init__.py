@@ -34,6 +34,9 @@ from .core import (
     Client,
     Cluster,
     CostModel,
+    DurableStore,
+    HomeServerUnavailable,
+    RetryPolicy,
     ServerConfig,
     Tag,
     VectorClock,
@@ -53,12 +56,22 @@ from .ec import (
     six_dc_code,
 )
 from .sim import (
+    ChaosConfig,
+    ChaosResult,
+    ChaosSchedule,
     ConstantLatency,
     ExponentialLatency,
+    LinkFaults,
     MatrixLatency,
     Network,
+    PartitionPlan,
+    PartitionWindow,
+    ReliableTransport,
     Scheduler,
+    TransportConfig,
     UniformLatency,
+    run_chaos,
+    run_chaos_suite,
 )
 
 __version__ = "1.0.0"
@@ -94,6 +107,20 @@ __all__ = [
     "MatrixLatency",
     "UniformLatency",
     "ExponentialLatency",
+    # fault tolerance
+    "LinkFaults",
+    "PartitionPlan",
+    "PartitionWindow",
+    "ReliableTransport",
+    "TransportConfig",
+    "RetryPolicy",
+    "HomeServerUnavailable",
+    "DurableStore",
+    "ChaosConfig",
+    "ChaosSchedule",
+    "ChaosResult",
+    "run_chaos",
+    "run_chaos_suite",
     # consistency
     "History",
     "Operation",

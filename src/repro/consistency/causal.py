@@ -107,9 +107,27 @@ def check_causal_consistency(
     for w in writes:
         if w.tag is not None:
             writes_by_obj.setdefault(w.obj, []).append(w)
+    # values of invoked-but-incomplete ("phantom") writes: the client timed
+    # out or is still waiting, yet the write may have taken effect
+    # server-side -- e.g. delivered by the ARQ transport after the writer
+    # gave up on a crashed home server.  An incomplete operation carries no
+    # certificate and is concurrent with everything, so a read returning
+    # its value cannot be arbitrated black-box; it is exempt from the
+    # last-writer-wins check (session and written-value checks still apply).
+    phantoms = [
+        (w.obj, w.value) for w in history.writes() if not w.done
+    ]
+
+    def _is_phantom(obj: int, value) -> bool:
+        return any(
+            po == obj and _values_equal(value, pv) for po, pv in phantoms
+        )
+
     for r in reads:
         if r.ts is None:
             violations.append(f"read {r.opid} completed without a certificate")
+            continue
+        if phantoms and _is_phantom(r.obj, r.value):
             continue
         visible = [
             w for w in writes_by_obj.get(r.obj, []) if w.ts.leq(r.ts)

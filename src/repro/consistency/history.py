@@ -31,10 +31,23 @@ class Operation:
     response_time: float | None = None
     ts: Any = None  # server vector clock at response (Definition 6)
     tag: Any = None  # write tag / returned write's tag
+    failed: bool = False  # gave up (home server unavailable)
+    failed_time: float | None = None
+    error: Any = None  # typed error when failed (HomeServerUnavailable)
 
     @property
     def done(self) -> bool:
         return self.response_time is not None
+
+    @property
+    def settled(self) -> bool:
+        """Completed or failed -- either way the client moved on.
+
+        A failed operation never completed at the client, but it *may*
+        still take effect at the servers (the request can be delivered
+        after the client gave up); checkers treat it as incomplete.
+        """
+        return self.done or self.failed
 
     @property
     def latency(self) -> float | None:
@@ -60,6 +73,13 @@ class History:
 
     def pending(self) -> list[Operation]:
         return [op for op in self.operations if not op.done]
+
+    def failed(self) -> list[Operation]:
+        return [op for op in self.operations if op.failed]
+
+    def unsettled(self) -> list[Operation]:
+        """Operations the client is still waiting on (not done, not failed)."""
+        return [op for op in self.operations if not op.settled]
 
     def writes(self) -> list[Operation]:
         return [op for op in self.operations if op.kind == "write"]

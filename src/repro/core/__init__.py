@@ -1,9 +1,17 @@
 """CausalEC: the paper's primary contribution (Algorithms 1-3)."""
 
-from .client import Client
+from .client import Client, HomeServerUnavailable, RetryPolicy
 from .cluster import CausalECCluster, Cluster
 from .messages import CostModel
-from .snapshot import format_snapshot, snapshot_cluster, snapshot_server
+from .snapshot import (
+    DurableStore,
+    ServerCheckpoint,
+    capture_server_state,
+    format_snapshot,
+    restore_server_state,
+    snapshot_cluster,
+    snapshot_server,
+)
 from .server import CausalECServer, ServerConfig, ServerStats
 from .tags import LOCALHOST, Tag, VectorClock, zero_tag
 
@@ -14,6 +22,8 @@ __all__ = [
     "ServerConfig",
     "ServerStats",
     "Client",
+    "RetryPolicy",
+    "HomeServerUnavailable",
     "CostModel",
     "Tag",
     "VectorClock",
@@ -22,4 +32,8 @@ __all__ = [
     "snapshot_server",
     "snapshot_cluster",
     "format_snapshot",
+    "DurableStore",
+    "ServerCheckpoint",
+    "capture_server_state",
+    "restore_server_state",
 ]

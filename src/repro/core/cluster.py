@@ -26,17 +26,29 @@ import numpy as np
 
 from ..consistency.history import History, Operation
 from ..ec.code import LinearCode
-from ..sim.network import LatencyModel, Network
+from ..sim.network import LatencyModel, LinkFaults, Network
 from ..sim.node import Node
 from ..sim.scheduler import Scheduler
-from .client import Client
+from ..sim.transport import ReliableTransport, TransportConfig
+from .client import Client, RetryPolicy
 from .server import CausalECServer, ServerConfig
 
 __all__ = ["Cluster", "CausalECCluster"]
 
 
 class Cluster:
-    """A simulated deployment: servers + clients + network + history."""
+    """A simulated deployment: servers + clients + network + history.
+
+    By default the network is the paper's reliable FIFO channel.  Pass
+    ``link_faults`` (a :class:`~repro.sim.network.LinkFaults`) to run over
+    a lossy substrate instead; an ARQ :class:`~repro.sim.transport
+    .ReliableTransport` is then interposed automatically so protocol code
+    still sees reliable FIFO channels.  ``transport`` can also be supplied
+    explicitly (a :class:`~repro.sim.transport.TransportConfig`) to tune
+    or force the ARQ sublayer.  ``self.network`` is the facade nodes send
+    through (logical message stats); ``self.wire`` is the underlying
+    physical network (wire-level stats, including retransmissions/acks).
+    """
 
     def __init__(
         self,
@@ -44,11 +56,27 @@ class Cluster:
         latency: LatencyModel | None = None,
         seed: int = 0,
         scheduler: Scheduler | None = None,
+        link_faults: LinkFaults | None = None,
+        transport: TransportConfig | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.num_servers = num_servers
         self.scheduler = scheduler or Scheduler()
         self.rng = np.random.default_rng(seed)
-        self.network = Network(self.scheduler, latency=latency, rng=self.rng)
+        self.wire = Network(
+            self.scheduler, latency=latency, rng=self.rng, faults=link_faults
+        )
+        if transport is None and link_faults is not None:
+            transport = TransportConfig()
+        if transport is not None:
+            self.transport: ReliableTransport | None = ReliableTransport(
+                self.wire, transport
+            )
+            self.network = self.transport
+        else:
+            self.transport = None
+            self.network = self.wire
+        self.retry = retry
         self.history = History()
         self.servers: list[Node] = []
         self.clients: list[Client] = []
@@ -57,7 +85,9 @@ class Cluster:
     # ------------------------------------------------------------------
     # topology
 
-    def add_client(self, server: int = 0) -> Client:
+    def add_client(
+        self, server: int = 0, retry: RetryPolicy | None = None
+    ) -> Client:
         """Create a client attached to ``server`` (a member of C_server)."""
         if not 0 <= server < self.num_servers:
             raise ValueError(f"no such server {server}")
@@ -67,6 +97,7 @@ class Cluster:
             self.network,
             server_id=server,
             history=self.history,
+            retry=retry if retry is not None else self.retry,
         )
         self._next_node_id += 1
         self.clients.append(client)
@@ -75,6 +106,10 @@ class Cluster:
     def halt_server(self, server: int) -> None:
         """Crash a server (it takes no further steps)."""
         self.servers[server].halt()
+
+    def restart_server(self, server: int) -> None:
+        """Recover a crashed server (reloads its durable snapshot, if any)."""
+        self.servers[server].restart()
 
     # ------------------------------------------------------------------
     # execution control
@@ -86,8 +121,13 @@ class Cluster:
         return self
 
     def execute(self, op: Operation, max_events: int = 1_000_000) -> Operation:
-        """Run the simulation until ``op`` completes (or events exhaust)."""
-        self.scheduler.run(max_events=max_events, stop_when=lambda: op.done)
+        """Run the simulation until ``op`` settles (or events exhaust).
+
+        An op settles by completing *or* by failing fast with
+        :class:`~repro.core.client.HomeServerUnavailable` (retry policy);
+        either way the simulation does not hang on a dead home server.
+        """
+        self.scheduler.run(max_events=max_events, stop_when=lambda: op.settled)
         return op
 
     def write_sync(self, client: Client, obj: int, value) -> Operation:
@@ -132,7 +172,12 @@ class Cluster:
 
 
 class CausalECCluster(Cluster):
-    """A cluster of CausalEC servers parametrised by a linear code."""
+    """A cluster of CausalEC servers parametrised by a linear code.
+
+    ``durable=True`` attaches a :class:`~repro.core.snapshot.DurableStore`
+    (or pass one explicitly) so servers persist eagerly and survive
+    crash-*restart* via :meth:`restart_server`.
+    """
 
     def __init__(
         self,
@@ -141,14 +186,35 @@ class CausalECCluster(Cluster):
         seed: int = 0,
         config: ServerConfig | None = None,
         scheduler: Scheduler | None = None,
+        link_faults: LinkFaults | None = None,
+        transport: TransportConfig | None = None,
+        retry: RetryPolicy | None = None,
+        durable=False,
     ):
-        super().__init__(code.N, latency=latency, seed=seed, scheduler=scheduler)
+        super().__init__(
+            code.N,
+            latency=latency,
+            seed=seed,
+            scheduler=scheduler,
+            link_faults=link_faults,
+            transport=transport,
+            retry=retry,
+        )
         self.code = code
         self.config = config or ServerConfig()
         self.servers = [
             CausalECServer(i, self.scheduler, self.network, code, self.config)
             for i in range(code.N)
         ]
+        self.durable = None
+        if durable:
+            from .snapshot import DurableStore  # avoid import cycle
+
+            self.durable = durable if isinstance(durable, DurableStore) else (
+                DurableStore()
+            )
+            for s in self.servers:
+                s.attach_durability(self.durable, self.transport)
 
     # ------------------------------------------------------------------
 

@@ -104,6 +104,9 @@ class ServerStats:
     gc_deletions: int = 0
     error1_events: int = 0
     error2_events: int = 0
+    duplicate_requests: int = 0
+    restarts: int = 0
+    persists: int = 0
 
 
 class CausalECServer(Node):
@@ -149,6 +152,15 @@ class CausalECServer(Node):
         self._del_sent_storing: dict[int, Tag] = {x: self._zero for x in range(k)}
         self._del_sent_all: dict[int, Tag] = {x: self._zero for x in range(k)}
         self._read_timeouts: dict[object, object] = {}
+        #: per-client request dedup: client id -> (last write opid, cached
+        #: ack).  Client retries (timeout + retransmit) may deliver the same
+        #: WriteRequest twice; re-acking from the cache keeps writes
+        #: exactly-once even across a crash-restart (the table is part of
+        #: the durable checkpoint).
+        self._client_sessions: dict[int, tuple[object, WriteAck]] = {}
+        #: durable storage for crash-recovery; wired by attach_durability().
+        self.durable = None
+        self._transport = None
         #: (time, obj, tag) triples recorded when a version becomes locally
         #: visible (write receipt or causal application); enables visibility
         #: latency measurement.  Populated only with record_visibility.
@@ -203,11 +215,18 @@ class CausalECServer(Node):
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message {msg!r}")
         self._internal_actions()
+        self._persist()
 
     # ------------------------------------------------------------------
     # Algorithm 1: client messages
 
     def _on_write(self, client: int, msg: WriteRequest) -> None:
+        cached = self._client_sessions.get(client)
+        if cached is not None and cached[0] == msg.opid:
+            # retried request whose effect is already applied: re-ack only
+            self.stats.duplicate_requests += 1
+            self.send(client, cached[1])
+            return
         self.stats.writes += 1
         self.vc = self.vc.increment(self.node_id)
         tag = Tag(self.vc, client)
@@ -217,6 +236,7 @@ class CausalECServer(Node):
         ack = WriteAck(msg.opid)
         ack.ts = self.vc
         ack.tag = tag
+        self._client_sessions[client] = (msg.opid, ack)
         self.send(client, self._sized(ack))
         for j in self._others:
             self.send(j, self._sized(App(msg.obj, msg.value, tag), 1, 1))
@@ -226,6 +246,10 @@ class CausalECServer(Node):
                 self._respond_read(entry, msg.value, tag)
 
     def _on_read(self, client: int, msg: ReadRequest) -> None:
+        if self.readl.get(msg.opid) is not None:
+            # retried request already pending: inquiries are in flight
+            self.stats.duplicate_requests += 1
+            return
         self.stats.reads += 1
         obj = msg.obj
         hist = self.L[obj]
@@ -430,6 +454,106 @@ class CausalECServer(Node):
         # encoding may be enabled by GC-driven del exchange
         self._encoding()
         self.set_timer(self.config.gc_interval, self._gc_tick)
+        self._persist()
+
+    # ------------------------------------------------------------------
+    # durability and crash-recovery
+
+    def attach_durability(self, store, transport=None) -> None:
+        """Persist eagerly to ``store`` (and snapshot ARQ channel state).
+
+        Eager persistence -- a checkpoint after every handled message and
+        timer step -- models a synchronous write-ahead log: every state the
+        server has acknowledged to anyone is recoverable, so a restart
+        never regresses the causal past (no vector-clock rollback, no
+        forgotten writes).  Delivery and persistence happen within one
+        scheduler event, i.e. atomically with respect to crash events.
+        """
+        from .snapshot import capture_server_state  # avoid import cycle
+
+        self.durable = store
+        self._transport = transport
+        self._capture = capture_server_state
+        self._persist()
+
+    def _persist(self) -> None:
+        if self.durable is None or self.halted:
+            return
+        self.stats.persists += 1
+        self.durable.persist(self._capture(self, self._transport))
+
+    def halt(self) -> None:
+        """Crash: lose volatile state (when durability models it as such)."""
+        super().halt()
+        if self.durable is not None:
+            # wipe in-memory protocol state so recovery demonstrably comes
+            # from stable storage, not from simulator memory
+            self._wipe_volatile()
+
+    def _wipe_volatile(self) -> None:
+        code, n, k = self.code, self.code.N, self.code.K
+        self.vc = VectorClock.zero(n)
+        self.inqueue = InQueue()
+        self.L = {}
+        self.DelL = {}
+        self.readl = ReadList()
+        self.tmax = {}
+        for x in range(k):
+            hist = HistoryList(self._zero)
+            hist.add(self._zero, code.zero_value())
+            self.L[x] = hist
+            self.DelL[x] = DeletionList()
+            self.tmax[x] = self._zero
+        self.M = Codeword(
+            value=code.zero_symbol(self.node_id),
+            tagvec={x: self._zero for x in range(k)},
+        )
+        self._opid_seq = 0
+        self._del_sent_storing = {x: self._zero for x in range(k)}
+        self._del_sent_all = {x: self._zero for x in range(k)}
+        self._client_sessions = {}
+        self._read_timeouts = {}
+
+    def on_restart(self) -> None:
+        """Crash-recovery: reload the last durable snapshot and rejoin.
+
+        The restored ARQ channel state resumes retransmission of anything
+        this server sent but never saw acknowledged, and deduplicates
+        retransmissions of segments it had already delivered -- together
+        with eager persistence this re-establishes the paper's reliable
+        FIFO channels across the crash.  GC timers are re-armed (they died
+        with the old incarnation) and pending remote reads re-inquire.
+        """
+        from .snapshot import restore_server_state  # avoid import cycle
+
+        self.stats.restarts += 1
+        if self.durable is not None:
+            checkpoint = self.durable.load(self.node_id)
+            if checkpoint is not None:
+                restore_server_state(self, checkpoint, self._transport)
+        if self.config.gc_interval is not None:
+            self.set_timer(self.config.gc_interval, self._gc_tick)
+        self._reissue_pending_reads()
+        self._internal_actions()
+        self._persist()
+
+    def _reissue_pending_reads(self) -> None:
+        """Re-broadcast inquiries for reads restored from the checkpoint:
+        responses to the pre-crash inquiries may have been consumed by the
+        dead incarnation's ARQ acks, so ask everyone again."""
+        for entry in list(self.readl.entries()):
+            for j in self._others:
+                self.send(
+                    j,
+                    self._sized(
+                        ValInq(
+                            entry.client_id, entry.opid, entry.obj,
+                            dict(entry.tagvec),
+                        ),
+                        0,
+                        self.code.K,
+                    ),
+                )
 
     def _apply_inqueue(self) -> None:
         """Apply_InQueue: causally apply pending remote writes."""

@@ -1,4 +1,4 @@
-"""State snapshots: structured introspection of servers and clusters.
+"""State snapshots: introspection and durable crash-recovery checkpoints.
 
 Debugging a distributed protocol lives or dies on being able to *see* the
 state.  :func:`snapshot_server` renders one server's full CausalEC state
@@ -7,16 +7,36 @@ watermarks) as plain dictionaries; :func:`snapshot_cluster` collects all
 servers; :func:`format_snapshot` pretty-prints for humans.  Snapshots are
 pure data (tags rendered as tuples) -- safe to diff, serialise, or assert
 against in tests.
+
+The second half of the module is *durable* snapshotting for crash-recovery:
+:func:`capture_server_state` deep-copies everything a server needs to
+resume (protocol state plus, when an ARQ transport is attached, its channel
+state), a :class:`DurableStore` models each server's stable storage, and
+:func:`restore_server_state` reinstalls a checkpoint into a restarted
+server.  Servers persist eagerly -- after every handled message and timer
+step -- which models a synchronous write-ahead log: anything a server ever
+acknowledged (including transport-level acks) is on disk, so recovery never
+regresses the causal past the rest of the system may have observed.
 """
 
 from __future__ import annotations
 
+import copy
+from dataclasses import dataclass, field
 from typing import Any
 
 from .server import CausalECServer
 from .tags import Tag
 
-__all__ = ["snapshot_server", "snapshot_cluster", "format_snapshot"]
+__all__ = [
+    "snapshot_server",
+    "snapshot_cluster",
+    "format_snapshot",
+    "ServerCheckpoint",
+    "DurableStore",
+    "capture_server_state",
+    "restore_server_state",
+]
 
 
 def _tag(t: Tag) -> tuple:
@@ -91,3 +111,93 @@ def format_snapshot(snap: dict[str, Any]) -> str:
     if snap["inqueue_len"]:
         lines.append(f"  inqueue: {snap['inqueue_len']} waiting")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Durable checkpoints (crash-recovery)
+
+#: CausalECServer attributes that constitute recoverable protocol state.
+#: Volatile machinery (timers, stats counters, the visibility log) is
+#: deliberately excluded: timers belong to an incarnation, and stats/logs
+#: are measurement artefacts of the simulation, not protocol state.
+_DURABLE_ATTRS = (
+    "vc",
+    "inqueue",
+    "L",
+    "DelL",
+    "readl",
+    "tmax",
+    "M",
+    "_opid_seq",
+    "_del_sent_storing",
+    "_del_sent_all",
+    "_client_sessions",
+)
+
+
+@dataclass
+class ServerCheckpoint:
+    """One durable snapshot of a server (plus optional transport state)."""
+
+    server_id: int
+    time: float
+    state: dict[str, Any]
+    transport: dict[str, Any] | None = None
+
+
+def capture_server_state(server: CausalECServer, transport=None) -> ServerCheckpoint:
+    """Deep-copy a server's recoverable state into a checkpoint."""
+    state = {name: copy.deepcopy(getattr(server, name)) for name in _DURABLE_ATTRS}
+    tstate = None
+    if transport is not None and getattr(transport, "active", False):
+        tstate = transport.snapshot_node(server.node_id)
+    return ServerCheckpoint(
+        server_id=server.node_id,
+        time=server.scheduler.now,
+        state=state,
+        transport=tstate,
+    )
+
+
+def restore_server_state(
+    server: CausalECServer, checkpoint: ServerCheckpoint, transport=None
+) -> None:
+    """Reinstall a checkpoint into ``server`` (same id/code required)."""
+    if checkpoint.server_id != server.node_id:
+        raise ValueError(
+            f"checkpoint belongs to server {checkpoint.server_id}, "
+            f"not {server.node_id}"
+        )
+    for name in _DURABLE_ATTRS:
+        setattr(server, name, copy.deepcopy(checkpoint.state[name]))
+    # read-timeout timers died with the old incarnation
+    server._read_timeouts = {}
+    if transport is not None and checkpoint.transport is not None:
+        transport.restore_node(server.node_id, checkpoint.transport)
+
+
+@dataclass
+class DurableStore:
+    """Stable storage for server checkpoints (one slot per server).
+
+    Models each server's local disk: :meth:`persist` atomically replaces
+    the server's checkpoint, :meth:`load` returns the latest one (or
+    ``None`` before the first persist).  ``persist_counts`` supports tests
+    and benchmarks that reason about persistence frequency.
+    """
+
+    _checkpoints: dict[int, ServerCheckpoint] = field(default_factory=dict)
+    persist_counts: dict[int, int] = field(default_factory=dict)
+
+    def persist(self, checkpoint: ServerCheckpoint) -> None:
+        self._checkpoints[checkpoint.server_id] = checkpoint
+        self.persist_counts[checkpoint.server_id] = (
+            self.persist_counts.get(checkpoint.server_id, 0) + 1
+        )
+
+    def load(self, server_id: int) -> ServerCheckpoint | None:
+        return self._checkpoints.get(server_id)
+
+    def wipe(self, server_id: int) -> None:
+        """Simulate disk loss for one server (tests)."""
+        self._checkpoints.pop(server_id, None)

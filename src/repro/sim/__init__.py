@@ -4,9 +4,12 @@ from .network import (
     ConstantLatency,
     ExponentialLatency,
     LatencyModel,
+    LinkFaults,
     MatrixLatency,
     Network,
     NetworkStats,
+    PartitionPlan,
+    PartitionWindow,
     UniformLatency,
 )
 from .faults import DegradedLatency, FaultPlan, LatencySpike
@@ -14,6 +17,8 @@ from .manual import ManualNetwork
 from .node import Node
 from .scheduler import EventHandle, Scheduler
 from .trace import MessageRecord, MessageTrace
+from .transport import ReliableTransport, TransportConfig
+from .chaos import ChaosConfig, ChaosResult, ChaosSchedule, run_chaos, run_chaos_suite
 
 __all__ = [
     "Scheduler",
@@ -26,6 +31,16 @@ __all__ = [
     "FaultPlan",
     "DegradedLatency",
     "LatencySpike",
+    "LinkFaults",
+    "PartitionPlan",
+    "PartitionWindow",
+    "ReliableTransport",
+    "TransportConfig",
+    "ChaosConfig",
+    "ChaosSchedule",
+    "ChaosResult",
+    "run_chaos",
+    "run_chaos_suite",
     "Node",
     "LatencyModel",
     "ConstantLatency",

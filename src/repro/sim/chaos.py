@@ -1,0 +1,290 @@
+"""Chaos harness: seeded random fault schedules against CausalEC.
+
+The paper proves causal consistency (Thm. 4.1) and eventual storage
+convergence (Thm. 4.5) assuming reliable FIFO channels and halting faults.
+This module stresses the *implementation* of those assumptions: it composes
+random message drops (p <= 0.3 by default), duplicate deliveries, a network
+partition window, and crash-restarts with durable-snapshot recovery into a
+seeded :class:`ChaosSchedule`, runs a workload through the fault window on
+the ARQ transport, heals everything, and then checks that
+
+* every completed operation passes the causal-consistency checker (and the
+  black-box session/written-value checkers),
+* the re-encoding invariants (Lemmas D.1/D.2) never fired, and
+* after faults cease the system **converges**: every operation settles
+  (completes or failed fast), no ARQ segment stays un-acknowledged, and the
+  transient protocol state (history lists, InQueues, ReadLs) drains to
+  zero, as Theorem 4.5 promises.
+
+Every decision is derived deterministically from the seed, so a failing
+seed is a reproducible counterexample::
+
+    from repro import PrimeField, example1_code
+    from repro.sim.chaos import run_chaos
+
+    result = run_chaos(example1_code(PrimeField(257)), seed=7)
+    assert result.ok, result.summary()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import LinkFaults, PartitionPlan, PartitionWindow
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosSchedule",
+    "ChaosResult",
+    "run_chaos",
+    "run_chaos_suite",
+]
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs for schedule generation and the driven workload."""
+
+    # fault intensity (per-seed values are drawn up to these maxima)
+    drop_prob_max: float = 0.3
+    dup_prob_max: float = 0.15
+    partition: bool = True
+    crash_restarts: int = 1
+    # fault window [fault_start, fault_end): all probabilistic faults and
+    # partition windows live inside it; afterwards the network is clean
+    fault_start: float = 20.0
+    fault_end: float = 450.0
+    # workload
+    ops_per_client: int = 12
+    num_objects: int = 3
+    read_ratio: float = 0.5
+    think_time_mean: float = 20.0
+    client_sites: list[int] | None = None
+    # client fail-fast policy
+    retry_timeout: float = 40.0
+    retry_backoff: float = 1.5
+    retry_max: int = 6
+    # server / convergence
+    gc_interval: float = 25.0
+    settle_slices: int = 40
+    settle_slice_ms: float = 500.0
+    check_sessions: bool = True
+
+
+@dataclass
+class ChaosSchedule:
+    """One concrete, seed-derived fault schedule."""
+
+    seed: int
+    drop_prob: float
+    dup_prob: float
+    partitions: list[PartitionWindow] = field(default_factory=list)
+    #: (halt_time, restart_time, server) triples
+    crashes: list[tuple[float, float, int]] = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls, seed: int, num_servers: int, config: ChaosConfig | None = None
+    ) -> "ChaosSchedule":
+        cfg = config or ChaosConfig()
+        rng = np.random.default_rng((seed, 0xC4A05))
+        t0, t1 = cfg.fault_start, cfg.fault_end
+        span = t1 - t0
+        sched = cls(
+            seed=seed,
+            drop_prob=float(rng.uniform(0.05, cfg.drop_prob_max)),
+            dup_prob=float(rng.uniform(0.0, cfg.dup_prob_max)),
+        )
+        if cfg.partition and num_servers >= 2:
+            length = float(rng.uniform(0.15 * span, 0.4 * span))
+            start = float(rng.uniform(t0, t1 - length))
+            perm = rng.permutation(num_servers)
+            cut = int(rng.integers(1, num_servers))
+            sched.partitions.append(
+                PartitionWindow.isolate(
+                    start, start + length, perm[:cut].tolist(),
+                    perm[cut:].tolist(),
+                )
+            )
+        for _ in range(cfg.crash_restarts):
+            victim = int(rng.integers(0, num_servers))
+            down = float(rng.uniform(t0, t0 + 0.6 * span))
+            up = min(down + float(rng.uniform(0.1 * span, 0.35 * span)), t1)
+            sched.crashes.append((down, up, victim))
+        return sched
+
+
+@dataclass
+class ChaosResult:
+    """Verdict and observability counters for one chaos run."""
+
+    seed: int
+    ok: bool
+    violations: list[str]
+    converged: bool
+    completed: int
+    failed: int
+    unsettled: int
+    dropped: int
+    duplicated: int
+    severed: int
+    retransmissions: int
+    duplicates_suppressed: int
+    server_restarts: int
+    schedule: ChaosSchedule
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        lines = [
+            f"chaos seed {self.seed}: {verdict} "
+            f"(drop={self.schedule.drop_prob:.2f}, "
+            f"dup={self.schedule.dup_prob:.2f}, "
+            f"partitions={len(self.schedule.partitions)}, "
+            f"crash-restarts={len(self.schedule.crashes)})",
+            f"  ops: {self.completed} completed, {self.failed} failed fast, "
+            f"{self.unsettled} unsettled",
+            f"  links: {self.dropped} dropped, {self.duplicated} duplicated, "
+            f"{self.severed} severed by partition",
+            f"  arq: {self.retransmissions} retransmissions, "
+            f"{self.duplicates_suppressed} duplicates suppressed",
+            f"  recovery: {self.server_restarts} server restart(s), "
+            f"converged={self.converged}",
+        ]
+        lines.extend(f"  violation: {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def run_chaos(code, seed: int, config: ChaosConfig | None = None) -> ChaosResult:
+    """Run one seeded chaos schedule against a CausalEC cluster."""
+    # imported here: repro.core imports repro.sim submodules, so importing
+    # it at sim-package init time would be circular
+    from ..consistency import (
+        check_causal_consistency,
+        check_returns_written_values,
+    )
+    from ..consistency.sessions import check_session_guarantees
+    from ..core.client import RetryPolicy
+    from ..core.cluster import CausalECCluster
+    from ..core.server import ServerConfig
+    from ..workloads import ClosedLoopDriver, WorkloadConfig
+    from .network import UniformLatency
+
+    cfg = config or ChaosConfig()
+    schedule = ChaosSchedule.generate(seed, code.N, cfg)
+    faults = LinkFaults(
+        drop_prob=schedule.drop_prob,
+        dup_prob=schedule.dup_prob,
+        partitions=PartitionPlan(schedule.partitions),
+        seed=(seed * 2 + 1),
+        until=cfg.fault_end,
+    )
+    cluster = CausalECCluster(
+        code,
+        latency=UniformLatency(0.5, 6.0),
+        seed=seed,
+        config=ServerConfig(gc_interval=cfg.gc_interval),
+        link_faults=faults,
+        retry=RetryPolicy(
+            timeout=cfg.retry_timeout,
+            backoff=cfg.retry_backoff,
+            max_retries=cfg.retry_max,
+        ),
+        durable=True,
+    )
+    for down, up, victim in schedule.crashes:
+        cluster.scheduler.at(down, lambda v=victim: cluster.halt_server(v))
+        cluster.scheduler.at(up, lambda v=victim: cluster.restart_server(v))
+
+    driver = ClosedLoopDriver(
+        cluster,
+        num_objects=cfg.num_objects,
+        client_sites=cfg.client_sites,
+        config=WorkloadConfig(
+            ops_per_client=cfg.ops_per_client,
+            read_ratio=cfg.read_ratio,
+            think_time_mean=cfg.think_time_mean,
+            seed=seed,
+        ),
+    )
+    driver.start()
+
+    # phase 1: ride out the fault window
+    cluster.run(for_time=cfg.fault_end)
+    # phase 2: clean network; run until the state stops changing
+    converged = False
+    last = None
+    for _ in range(cfg.settle_slices):
+        cluster.run(for_time=cfg.settle_slice_ms)
+        fingerprint = (
+            cluster.state_fingerprint(),
+            len(cluster.history.unsettled()),
+            cluster.transport.in_flight() if cluster.transport else 0,
+        )
+        if fingerprint == last and _quiescent(cluster):
+            converged = True
+            break
+        last = fingerprint
+
+    violations: list[str] = []
+    try:
+        cluster.assert_no_reencoding_errors()
+    except AssertionError as exc:
+        violations.append(str(exc))
+    zero = code.zero_value()
+    violations += check_causal_consistency(
+        cluster.history, zero, raise_on_violation=False
+    )
+    violations += check_returns_written_values(
+        cluster.history, zero, raise_on_violation=False
+    )
+    if cfg.check_sessions:
+        violations += check_session_guarantees(
+            cluster.history, zero, raise_on_violation=False
+        )
+    if not converged:
+        violations.append(
+            "no convergence after faults ceased: "
+            f"{len(cluster.history.unsettled())} unsettled op(s), "
+            f"{cluster.total_transient_entries()} transient entrie(s), "
+            f"{cluster.transport.in_flight() if cluster.transport else 0} "
+            f"ARQ segment(s) in flight"
+        )
+
+    history = cluster.history
+    return ChaosResult(
+        seed=seed,
+        ok=not violations,
+        violations=violations,
+        converged=converged,
+        completed=len(history.completed()),
+        failed=len(history.failed()),
+        unsettled=len(history.unsettled()),
+        dropped=faults.dropped,
+        duplicated=faults.duplicated,
+        severed=faults.severed,
+        retransmissions=cluster.transport.retransmissions,
+        duplicates_suppressed=cluster.transport.duplicates_suppressed,
+        server_restarts=sum(s.stats.restarts for s in cluster.servers),
+        schedule=schedule,
+    )
+
+
+def _quiescent(cluster) -> bool:
+    """Convergence predicate: Thm. 4.5's transient state has vanished."""
+    return (
+        not cluster.history.unsettled()
+        and cluster.total_transient_entries() == 0
+        and (cluster.transport is None or cluster.transport.in_flight() == 0)
+        and not any(s.halted for s in cluster.servers)
+    )
+
+
+def run_chaos_suite(
+    code,
+    seeds=range(20),
+    config: ChaosConfig | None = None,
+) -> list[ChaosResult]:
+    """Run many seeded schedules; returns one :class:`ChaosResult` each."""
+    return [run_chaos(code, seed, config) for seed in seeds]

@@ -23,19 +23,46 @@ __all__ = ["FaultPlan", "DegradedLatency", "LatencySpike"]
 
 @dataclass
 class FaultPlan:
-    """A schedule of crash faults: (time, server-index) pairs."""
+    """A schedule of crash and recovery faults: (time, server-index) pairs."""
 
     halts: list[tuple[float, int]] = field(default_factory=list)
+    restarts: list[tuple[float, int]] = field(default_factory=list)
+
+    @staticmethod
+    def _validate(at_time: float, server: int) -> tuple[float, int]:
+        at_time = float(at_time)
+        if not np.isfinite(at_time) or at_time < 0:
+            raise ValueError(f"fault time must be finite and >= 0, got {at_time}")
+        if not isinstance(server, (int, np.integer)) or isinstance(server, bool):
+            raise ValueError(f"server must be an integer index, got {server!r}")
+        if server < 0:
+            raise ValueError(f"server index must be >= 0, got {server}")
+        return at_time, int(server)
 
     def halt(self, at_time: float, server: int) -> "FaultPlan":
-        self.halts.append((float(at_time), server))
+        self.halts.append(self._validate(at_time, server))
+        return self
+
+    def restart(self, at_time: float, server: int) -> "FaultPlan":
+        """Schedule a crash-*recovery*: the server rejoins at ``at_time``."""
+        self.restarts.append(self._validate(at_time, server))
         return self
 
     def apply(self, cluster) -> None:
         """Arm all faults on a cluster's scheduler."""
+        n = len(cluster.servers)
+        for at_time, server in self.halts + self.restarts:
+            if server >= n:
+                raise ValueError(
+                    f"server index {server} out of range for a "
+                    f"{n}-server cluster"
+                )
         for at_time, server in self.halts:
             node = cluster.servers[server]
             cluster.scheduler.at(at_time, node.halt)
+        for at_time, server in self.restarts:
+            node = cluster.servers[server]
+            cluster.scheduler.at(at_time, node.restart)
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,9 @@ class ManualNetwork:
     def halt(self, node_id: int) -> None:
         self._halted.add(node_id)
 
+    def restart(self, node_id: int) -> None:
+        self._halted.discard(node_id)
+
     def is_halted(self, node_id: int) -> bool:
         return node_id in self._halted
 
@@ -51,7 +54,7 @@ class ManualNetwork:
         if dst not in self._handlers:
             raise KeyError(f"unknown destination node {dst}")
         if src in self._halted:
-            return
+            return  # checked before accounting, as in Network.send
         kind = getattr(msg, "kind", type(msg).__name__)
         self.stats.record(kind, float(getattr(msg, "size_bits", 0.0)))
         if self.monitor is not None:

@@ -15,6 +15,12 @@ class Node:
     takes no further steps: its handlers, timers, and sends become no-ops,
     matching the paper's halting failures ("a halted node does not take any
     further steps in the execution").
+
+    Beyond the paper's halt-forever faults, a node can be *restarted*
+    (crash-recovery).  Each restart begins a new **incarnation**: timers
+    armed by a previous incarnation never fire in a later one, modelling the
+    loss of all volatile timer state across a crash.  Subclasses hook
+    :meth:`on_restart` to reload durable state and re-arm their timers.
     """
 
     def __init__(self, node_id: int, scheduler: Scheduler, network: Network):
@@ -22,6 +28,7 @@ class Node:
         self.scheduler = scheduler
         self.network = network
         self.halted = False
+        self.epoch = 0  # incarnation counter, bumped on every restart
         network.register(node_id, self._receive)
 
     # ------------------------------------------------------------------
@@ -31,10 +38,12 @@ class Node:
             self.network.send(self.node_id, dst, msg)
 
     def set_timer(self, delay: float, fn) -> EventHandle:
-        """Schedule a local step; suppressed if the node halts meanwhile."""
+        """Schedule a local step; suppressed if the node halts or restarts
+        (new incarnation) before the timer fires."""
+        epoch = self.epoch
 
         def guarded() -> None:
-            if not self.halted:
+            if not self.halted and self.epoch == epoch:
                 fn()
 
         return self.scheduler.schedule(delay, guarded)
@@ -43,6 +52,18 @@ class Node:
         """Crash this node."""
         self.halted = True
         self.network.halt(self.node_id)
+
+    def restart(self) -> None:
+        """Recover a crashed node: a fresh incarnation rejoins the system."""
+        if not self.halted:
+            return
+        self.halted = False
+        self.epoch += 1
+        self.network.restart(self.node_id)
+        self.on_restart()
+
+    def on_restart(self) -> None:
+        """Hook run after a restart; default is a no-op (amnesia-free)."""
 
     # ------------------------------------------------------------------
 

@@ -75,6 +75,7 @@ def _fork_state(state: _State) -> _State:
         ns._zero = s._zero
         # copied mutables
         ns.halted = s.halted
+        ns.epoch = s.epoch
         ns.stats = dataclasses.replace(s.stats)
         ns.vc = s.vc
         ns.inqueue = InQueue()
@@ -101,6 +102,9 @@ def _fork_state(state: _State) -> _State:
         ns._del_sent_storing = dict(s._del_sent_storing)
         ns._del_sent_all = dict(s._del_sent_all)
         ns._read_timeouts = dict(s._read_timeouts)
+        ns._client_sessions = dict(s._client_sessions)
+        ns.durable = None  # model checking never attaches durability
+        ns._transport = None
         ns.visibility_log = list(s.visibility_log)
         ns.network = net
         net.register(ns.node_id, ns._receive)

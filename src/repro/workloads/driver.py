@@ -67,6 +67,12 @@ class _DrivenClient(Client):
         if self.driver is not None:
             self.driver._op_finished(self)
 
+    def on_failure(self, op: Operation) -> None:
+        # unavailability is not the end of the session: move on to the
+        # next operation (the failed one stays recorded in the history)
+        if self.driver is not None:
+            self.driver._op_failed(self)
+
 
 class ClosedLoopDriver:
     """Runs a closed-loop workload against a cluster."""
@@ -80,6 +86,7 @@ class ClosedLoopDriver:
         config: WorkloadConfig | None = None,
         make_value=None,
         preset=None,
+        retry=None,
     ):
         """``preset`` may be a :class:`~repro.workloads.ycsb.YcsbPreset`:
         it supplies the key generator and read ratio, and enables
@@ -108,6 +115,9 @@ class ClosedLoopDriver:
                 cluster.network,
                 server_id=site,
                 history=cluster.history,
+                retry=retry if retry is not None else getattr(
+                    cluster, "retry", None
+                ),
             )
             cluster._next_node_id += 1
             cluster.clients.append(client)
@@ -176,4 +186,9 @@ class ClosedLoopDriver:
             # complete the read-modify-write pair immediately
             client.write(obj, self._make_value(next(self._value_counter)))
             return
+        self._schedule_next(client)
+
+    def _op_failed(self, client: _DrivenClient) -> None:
+        """Home server unavailable: drop the op and continue the session."""
+        self._rmw_pending.pop(client.node_id, None)
         self._schedule_next(client)

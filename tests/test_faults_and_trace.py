@@ -166,3 +166,132 @@ def test_causalec_correct_under_latency_spikes():
     cluster.assert_no_reencoding_errors()
     check_causal_consistency(cluster.history, code.zero_value())
     assert cluster.total_transient_entries() == 0
+
+
+# ---------------------------------------------------------------------------
+# regression: halted senders must not be accounted (stats/monitor fire only
+# for messages the sender actually put on the wire)
+
+
+def test_halted_sender_records_no_stats_and_no_monitor():
+    import numpy as np_
+
+    from repro.sim import Network
+
+    sched = Scheduler()
+    net = Network(sched, latency=ConstantLatency(1.0),
+                  rng=np_.random.default_rng(0))
+    seen = []
+    net.register(0, lambda src, msg: None)
+    net.register(1, lambda src, msg: seen.append(msg))
+    net.monitor = lambda src, dst, msg: seen.append(("mon", src, dst))
+    net.halt(0)
+
+    class _M:
+        kind = "probe"
+        size_bits = 8.0
+
+    net.send(0, 1, _M())
+    sched.run()
+    assert seen == []  # neither delivered nor monitored
+    assert net.stats.total_messages == 0  # Sec. 4.2 accounting untouched
+    net.restart(0)
+    net.send(0, 1, _M())
+    sched.run()
+    assert net.stats.messages == {"probe": 1}
+
+
+def test_halted_sender_on_manual_network_records_no_stats():
+    net = ManualNetwork()
+    net.register(0, lambda src, msg: None)
+    net.register(1, lambda src, msg: None)
+    net.halt(0)
+
+    class _M:
+        kind = "probe"
+        size_bits = 8.0
+
+    net.send(0, 1, _M())
+    assert net.stats.total_messages == 0
+    assert not net.pending()
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan input validation
+
+
+def test_fault_plan_rejects_bad_inputs():
+    import pytest
+
+    with pytest.raises(ValueError):
+        FaultPlan().halt(-1.0, 0)
+    with pytest.raises(ValueError):
+        FaultPlan().halt(float("nan"), 0)
+    with pytest.raises(ValueError):
+        FaultPlan().halt(float("inf"), 0)
+    with pytest.raises(ValueError):
+        FaultPlan().halt(5.0, -1)
+    with pytest.raises(ValueError):
+        FaultPlan().halt(5.0, 1.5)
+    with pytest.raises(ValueError):
+        FaultPlan().halt(5.0, True)  # a bool is not a server index
+    with pytest.raises(ValueError):
+        FaultPlan().restart(-3.0, 0)
+
+
+def test_fault_plan_apply_rejects_out_of_range_server():
+    import pytest
+
+    cluster = CausalECCluster(example1_code(F), latency=ConstantLatency(1.0))
+    plan = FaultPlan().halt(10.0, 99)
+    with pytest.raises(ValueError, match="out of range"):
+        plan.apply(cluster)
+    # nothing was armed: the simulation proceeds as if no plan existed
+    cluster.run(for_time=50)
+    assert not any(s.halted for s in cluster.servers)
+
+
+def test_fault_plan_restart_schedules_recovery():
+    cluster = CausalECCluster(example1_code(F), latency=ConstantLatency(1.0))
+    FaultPlan().halt(10.0, 2).restart(30.0, 2).apply(cluster)
+    cluster.run(for_time=20)
+    assert cluster.server(2).halted
+    cluster.run(for_time=20)
+    assert not cluster.server(2).halted
+
+
+# ---------------------------------------------------------------------------
+# LatencySpike boundary semantics
+
+
+def test_latency_spike_boundaries_start_inclusive_end_exclusive():
+    spike = LatencySpike(start=10.0, end=20.0, factor=3.0)
+    assert not spike.matches(10.0 - 1e-9, 0, 1)
+    assert spike.matches(10.0, 0, 1)  # start is inclusive
+    assert spike.matches(20.0 - 1e-9, 0, 1)
+    assert not spike.matches(20.0, 0, 1)  # end is exclusive
+
+
+def test_overlapping_latency_spikes_multiply():
+    sched = Scheduler()
+    lat = (
+        DegradedLatency(ConstantLatency(2.0), sched)
+        .add_spike(LatencySpike(0.0, 100.0, factor=3.0))
+        .add_spike(LatencySpike(0.0, 50.0, factor=5.0, src=0))
+    )
+    rng = np.random.default_rng(0)
+    assert lat.delay(0, 1, rng) == 2.0 * 3.0 * 5.0  # both windows active
+    assert lat.delay(2, 1, rng) == 2.0 * 3.0  # src filter excludes second
+    sched.at(60.0, lambda: None)
+    sched.run()
+    assert lat.delay(0, 1, rng) == 2.0 * 3.0  # second window expired
+
+
+def test_latency_spike_src_dst_wildcards():
+    only_dst = LatencySpike(0.0, 10.0, 2.0, dst=4)
+    assert only_dst.matches(1.0, 0, 4)
+    assert only_dst.matches(1.0, 7, 4)
+    assert not only_dst.matches(1.0, 4, 0)
+    only_src = LatencySpike(0.0, 10.0, 2.0, src=4)
+    assert only_src.matches(1.0, 4, 0)
+    assert not only_src.matches(1.0, 0, 4)
