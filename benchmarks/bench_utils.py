@@ -11,6 +11,11 @@ Run with ``pytest benchmarks/ --benchmark-only`` to see the tables.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
 
@@ -43,3 +48,36 @@ def once(benchmark, fn):
     ``--benchmark-only`` runs fast while still reporting wall time.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def best_of(fn, rounds: int = 10) -> float:
+    """Best wall-clock seconds for one call of ``fn`` over ``rounds`` runs."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def write_timing_json(records: list[dict], default_name: str) -> Path:
+    """Persist timing records as machine-readable JSON for perf trajectories.
+
+    The output path is ``$MICRO_BENCH_JSON`` when set (CI uploads it as an
+    artifact), else ``benchmarks/.bench_out/<default_name>``.  The schema is
+    append-friendly: one top-level object with a ``results`` list.
+    """
+    target = os.environ.get("MICRO_BENCH_JSON")
+    path = (
+        Path(target)
+        if target
+        else Path(__file__).parent / ".bench_out" / default_name
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": "repro-micro-timings/v1",
+        "unix_time": time.time(),
+        "results": records,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

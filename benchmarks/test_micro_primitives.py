@@ -8,6 +8,7 @@ write/read handling, and raw simulator event throughput.
 import numpy as np
 import pytest
 
+from bench_utils import best_of, print_table, write_timing_json
 from repro import (
     CausalECCluster,
     ConstantLatency,
@@ -19,6 +20,12 @@ from repro import (
 )
 
 VLEN = 4096
+
+#: the vectorized-kernel sweep of ISSUE 2: encode/reencode/decode per field
+KERNEL_FIELDS = {"gf257": PrimeField(257), "gf256": GF256}
+KERNEL_VLENS = (64, 1024, 4096)
+#: acceptance floor for kernel vs scalar-reference at value_len=4096
+MIN_SPEEDUP = 10.0
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +68,110 @@ def test_bench_decode(benchmark, rs_code, rs_values):
     syms = {s: rs_code.encode(s, rs_values) for s in (0, 2, 4, 5)}
     out = benchmark(rs_code.decode, 1, syms)
     assert np.array_equal(out, rs_values[1])
+
+
+# ---------------------------------------------------------------------------
+# vectorized field kernels vs the retained scalar _reference path
+
+
+@pytest.fixture(scope="module")
+def kernel_timings():
+    """Collect (op, field, vlen) timing records; dump machine-readable JSON."""
+    records: list[dict] = []
+    yield records
+    if records:
+        path = write_timing_json(records, "micro_primitives.json")
+        rows = [
+            [r["op"], r["field"], r["value_len"],
+             f"{r['kernel_s'] * 1e6:.0f}us", f"{r['reference_s'] * 1e3:.2f}ms",
+             f"{r['speedup']:.0f}x"]
+            for r in records
+        ]
+        print_table(
+            f"EC kernel vs scalar reference (JSON: {path})",
+            ["op", "field", "vlen", "kernel", "reference", "speedup"],
+            rows,
+        )
+
+
+def _kernel_setup(field, vlen, seed=0):
+    code = reed_solomon_code(field, 6, 4, value_len=vlen)
+    rng = np.random.default_rng(seed)
+    values = [field.random_vector(rng, vlen) for _ in range(code.K)]
+    return code, rng, values
+
+
+@pytest.mark.parametrize("vlen", KERNEL_VLENS)
+@pytest.mark.parametrize("field_name", sorted(KERNEL_FIELDS))
+def test_kernel_speedup_vs_reference(field_name, vlen, kernel_timings):
+    """Encode/reencode/decode kernels vs the scalar-loop reference path.
+
+    Asserts the ISSUE 2 acceptance bar -- >= 10x for encode and decode at
+    value_len=4096 -- and records every (op, field, vlen) pair in the timing
+    JSON so future PRs can track the perf trajectory.
+    """
+    field = KERNEL_FIELDS[field_name]
+    code, rng, values = _kernel_setup(field, vlen)
+    new = field.random_vector(rng, vlen)
+    symbols = {s: code.encode(s, values) for s in (0, 2, 4, 5)}
+    sym5 = symbols[5]
+
+    pairs = {
+        "encode": (
+            lambda: code.encode(5, values),
+            lambda: code._encode_reference(5, values),
+        ),
+        "reencode": (
+            lambda: code.reencode(5, sym5, 2, values[2], new),
+            lambda: code._reencode_reference(5, sym5, 2, values[2], new),
+        ),
+        "decode": (
+            lambda: code.decode(1, symbols),
+            lambda: code._decode_reference(1, symbols),
+        ),
+    }
+    for op, (kernel, reference) in pairs.items():
+        assert np.array_equal(kernel(), reference())  # bit-identical
+        kernel_s = best_of(kernel, rounds=20)
+        reference_s = best_of(reference, rounds=3)
+        speedup = reference_s / kernel_s
+        kernel_timings.append(
+            {
+                "op": op,
+                "field": field_name,
+                "value_len": vlen,
+                "code": code.name,
+                "kernel_s": kernel_s,
+                "reference_s": reference_s,
+                "speedup": speedup,
+            }
+        )
+        if vlen == 4096 and op in ("encode", "decode"):
+            assert speedup >= MIN_SPEEDUP, (
+                f"{op}/{field_name}@{vlen}: kernel only {speedup:.1f}x faster "
+                f"than the scalar reference (need >= {MIN_SPEEDUP}x)"
+            )
+
+
+@pytest.mark.parametrize("vlen", KERNEL_VLENS)
+@pytest.mark.parametrize("field_name", sorted(KERNEL_FIELDS))
+@pytest.mark.parametrize("op", ["encode", "reencode", "decode"])
+def test_bench_kernel(benchmark, op, field_name, vlen):
+    """pytest-benchmark stats for each kernel op at each value length."""
+    field = KERNEL_FIELDS[field_name]
+    code, rng, values = _kernel_setup(field, vlen)
+    if op == "encode":
+        out = benchmark(code.encode, 5, values)
+        assert out.shape == (1, vlen)
+    elif op == "reencode":
+        sym = code.encode(5, values)
+        new = field.random_vector(rng, vlen)
+        out = benchmark(code.reencode, 5, sym, 2, values[2], new)
+        assert out.shape == (1, vlen)
+    else:
+        symbols = {s: code.encode(s, values) for s in (0, 2, 4, 5)}
+        out = benchmark(code.decode, 1, symbols)
+        assert np.array_equal(out, values[1])
 
 
 def test_bench_recovery_check(benchmark):

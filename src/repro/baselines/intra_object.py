@@ -109,12 +109,13 @@ class IntraObjectServer(CausalBroadcastServer):
         self.vc = self.vc.increment(self.node_id)
         tag = Tag(self.vc, client)
         frags = self._fragment(msg.value)
+        # all N fragment symbols come out of one stacked field-matmul
+        symbols = self.frag_code.encode_all(frags)
         for j in self._others:
-            symbol = self.frag_code.encode(j, frags)
             self.send(
-                j, self._sized(App(msg.obj, symbol, tag), 1.0 / self.k, 1)
+                j, self._sized(App(msg.obj, symbols[j], tag), 1.0 / self.k, 1)
             )
-        self.apply_write(msg.obj, self.frag_code.encode(self.node_id, frags), tag, True)
+        self.apply_write(msg.obj, symbols[self.node_id], tag, True)
         ack = WriteAck(msg.opid)
         ack.ts = self.vc
         ack.tag = tag
@@ -216,11 +217,11 @@ class IntraObjectServer(CausalBroadcastServer):
         # else: wait for more fragment updates to propagate
 
     def _decode(self, symbols: dict[int, np.ndarray]) -> np.ndarray:
-        out = np.zeros(self.value_len, dtype=self.frag_code.field.dtype)
-        for f in range(self.k):
-            frag = self.frag_code.decode(f, symbols)
-            out[f * self.frag_len : (f + 1) * self.frag_len] = frag
-        return out
+        # recover all k fragments with one batched field-matmul
+        frags = self.frag_code.decode_many(range(self.k), symbols)
+        if frags is None:  # pragma: no cover - callers pass k MDS symbols
+            raise ValueError("provided symbols do not recover all fragments")
+        return np.concatenate(frags)
 
     def stored_values(self) -> float:
         """Object-value equivalents held: K/k in steady state."""

@@ -368,10 +368,11 @@ class CausalECServer(Node):
                 ),
             )
             return
-        # re-encode M towards the wanted tag vector where the history allows
-        symbol = np.array(self.M.value, copy=True)
+        # re-encode M towards the wanted tag vector where the history allows;
+        # all per-object deltas are folded in with one batched kernel call
         tagvec = dict(self.M.tagvec)
         s = self.node_id
+        updates = []
         for x in sorted(self.objects):
             if tagvec[x] == wanted[x]:
                 continue
@@ -380,14 +381,14 @@ class CausalECServer(Node):
                 # case (iii): cannot cancel our version; leave it encoded --
                 # the inquirer holds (or will hold) this version locally.
                 continue
-            symbol = self.code.reencode(s, symbol, x, current, self.code.zero_value())
-            tagvec[x] = self._zero
             target = self._lookup(x, wanted[x])
             if target is not None:
-                symbol = self.code.reencode(
-                    s, symbol, x, self.code.zero_value(), target
-                )
+                updates.append((x, current, target))
                 tagvec[x] = wanted[x]
+            else:
+                updates.append((x, current, self.code.zero_value()))
+                tagvec[x] = self._zero
+        symbol = self.code.reencode_many(s, self.M.value, updates)
         self.send(
             src,
             self._sized(
@@ -403,32 +404,27 @@ class CausalECServer(Node):
         entry = self.readl.get(msg.opid)
         if entry is None:
             return
-        modified = np.array(msg.symbol, copy=True)
         requested = entry.tagvec
         ok = True
+        updates = []
         for x in sorted(self.code.objects_at(src)):
             if requested[x] == msg.tagvec[x]:
                 continue
-            # remove the sender's encoded version of x ...
+            # swap the sender's encoded version of x for the requested one
             current = self._lookup(x, msg.tagvec[x])
             if current is None:
                 self.stats.error1_events += 1  # Lemma D.1 says: unreachable
                 ok = False
                 break
-            modified = self.code.reencode(
-                src, modified, x, current, self.code.zero_value()
-            )
-            # ... and apply the requested version
             target = self._lookup(x, requested[x])
             if target is None:
                 self.stats.error2_events += 1  # Lemma D.2 says: unreachable
                 ok = False
                 break
-            modified = self.code.reencode(
-                src, modified, x, self.code.zero_value(), target
-            )
+            updates.append((x, current, target))
         if not ok:
             return
+        modified = self.code.reencode_many(src, msg.symbol, updates)
         entry.symbols[src] = modified
         value = self.code.decode(entry.obj, entry.symbols)
         if value is not None:

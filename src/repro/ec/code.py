@@ -70,6 +70,18 @@ class LinearCode:
             frozenset(int(k) for k in range(self.K) if np.any(g[:, k]))
             for g in mats
         ]
+        # per-server nonzero-column structure: encode only touches the
+        # objects a server actually mixes (X_s), as a single compact matmul
+        self._nz_cols = [np.flatnonzero(np.any(g, axis=0)) for g in mats]
+        self._g_nz = [g[:, cols] for g, cols in zip(mats, self._nz_cols)]
+        self._stacked_g = (
+            np.vstack(mats)
+            if mats
+            else np.zeros((0, num_objects), dtype=field.dtype)
+        )
+        self._row_offsets = np.concatenate(
+            ([0], np.cumsum([g.shape[0] for g in mats]))
+        ).astype(int)
         self._recovery_cache: dict[tuple[frozenset[int], int], bool] = {}
         self._coeff_cache: dict[tuple[tuple[int, ...], int], np.ndarray | None] = {}
         self._minimal_cache: dict[int, list[frozenset[int]]] = {}
@@ -100,19 +112,66 @@ class LinearCode:
     # ------------------------------------------------------------------
     # encoding and re-encoding
 
+    def _value_row(self, k: int, v: np.ndarray) -> np.ndarray:
+        arr = np.asarray(v, dtype=self.field.dtype)
+        if arr.shape != (self.value_len,):
+            raise ValueError(
+                f"object {k}: value has shape {arr.shape}, "
+                f"expected ({self.value_len},)"
+            )
+        return arr
+
+    def _values_matrix(
+        self, values: Sequence[np.ndarray], cols: Iterable[int]
+    ) -> np.ndarray:
+        rows = [self._value_row(k, values[k]) for k in cols]
+        if not rows:
+            return np.zeros((0, self.value_len), dtype=self.field.dtype)
+        return np.stack(rows)
+
     def encode(self, s: int, values: Sequence[np.ndarray]) -> np.ndarray:
-        """Phi_s applied to the K object values (each a length-vlen vector)."""
+        """Phi_s applied to the K object values (each a length-vlen vector).
+
+        A single compact field-matmul over the server's nonzero columns.
+        """
+        if len(values) != self.K:
+            raise ValueError(f"expected {self.K} object values")
+        rows = [self._value_row(k, values[k]) for k in range(self.K)]
+        cols = self._nz_cols[s]
+        if not cols.size:
+            return self.zero_symbol(s)
+        return self.field.matmul(self._g_nz[s], np.stack([rows[k] for k in cols]))
+
+    def encode_all(self, values: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Phi_s for every server at once, via one stacked field-matmul.
+
+        Returns a list of independent (r_s, value_len) symbol arrays; used by
+        write paths that fan a fresh codeword out to all N servers.
+        """
+        if len(values) != self.K:
+            raise ValueError(f"expected {self.K} object values")
+        prod = self.field.matmul(
+            self._stacked_g, self._values_matrix(values, range(self.K))
+        )
+        off = self._row_offsets
+        return [prod[off[s] : off[s + 1]].copy() for s in range(self.N)]
+
+    def _encode_reference(self, s: int, values: Sequence[np.ndarray]) -> np.ndarray:
+        """Pre-kernel scalar-loop Phi_s (ground truth for property tests)."""
         if len(values) != self.K:
             raise ValueError(f"expected {self.K} object values")
         g = self.matrices[s]
+        f = self.field
         out = self.zero_symbol(s)
         for j in range(g.shape[0]):
-            acc = self.field.zeros(self.value_len)
             for k in range(self.K):
                 c = int(g[j, k])
                 if c:
-                    acc = self.field.add(acc, self.field.scalar_mul(c, values[k]))
-            out[j] = acc
+                    v = values[k]
+                    for t in range(self.value_len):
+                        out[j, t] = f.s_add(
+                            int(out[j, t]), f.s_mul(c, int(v[t]))
+                        )
         return out
 
     def reencode(
@@ -131,16 +190,73 @@ class LinearCode:
         step); passing ``new_value = 0`` cancels the old contribution (the
         "remove" step).
         """
+        sym = self._check_symbol(s, symbol)
+        delta = self.field.sub(
+            self._value_row(k, new_value), self._value_row(k, old_value)
+        )
+        col = self.matrices[s][:, k]
+        if self.field.is_zero(delta) or not col.any():
+            return sym.copy()
+        return self.field.axpy(col, delta, sym)
+
+    def reencode_many(
+        self,
+        s: int,
+        symbol: np.ndarray,
+        updates: Iterable[tuple[int, np.ndarray, np.ndarray]],
+    ) -> np.ndarray:
+        """Apply several Gamma_{s,k} steps as one batched kernel call.
+
+        ``updates`` is an iterable of ``(k, old_value, new_value)`` triples;
+        the result equals chaining :meth:`reencode` over them in order (the
+        deltas commute), but costs a single field-matmul.
+        """
+        sym = self._check_symbol(s, symbol)
         g = self.matrices[s]
-        delta = self.field.sub(new_value, old_value)
-        out = np.array(symbol, dtype=self.field.dtype, copy=True)
-        if self.field.is_zero(delta):
-            return out
+        ks: list[int] = []
+        deltas: list[np.ndarray] = []
+        for k, old_value, new_value in updates:
+            d = self.field.sub(
+                self._value_row(k, new_value), self._value_row(k, old_value)
+            )
+            if self.field.is_zero(d) or not g[:, k].any():
+                continue
+            ks.append(int(k))
+            deltas.append(d)
+        if not ks:
+            return sym.copy()
+        update = self.field.matmul(g[:, ks], np.stack(deltas))
+        return self.field.add(sym, update)
+
+    def _reencode_reference(
+        self,
+        s: int,
+        symbol: np.ndarray,
+        k: int,
+        old_value: np.ndarray,
+        new_value: np.ndarray,
+    ) -> np.ndarray:
+        """Pre-kernel scalar-loop Gamma_{s,k} (ground truth for tests)."""
+        g = self.matrices[s]
+        f = self.field
+        out = np.array(symbol, dtype=f.dtype, copy=True)
         for j in range(g.shape[0]):
             c = int(g[j, k])
             if c:
-                out[j] = self.field.add(out[j], self.field.scalar_mul(c, delta))
+                for t in range(self.value_len):
+                    d = f.s_sub(int(new_value[t]), int(old_value[t]))
+                    out[j, t] = f.s_add(int(out[j, t]), f.s_mul(c, d))
         return out
+
+    def _check_symbol(self, s: int, symbol: np.ndarray) -> np.ndarray:
+        sym = np.asarray(symbol, dtype=self.field.dtype)
+        expected = (self.symbols_at(s), self.value_len)
+        if sym.shape != expected:
+            raise ValueError(
+                f"server {s}: symbol has shape {sym.shape}, "
+                f"expected {expected} (r_s, value_len)"
+            )
+        return sym
 
     # ------------------------------------------------------------------
     # recovery sets and decoding
@@ -182,20 +298,67 @@ class LinearCode:
 
         ``symbols`` maps server ids to their codeword-symbol values (all
         encodings of the *same* object-value vector).  Returns None when the
-        provided servers do not form a recovery set for object k.
+        provided servers do not form a recovery set for object k.  Each
+        symbol must have shape (r_s, value_len); anything else (transposed,
+        truncated, flattened) raises ``ValueError``.
         """
+        servers = tuple(sorted(symbols))
+        stacked = self._stack_symbols(servers, symbols)
+        lam = self._decoding_coefficients(servers, k)
+        if lam is None:
+            return None
+        nz = np.flatnonzero(lam)
+        if not nz.size:
+            return self.field.zeros(self.value_len)
+        return self.field.matmul(lam[nz].reshape(1, -1), stacked[nz])[0]
+
+    def decode_many(
+        self, ks: Sequence[int], symbols: Mapping[int, np.ndarray]
+    ) -> list[np.ndarray] | None:
+        """Recover several objects from one symbol set with one field-matmul.
+
+        Returns the decoded values aligned with ``ks``, or None when any
+        requested object is not recoverable from the provided servers.
+        """
+        servers = tuple(sorted(symbols))
+        stacked = self._stack_symbols(servers, symbols)
+        lams = []
+        for k in ks:
+            lam = self._decoding_coefficients(servers, k)
+            if lam is None:
+                return None
+            lams.append(lam)
+        if not lams:
+            return []
+        out = self.field.matmul(np.stack(lams), stacked)
+        return [out[i] for i in range(len(lams))]
+
+    def _stack_symbols(
+        self, servers: Sequence[int], symbols: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        checked = [self._check_symbol(s, symbols[s]) for s in servers]
+        if not checked:
+            return np.zeros((0, self.value_len), dtype=self.field.dtype)
+        return np.vstack(checked)
+
+    def _decode_reference(
+        self, k: int, symbols: Mapping[int, np.ndarray]
+    ) -> np.ndarray | None:
+        """Pre-kernel scalar-loop Psi (ground truth for property tests)."""
         servers = tuple(sorted(symbols))
         lam = self._decoding_coefficients(servers, k)
         if lam is None:
             return None
-        out = self.field.zeros(self.value_len)
+        f = self.field
+        out = f.zeros(self.value_len)
         idx = 0
         for s in servers:
             sym = symbols[s]
             for j in range(self.symbols_at(s)):
                 c = int(lam[idx])
                 if c:
-                    out = self.field.add(out, self.field.scalar_mul(c, sym[j]))
+                    for t in range(self.value_len):
+                        out[t] = f.s_add(int(out[t]), f.s_mul(c, int(sym[j][t])))
                 idx += 1
         return out
 

@@ -14,6 +14,37 @@ families:
 Object *values* are represented as 1-D numpy integer arrays whose entries are
 field elements; *scalars* (code coefficients) are plain Python ints in
 ``[0, order)``.  All operations are pure: inputs are never mutated.
+
+Scalar domain rule
+------------------
+
+Every scalar handed to a field operation must already be a canonical field
+element, i.e. an integer in ``[0, order)``.  Out-of-range scalars raise
+``ValueError`` in **both** field families.  In particular :class:`PrimeField`
+no longer silently reduces coefficients mod p: callers that want modular
+reduction must do it explicitly.  This catches the class of bugs where a
+stray coefficient (e.g. 300 in GF(256)) previously either crashed with a raw
+numpy ``IndexError`` or silently produced a wrong codeword.
+
+Batched kernels
+---------------
+
+Beyond the elementwise operations, every field exposes three batched kernels
+that the erasure-coding hot path (:mod:`repro.ec.code`, :mod:`repro.ec.matrix`)
+is built on:
+
+* ``matmul(a, b)`` -- field matrix product of an (m, k) and a (k, n) matrix;
+* ``matvec(a, x)`` -- field matrix--vector product;
+* ``axpy(c, x, y)`` -- ``y + c * x`` for a scalar ``c``, or the batched
+  row update ``y + outer(c, x)`` when ``c`` is a 1-D coefficient vector
+  (the Gaussian-elimination inner loop).
+
+:class:`PrimeField` implements them with a single int64 GEMM plus one modular
+reduction (chunked along the inner dimension when the worst-case partial sum
+could overflow int64); :class:`BinaryExtensionField` uses log/antilog gathers
+with an XOR accumulation.  ``Field.matmul_reference`` is the schoolbook
+per-element ground truth used by the property tests in
+``tests/test_vectorized_kernels.py``.
 """
 
 from __future__ import annotations
@@ -54,6 +85,24 @@ class Field:
     characteristic: int
     dtype: np.dtype
 
+    # -- scalar domain -----------------------------------------------------
+
+    def check_scalar(self, c: int) -> int:
+        """Validate a scalar coefficient, returning it as a Python int.
+
+        Scalars must be integers in ``[0, order)``; anything else raises
+        ``ValueError`` (``TypeError`` for non-integers).  Both field families
+        enforce this uniformly -- there is no silent modular reduction.
+        """
+        if isinstance(c, bool) or not isinstance(c, (int, np.integer)):
+            raise TypeError(f"scalar must be an integer, got {type(c).__name__}")
+        c = int(c)
+        if not 0 <= c < self.order:
+            raise ValueError(
+                f"scalar {c} out of range [0, {self.order}) for {self!r}"
+            )
+        return c
+
     # -- scalar operations -------------------------------------------------
 
     def s_add(self, a: int, b: int) -> int:
@@ -87,6 +136,84 @@ class Field:
 
     def scalar_mul(self, c: int, a: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    # -- batched kernels ---------------------------------------------------
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Field matrix product of ``a`` (m, k) and ``b`` (k, n).
+
+        This generic implementation is the pre-kernel row-loop (one
+        ``scalar_mul``/``add`` pass per nonzero coefficient); subclasses
+        override it with fully batched arithmetic.
+        """
+        a, b = self._check_matmul_args(a, b)
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=self.dtype)
+        for i in range(a.shape[0]):
+            acc = self.zeros(b.shape[1])
+            for t in range(a.shape[1]):
+                c = int(a[i, t])
+                if c:
+                    acc = self.add(acc, self.scalar_mul(c, b[t]))
+            out[i] = acc
+        return out
+
+    def matvec(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Field matrix--vector product of ``a`` (m, k) and ``x`` (k,)."""
+        x = np.asarray(x, dtype=self.dtype)
+        if x.ndim != 1:
+            raise ValueError("matvec expects a 1-D vector")
+        return self.matmul(a, x.reshape(-1, 1))[:, 0]
+
+    def axpy(self, c, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``y + c*x`` (scalar ``c``) or ``y + outer(c, x)`` (1-D ``c``).
+
+        The array form is the batched Gaussian-elimination update: ``c`` holds
+        one coefficient per row of ``y`` and ``x`` is the (pivot) row being
+        folded in.  Pure: returns a new array.
+        """
+        x = np.asarray(x, dtype=self.dtype)
+        y = np.asarray(y, dtype=self.dtype)
+        if np.ndim(c) == 0:
+            return self.add(y, self.scalar_mul(self.check_scalar(c), x))
+        c = self.validate(c)
+        if c.ndim != 1 or y.shape != (c.shape[0],) + x.shape:
+            raise ValueError("axpy shape mismatch")
+        out = np.array(y, copy=True)
+        for i in range(c.shape[0]):
+            ci = int(c[i])
+            if ci:
+                out[i] = self.add(out[i], self.scalar_mul(ci, x))
+        return out
+
+    def matmul_reference(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Schoolbook per-element matmul over ``s_add``/``s_mul``.
+
+        The obviously-correct scalar-loop ground truth that the vectorized
+        kernels are property-tested against.  O(m*k*n) Python-level ops --
+        never use it on a hot path.
+        """
+        a, b = self._check_matmul_args(a, b)
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=self.dtype)
+        for i in range(a.shape[0]):
+            for j in range(b.shape[1]):
+                acc = 0
+                for t in range(a.shape[1]):
+                    acc = self.s_add(acc, self.s_mul(int(a[i, t]), int(b[t, j])))
+                out[i, j] = acc
+        return out
+
+    def _check_matmul_args(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("matmul expects 2-D matrices")
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(
+                f"dimension mismatch: {a.shape} @ {b.shape}"
+            )
+        return a, b
 
     # -- constructors and checks -------------------------------------------
 
@@ -132,19 +259,21 @@ class PrimeField(Field):
         # int64 multiply of two (p-1) values must not overflow.
         if (p - 1) ** 2 >= 2**63:
             raise ValueError("prime too large for int64 arithmetic")
+        # longest inner dimension whose worst-case dot product fits int64
+        self._gemm_chunk = max(1, (2**63 - 1) // ((p - 1) ** 2 or 1))
 
     # scalars
     def s_add(self, a: int, b: int) -> int:
-        return (a + b) % self.order
+        return (self.check_scalar(a) + self.check_scalar(b)) % self.order
 
     def s_neg(self, a: int) -> int:
-        return (-a) % self.order
+        return (-self.check_scalar(a)) % self.order
 
     def s_mul(self, a: int, b: int) -> int:
-        return (a * b) % self.order
+        return (self.check_scalar(a) * self.check_scalar(b)) % self.order
 
     def s_inv(self, a: int) -> int:
-        a %= self.order
+        a = self.check_scalar(a)
         if a == 0:
             raise ZeroDivisionError("0 has no inverse")
         return pow(a, self.order - 2, self.order)
@@ -157,7 +286,40 @@ class PrimeField(Field):
         return (-a) % self.order
 
     def scalar_mul(self, c: int, a: np.ndarray) -> np.ndarray:
-        return (a * (c % self.order)) % self.order
+        return (a * self.check_scalar(c)) % self.order
+
+    # batched kernels
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = self._check_matmul_args(a, b)
+        inner = a.shape[1]
+        if inner <= self._gemm_chunk:
+            return (a @ b) % self.order
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=self.dtype)
+        for lo in range(0, inner, self._gemm_chunk):
+            hi = lo + self._gemm_chunk
+            out = (out + a[:, lo:hi] @ b[lo:hi]) % self.order
+        return out
+
+    def matvec(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=self.dtype)
+        if x.ndim != 1:
+            raise ValueError("matvec expects a 1-D vector")
+        return self.matmul(a, x.reshape(-1, 1))[:, 0]
+
+    def axpy(self, c, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=self.dtype)
+        y = np.asarray(y, dtype=self.dtype)
+        if np.ndim(c) == 0:
+            return (y + x * self.check_scalar(c)) % self.order
+        c = self.validate(c)
+        if c.ndim != 1 or y.shape != (c.shape[0],) + x.shape:
+            raise ValueError("axpy shape mismatch")
+        return (y + c[:, None] * x[None, :]) % self.order
+
+
+#: shared log/antilog tables keyed by (m, primitive_poly) -- building GF(2^16)
+#: tables costs ~65k Python loop iterations, so repeated constructions reuse.
+_TABLE_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
 
 
 class BinaryExtensionField(Field):
@@ -166,6 +328,10 @@ class BinaryExtensionField(Field):
     ``primitive_poly`` is the integer encoding of an irreducible polynomial of
     degree m over GF(2) (including the x^m term).  Defaults are the standard
     choices (e.g. 0x11D for GF(256), as used by RS(255, k) codecs).
+
+    Log/antilog tables are shared process-wide between instances with the
+    same (m, poly); the module-level :data:`GF256` singleton defers building
+    them until first use so ``import repro`` stays cheap.
     """
 
     _DEFAULT_POLY = {
@@ -187,17 +353,38 @@ class BinaryExtensionField(Field):
         16: 0b10001000000001011,
     }
 
-    def __init__(self, m: int, primitive_poly: int | None = None):
+    def __init__(
+        self, m: int, primitive_poly: int | None = None, *, _defer_tables: bool = False
+    ):
         if not 1 <= m <= 16:
             raise ValueError("m must be in [1, 16]")
         self.m = m
         self.order = 1 << m
         self.characteristic = 2
         self.dtype = np.dtype(np.uint32)
-        poly = primitive_poly or self._DEFAULT_POLY[m]
-        self._build_tables(poly)
+        self._poly = primitive_poly or self._DEFAULT_POLY[m]
+        if not _defer_tables:
+            self._ensure_tables()
 
-    def _build_tables(self, poly: int) -> None:
+    def _ensure_tables(self) -> None:
+        key = (self.m, self._poly)
+        tables = _TABLE_CACHE.get(key)
+        if tables is None:
+            tables = self._build_tables(self._poly)
+            _TABLE_CACHE[key] = tables
+        self._exp, self._log = tables
+
+    def __getattr__(self, name: str):
+        # lazily build the log/antilog tables on first arithmetic use (the
+        # GF256 singleton is constructed with _defer_tables=True)
+        if name in ("_exp", "_log"):
+            self._ensure_tables()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _build_tables(self, poly: int) -> tuple[np.ndarray, np.ndarray]:
         size = self.order
         exp = np.zeros(2 * size, dtype=np.uint32)
         log = np.zeros(size, dtype=np.int64)
@@ -212,22 +399,26 @@ class BinaryExtensionField(Field):
             raise ValueError(f"poly {poly:#x} is not primitive for GF(2^{self.m})")
         # duplicate so exp[(la + lb)] never needs a modulo
         exp[size - 1 : 2 * (size - 1)] = exp[: size - 1]
-        self._exp = exp
-        self._log = log
+        exp.setflags(write=False)
+        log.setflags(write=False)
+        return exp, log
 
     # scalars
     def s_add(self, a: int, b: int) -> int:
-        return a ^ b
+        return self.check_scalar(a) ^ self.check_scalar(b)
 
     def s_neg(self, a: int) -> int:
-        return a  # characteristic 2
+        return self.check_scalar(a)  # characteristic 2
 
     def s_mul(self, a: int, b: int) -> int:
+        a = self.check_scalar(a)
+        b = self.check_scalar(b)
         if a == 0 or b == 0:
             return 0
         return int(self._exp[int(self._log[a]) + int(self._log[b])])
 
     def s_inv(self, a: int) -> int:
+        a = self.check_scalar(a)
         if a == 0:
             raise ZeroDivisionError("0 has no inverse")
         return int(self._exp[(self.order - 1) - int(self._log[a])])
@@ -240,6 +431,7 @@ class BinaryExtensionField(Field):
         return a.copy()
 
     def scalar_mul(self, c: int, a: np.ndarray) -> np.ndarray:
+        c = self.check_scalar(c)
         if c == 0:
             return np.zeros_like(a)
         if c == 1:
@@ -250,8 +442,54 @@ class BinaryExtensionField(Field):
             out[nz] = self._exp[self._log[a[nz]] + int(self._log[c])]
         return out
 
+    # batched kernels
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = self._check_matmul_args(a, b)
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=self.dtype)
+        exp, log = self._exp, self._log
+        # accumulate rank-1 updates: one gather + XOR per inner index; the
+        # inner dimension on the EC hot path is the (small) object count K
+        # while the batched axis is the (large) value length.
+        for t in range(a.shape[1]):
+            col = a[:, t]
+            row = b[t]
+            nzc = np.flatnonzero(col)
+            if not nzc.size:
+                continue
+            nzr = np.flatnonzero(row)
+            if not nzr.size:
+                continue
+            contrib = exp[log[col[nzc]][:, None] + log[row[nzr]][None, :]]
+            out[np.ix_(nzc, nzr)] ^= contrib
+        return out
 
-GF256 = BinaryExtensionField(8)
+    def axpy(self, c, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=self.dtype)
+        y = np.asarray(y, dtype=self.dtype)
+        exp, log = self._exp, self._log
+        if np.ndim(c) == 0:
+            c = self.check_scalar(c)
+            out = y.copy()
+            if c == 0:
+                return out
+            nz = x != 0
+            if np.any(nz):
+                out[nz] ^= exp[log[x[nz]] + int(log[c])]
+            return out
+        c = self.validate(c)
+        if c.ndim != 1 or y.shape != (c.shape[0],) + x.shape:
+            raise ValueError("axpy shape mismatch")
+        out = y.copy()
+        nzc = np.flatnonzero(c)
+        nzx = np.flatnonzero(x)
+        if nzc.size and nzx.size:
+            out[np.ix_(nzc, nzx)] ^= exp[log[c[nzc]][:, None] + log[x[nzx]][None, :]]
+        return out
+
+
+#: lazily-built cached singleton: metadata (order, dtype, ...) is available
+#: immediately; log/antilog tables are constructed on first arithmetic use.
+GF256 = BinaryExtensionField(8, _defer_tables=True)
 
 
 def default_field() -> Field:

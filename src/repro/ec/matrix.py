@@ -15,7 +15,15 @@ import numpy as np
 
 from .field import Field
 
-__all__ = ["rref", "rank", "solve_left", "in_rowspan", "invert", "matmul"]
+__all__ = [
+    "rref",
+    "rank",
+    "solve_left",
+    "in_rowspan",
+    "invert",
+    "matmul",
+    "matmul_reference",
+]
 
 
 def _as_matrix(field: Field, a: np.ndarray) -> np.ndarray:
@@ -35,22 +43,22 @@ def rref(field: Field, a: np.ndarray) -> tuple[np.ndarray, list[int]]:
         if r >= rows:
             break
         # find a pivot in column c at or below row r
-        pivot_row = None
-        for i in range(r, rows):
-            if m[i, c]:
-                pivot_row = i
-                break
-        if pivot_row is None:
+        below = np.flatnonzero(m[r:, c])
+        if not below.size:
             continue
+        pivot_row = r + int(below[0])
         if pivot_row != r:
             m[[r, pivot_row]] = m[[pivot_row, r]]
         inv = field.s_inv(int(m[r, c]))
         if inv != 1:
             m[r] = field.scalar_mul(inv, m[r])
-        for i in range(rows):
-            if i != r and m[i, c]:
-                factor = int(m[i, c])
-                m[i] = field.sub(m[i], field.scalar_mul(factor, m[r]))
+        # batched elimination: fold the pivot row out of every other row with
+        # a nonzero entry in column c in one axpy kernel call
+        targets = np.flatnonzero(m[:, c])
+        targets = targets[targets != r]
+        if targets.size:
+            factors = field.neg(m[targets, c])
+            m[targets] = field.axpy(factors, m[r], m[targets])
         pivots.append(c)
         r += 1
     return m, pivots
@@ -63,20 +71,21 @@ def rank(field: Field, a: np.ndarray) -> int:
 
 
 def matmul(field: Field, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix product over the field (naive; matrices here are small)."""
+    """Matrix product over the field (delegates to the batched kernel)."""
     a = np.asarray(a, dtype=field.dtype)
     b = np.asarray(b, dtype=field.dtype)
-    if a.shape[1] != b.shape[0]:
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ValueError("dimension mismatch")
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=field.dtype)
-    for i in range(a.shape[0]):
-        acc = field.zeros(b.shape[1])
-        for k in range(a.shape[1]):
-            c = int(a[i, k])
-            if c:
-                acc = field.add(acc, field.scalar_mul(c, b[k]))
-        out[i] = acc
-    return out
+    return field.matmul(a, b)
+
+
+def matmul_reference(field: Field, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Schoolbook scalar-loop matrix product (ground truth for tests)."""
+    a = np.asarray(a, dtype=field.dtype)
+    b = np.asarray(b, dtype=field.dtype)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("dimension mismatch")
+    return field.matmul_reference(a, b)
 
 
 def solve_left(field: Field, a: np.ndarray, b: np.ndarray) -> np.ndarray | None:

@@ -159,6 +159,31 @@ def test_random_vector_in_range(gf257):
     assert v.min() >= 0 and v.max() < 257
 
 
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: repr(f))
+def test_scalar_domain_enforced(field):
+    """Out-of-range scalars raise ValueError -- never a numpy IndexError,
+    never a silent mod-p reduction (see docs/API.md, scalar domain rules)."""
+    vec = np.zeros(3, dtype=field.dtype)
+    for bad in (-1, field.order, field.order + 300):
+        with pytest.raises(ValueError):
+            field.s_mul(bad, 1)
+        with pytest.raises(ValueError):
+            field.s_inv(bad)
+        with pytest.raises(ValueError):
+            field.scalar_mul(bad, vec)
+
+
+def test_gf256_out_of_range_scalar_regression():
+    """GF256.scalar_mul(300, a) used to crash with a raw IndexError."""
+    a = np.array([1, 2, 3], dtype=GF256.dtype)
+    with pytest.raises(ValueError):
+        GF256.scalar_mul(300, a)
+    with pytest.raises(ValueError):
+        GF256.s_mul(300, 5)
+    with pytest.raises(ValueError):
+        GF256.s_inv(300)
+
+
 def test_gf256_scalar_mul_zero_vector():
     a = np.zeros(4, dtype=GF256.dtype)
     out = GF256.scalar_mul(7, a)
