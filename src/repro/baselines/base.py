@@ -1,37 +1,29 @@
 """Shared machinery for the baseline protocols: causal broadcast + LWW store.
 
-All three baselines (full replication, partial replication, intra-object
-erasure coding) propagate writes with the same vector-clock-predicated
-causal broadcast CausalEC uses (the classic Ahamad et al. scheme [4]):
-a write increments the home server's clock, is acked immediately (local
-writes), and is shipped to every other server in an ``app`` message that is
-applied only once its causal predecessors have been applied.
-
-Subclasses decide what a server *stores* when a write is applied and how
-reads are served.
+The causal-broadcast protocol itself (the classic Ahamad et al. scheme [4])
+lives in :class:`~repro.protocol.broadcast_core.CausalBroadcastCore`, a
+sans-I/O state machine; :class:`CausalBroadcastServer` mixes it with the
+discrete-event :class:`~repro.runtime.sim.EffectNode` adapter so baseline
+servers run inside the simulator exactly as before.  Baseline protocol
+subclasses override the core's hooks (``apply_write`` / ``serve_read`` /
+``on_protocol_message``) and emit effects; they stay pure, so any runtime
+that can drive a :class:`~repro.protocol.effects.ProtocolCore` can host
+them.
 """
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 
-from ..core.messages import (
-    App,
-    CostModel,
-    ReadRequest,
-    ReadReturn,
-    WriteAck,
-    WriteRequest,
-)
-from ..core.state import InQueue, InQueueEntry
-from ..core.tags import Tag, VectorClock, zero_tag
+from ..core.messages import CostModel
+from ..core.tags import Tag
+from ..protocol.broadcast_core import CausalBroadcastCore
+from ..runtime.sim import EffectNode
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.scheduler import Scheduler
 
-__all__ = ["CausalBroadcastServer", "LWWRegister"]
+__all__ = ["CausalBroadcastServer", "CausalBroadcastCore", "LWWRegister"]
 
 
 class LWWRegister:
@@ -51,8 +43,8 @@ class LWWRegister:
         return False
 
 
-class CausalBroadcastServer(Node):
-    """Base server: local writes + causally ordered application."""
+class CausalBroadcastServer(EffectNode, CausalBroadcastCore):
+    """Base simulated server: local writes + causally ordered application."""
 
     def __init__(
         self,
@@ -63,66 +55,7 @@ class CausalBroadcastServer(Node):
         num_objects: int,
         cost_model: CostModel | None = None,
     ):
-        super().__init__(node_id, scheduler, network)
-        self.num_servers = num_servers
-        self.num_objects = num_objects
-        self.cost = cost_model or CostModel()
-        self.vc = VectorClock.zero(num_servers)
-        self.zero = zero_tag(num_servers)
-        self.inqueue = InQueue()
-        self._others = [i for i in range(num_servers) if i != node_id]
-        self._opid_counter = itertools.count()
-
-    # ------------------------------------------------------------------
-
-    def _sized(self, msg, n_values: float = 0.0, n_tags: float = 0.0):
-        msg.size_bits = self.cost.size(n_values, n_tags)
-        return msg
-
-    def on_message(self, src: int, msg: object) -> None:
-        if isinstance(msg, WriteRequest):
-            self._on_write(src, msg)
-        elif isinstance(msg, ReadRequest):
-            self.serve_read(src, msg)
-        elif isinstance(msg, App):
-            self.inqueue.add(InQueueEntry(src, msg.obj, msg.value, msg.tag))
-        else:
-            self.on_protocol_message(src, msg)
-        self._apply_inqueue()
-
-    def _on_write(self, client: int, msg: WriteRequest) -> None:
-        self.vc = self.vc.increment(self.node_id)
-        tag = Tag(self.vc, client)
-        self.apply_write(msg.obj, msg.value, tag, local=True)
-        ack = WriteAck(msg.opid)
-        ack.ts = self.vc
-        ack.tag = tag
-        self.send(client, self._sized(ack))
-        for j in self._others:
-            self.send(j, self._sized(App(msg.obj, msg.value, tag), 1, 1))
-
-    def _apply_inqueue(self) -> None:
-        while True:
-            e = self.inqueue.pop_applicable(self.vc)
-            if e is None:
-                return
-            self.vc = self.vc.with_component(e.sender, e.tag.ts[e.sender])
-            self.apply_write(e.obj, e.value, e.tag, local=False)
-
-    def _read_return(self, client: int, opid, value, value_tag: Tag) -> None:
-        msg = ReadReturn(opid, value)
-        msg.ts = self.vc
-        msg.value_tag = value_tag
-        self.send(client, self._sized(msg, 1))
-
-    # ------------------------------------------------------------------
-    # subclass hooks
-
-    def apply_write(self, obj: int, value, tag: Tag, local: bool) -> None:
-        raise NotImplementedError
-
-    def serve_read(self, client: int, msg: ReadRequest) -> None:
-        raise NotImplementedError
-
-    def on_protocol_message(self, src: int, msg: object) -> None:
-        raise TypeError(f"unexpected message {msg!r}")
+        Node.__init__(self, node_id, scheduler, network)
+        CausalBroadcastCore.__init__(
+            self, node_id, num_servers, num_objects, cost_model
+        )

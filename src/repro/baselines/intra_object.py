@@ -112,14 +112,14 @@ class IntraObjectServer(CausalBroadcastServer):
         # all N fragment symbols come out of one stacked field-matmul
         symbols = self.frag_code.encode_all(frags)
         for j in self._others:
-            self.send(
+            self._emit_send(
                 j, self._sized(App(msg.obj, symbols[j], tag), 1.0 / self.k, 1)
             )
         self.apply_write(msg.obj, symbols[self.node_id], tag, True)
         ack = WriteAck(msg.opid)
         ack.ts = self.vc
         ack.tag = tag
-        self.send(client, self._sized(ack))
+        self._emit_reply(client, self._sized(ack))
 
     def _fragment(self, value: np.ndarray) -> list[np.ndarray]:
         value = np.asarray(value)
@@ -160,7 +160,7 @@ class IntraObjectServer(CausalBroadcastServer):
         pend = _PendingFragRead(client, msg.opid, msg.obj, {})
         self._pending[msg.opid] = pend
         for j in self._fetch_targets():
-            self.send(j, self._sized(FragRead(msg.opid, msg.obj)))
+            self._emit_send(j, self._sized(FragRead(msg.opid, msg.obj)))
 
     def _fetch_targets(self) -> list[int]:
         """The k-1 nearest other servers (Sec. 1.1's latency analysis)."""
@@ -173,7 +173,7 @@ class IntraObjectServer(CausalBroadcastServer):
         if isinstance(msg, FragRead):
             versions = [(t, v) for t, v in self.store[msg.obj].items()]
             resp = FragReadResp(msg.opid, msg.obj, versions)
-            self.send(src, self._sized(resp, 1.0 / self.k, len(versions)))
+            self._emit_send(src, self._sized(resp, 1.0 / self.k, len(versions)))
         elif isinstance(msg, FragReadResp):
             pend = self._pending.get(msg.opid)
             if pend is None:

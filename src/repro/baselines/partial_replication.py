@@ -118,7 +118,7 @@ class PartialReplicationServer(CausalBroadcastServer):
         self.remote_reads += 1
         target = self._nearest_replica(msg.obj)
         self._pending[msg.opid] = _PendingRemote(client, msg.opid, msg.obj)
-        self.send(target, self._sized(RemoteRead(msg.opid, msg.obj)))
+        self._emit_send(target, self._sized(RemoteRead(msg.opid, msg.obj)))
 
     def _nearest_replica(self, obj: int) -> int:
         replicas = self._replicas_of(obj)
@@ -134,7 +134,7 @@ class PartialReplicationServer(CausalBroadcastServer):
             if reg is None:
                 return  # mis-routed; reliable channels make this unreachable
             resp = RemoteReadResp(msg.opid, msg.obj, reg.value, reg.tag)
-            self.send(src, self._sized(resp, 1, 1))
+            self._emit_send(src, self._sized(resp, 1, 1))
         elif isinstance(msg, RemoteReadResp):
             pend = self._pending.get(msg.opid)
             if pend is None:

@@ -2,11 +2,13 @@
 
 Commands:
 
-* ``demo``   -- the quickstart scenario on the Example 1 code.
-* ``fig2``   -- regenerate the Fig. 2 comparison table (analytic).
-* ``ycsb``   -- the Sec. 4.2 YCSB storage analysis at paper scale.
-* ``design`` -- run the cross-object code designer on the AWS topology.
-* ``bench``  -- a quick throughput/latency run of CausalEC under load.
+* ``demo``    -- the quickstart scenario on the Example 1 code.
+* ``fig2``    -- regenerate the Fig. 2 comparison table (analytic).
+* ``ycsb``    -- the Sec. 4.2 YCSB storage analysis at paper scale.
+* ``design``  -- run the cross-object code designer on the AWS topology.
+* ``bench``   -- a quick throughput/latency run of CausalEC under load.
+* ``cluster`` -- boot a live asyncio TCP cluster on localhost sockets.
+* ``serve``   -- run one CausalEC server as a standalone TCP process.
 """
 
 from __future__ import annotations
@@ -153,6 +155,119 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cli_code(name: str):
+    from repro.ec.codes import example1_code, six_dc_code
+
+    return six_dc_code() if name == "six-dc" else example1_code()
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Boot a live N-server asyncio cluster on localhost and drive it."""
+    import asyncio
+
+    import numpy as np
+
+    from repro.consistency.causal import check_causal_consistency
+    from repro.protocol.client_core import RetryPolicy
+    from repro.protocol.server_core import ServerConfig
+    from repro.runtime.asyncio_rt import AsyncioCluster
+
+    code = _cli_code(args.code)
+
+    async def run() -> int:
+        cluster = AsyncioCluster(
+            code,
+            config=ServerConfig(gc_interval=args.gc_interval),
+            retry=RetryPolicy(timeout=40.0, max_retries=8),
+        )
+        await cluster.start()
+        ports = [s.port for s in cluster.servers]
+        print(f"booted {code.N} servers on localhost ports {ports}")
+        clients = [await cluster.add_client(i) for i in range(code.N)]
+        rng = np.random.default_rng(args.seed)
+        kill_at = args.ops // 2 if args.kill is not None else None
+        for n in range(args.ops):
+            if n == kill_at:
+                print(f"killing server {args.kill} mid-workload ...")
+                await cluster.kill_server(args.kill)
+            client = clients[int(rng.integers(code.N))]
+            if args.kill is not None and client.core.server_id == args.kill \
+                    and cluster.servers[args.kill].halted:
+                continue  # its home server is down; skip, not hang
+            obj = int(rng.integers(code.K))
+            if rng.random() < 0.5:
+                op = await client.write(obj, cluster.value(int(rng.integers(100))))
+            else:
+                op = await client.read(obj)
+            if op.failed:
+                print(f"  op {op.opid} failed fast: {op.error}")
+        if kill_at is not None:
+            await cluster.restart_server(args.kill)
+            print(f"server {args.kill} restarted from its durable checkpoint")
+        await cluster.quiesce()
+        completed = [op for op in cluster.history.operations if op.done]
+        check_causal_consistency(cluster.history, code.zero_value())
+        lat = [op.latency for op in completed]
+        print(f"{len(completed)} operations completed, causally consistent")
+        if lat:
+            print(f"latency: mean {np.mean(lat):.2f} ms, "
+                  f"max {np.max(lat):.2f} ms (real sockets, localhost)")
+        print(f"durable persists: {sum(cluster.store.persist_counts.values())}")
+        await cluster.shutdown()
+        return 0
+
+    return asyncio.run(run())
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run one standalone CausalEC server on a real TCP socket."""
+    import asyncio
+    import tempfile
+
+    from repro.protocol.server_core import ServerConfig, ServerCore
+    from repro.runtime.asyncio_rt import AsyncioServer, FileDurableStore
+
+    code = _cli_code(args.code)
+    addresses: dict[int, tuple[str, int]] = {}
+    for i, hostport in enumerate(args.peers.split(",")):
+        host, _, port = hostport.strip().rpartition(":")
+        addresses[i] = (host or "127.0.0.1", int(port))
+    if len(addresses) != code.N:
+        print(f"error: --peers must list {code.N} host:port entries for "
+              f"code {code.name}", file=sys.stderr)
+        return 2
+    if not 0 <= args.id < code.N:
+        print(f"error: --id must be in [0, {code.N})", file=sys.stderr)
+        return 2
+    store_dir = args.store or tempfile.mkdtemp(prefix="causalec-serve-")
+
+    async def run() -> int:
+        host, port = addresses[args.id]
+        store = FileDurableStore(store_dir)
+        server = AsyncioServer(
+            ServerCore(args.id, code, ServerConfig(gc_interval=args.gc_interval)),
+            store, host=host, port=port,
+        )
+        server.set_peers(addresses)
+        if store.load(args.id) is not None:
+            await server.restart()  # resume from the on-disk checkpoint
+            resumed = " (resumed from checkpoint)"
+        else:
+            await server.start()
+            server.connect_peers()
+            resumed = ""
+        print(f"server {args.id}/{code.N} ({code.name}) listening on "
+              f"{server.host}:{server.port}{resumed}; checkpoints in "
+              f"{store_dir}")
+        await asyncio.Event().wait()  # serve until interrupted
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -187,6 +302,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-latency", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "cluster", help="boot a live asyncio TCP cluster on localhost"
+    )
+    p.add_argument("--code", default="example1", choices=["example1", "six-dc"])
+    p.add_argument("--ops", type=int, default=24)
+    p.add_argument("--gc-interval", type=float, default=25.0)
+    p.add_argument("--kill", type=int, default=None, metavar="SERVER",
+                   help="crash this server mid-workload, then restart it")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser(
+        "serve", help="run one CausalEC server as a standalone TCP process"
+    )
+    p.add_argument("--id", type=int, required=True,
+                   help="this server's id in [0, N)")
+    p.add_argument("--peers", required=True,
+                   help="comma-separated host:port for servers 0..N-1")
+    p.add_argument("--code", default="example1", choices=["example1", "six-dc"])
+    p.add_argument("--store", default=None,
+                   help="checkpoint directory (default: a fresh temp dir)")
+    p.add_argument("--gc-interval", type=float, default=25.0)
+    p.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,115 +1,36 @@
-"""The CausalEC server protocol (Algorithms 1, 2 and 3 of the paper).
+"""Simulated CausalEC server: the sans-I/O core on the discrete-event runtime.
 
-A :class:`CausalECServer` implements, for server ``s``:
+The protocol itself (Algorithms 1-3) lives in
+:class:`~repro.protocol.server_core.ServerCore`, a pure state machine;
+this module supplies :class:`CausalECServer`, the class every simulation,
+benchmark, and model-checking harness instantiates.  It mixes the core
+with the :class:`~repro.runtime.sim.EffectNode` adapter, which delivers
+scheduler/network events into the core and interprets the returned effects
+(sends, timers, persistence) in order -- bit-for-bit equivalent to the
+pre-sans-I/O implementation.
 
-* **Client-message transitions** (Algorithm 1): local writes that increment
-  the vector clock, append to the history list, ack immediately and
-  broadcast ``app``; reads served locally from the history list or by local
-  decoding, otherwise registered in ``ReadL`` with ``val_inq`` inquiries.
-* **Server-message transitions** (Algorithm 2): ``app``/``del`` bookkeeping;
-  ``val_inq`` answered immediately (wait-free) with either an uncoded
-  ``val_resp`` or a re-encoded ``val_resp_encoded``; responses folded into
-  pending reads, with decoding once the collected symbols contain a recovery
-  set.
-* **Internal actions** (Algorithm 3): ``Apply_InQueue`` (causal application
-  of remote writes), ``Encoding`` (re-encode the stored codeword symbol to
-  newer versions, triggering *internal reads* when the currently-encoded
-  version is no longer in the history list), and ``Garbage_Collection``
-  (watermark-driven deletion from history lists).
+What remains here is exactly the simulation-specific machinery: durable
+checkpointing against a :class:`~repro.core.snapshot.DurableStore` (with
+optional ARQ channel-state capture) and the crash/restart choreography of
+:meth:`halt` / :meth:`on_restart`.
 
-Deviations from the pseudocode are deliberate, documented in DESIGN.md, and
-behaviour-preserving: the zero-tag convention, re-encoding with the sender's
-Gamma in the ``val_resp_encoded`` handler, first-applicable InQueue scanning,
-and del-broadcast deduplication.
+``ServerConfig`` and ``ServerStats`` are re-exported from the protocol
+package for backward compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
-
-import numpy as np
-
 from ..ec.code import LinearCode
+from ..protocol.server_core import ServerConfig, ServerCore, ServerStats
+from ..runtime.sim import EffectNode
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.scheduler import Scheduler
-from .messages import (
-    App,
-    CostModel,
-    Del,
-    ReadRequest,
-    ReadReturn,
-    ValInq,
-    ValResp,
-    ValRespEncoded,
-    WriteAck,
-    WriteRequest,
-)
-from .state import (
-    Codeword,
-    DeletionList,
-    HistoryList,
-    InQueue,
-    InQueueEntry,
-    ReadEntry,
-    ReadList,
-)
-from .tags import LOCALHOST, Tag, VectorClock, zero_tag
 
 __all__ = ["CausalECServer", "ServerConfig", "ServerStats"]
 
 
-@dataclass
-class ServerConfig:
-    """Tunables for a CausalEC server.
-
-    * ``gc_interval`` -- period (simulated ms) of the Garbage_Collection
-      internal action; ``None`` runs GC eagerly after every message (useful
-      in tests).  Encoding and Apply_InQueue always run eagerly; the paper
-      places no timing constraints on internal actions beyond fairness.
-    * ``read_policy`` -- ``"broadcast"`` sends ``val_inq`` to every other
-      node (Algorithm 1); ``"recovery_set"`` implements the Sec. 4.2
-      optimisation: inquire the cheapest recovery set first and broadcast
-      only after ``read_timeout`` ms.
-    * ``rtt`` -- optional round-trip-time matrix used by ``recovery_set``
-      to pick the nearest recovery set.
-    * ``del_leader`` -- the other half of the Sec. 4.2 / Appendix G
-      low-cost variant: when set to a server id, ``del`` messages are sent
-      to that leader, which forwards them to everyone (O(1) del sends per
-      writer instead of O(N)).  Convergence liveness (Theorem 4.5) then
-      additionally requires the leader to stay up; safety is unaffected.
-    """
-
-    gc_interval: float | None = None
-    read_policy: str = "broadcast"
-    read_timeout: float = 500.0
-    rtt: np.ndarray | None = None
-    del_leader: int | None = None
-    record_visibility: bool = False
-    cost_model: CostModel = dc_field(default_factory=CostModel)
-
-
-@dataclass
-class ServerStats:
-    """Operation and internal-action counters for one server."""
-
-    writes: int = 0
-    reads: int = 0
-    local_reads: int = 0
-    decoded_local_reads: int = 0
-    remote_reads: int = 0
-    internal_reads: int = 0
-    reencodings: int = 0
-    gc_runs: int = 0
-    gc_deletions: int = 0
-    error1_events: int = 0
-    error2_events: int = 0
-    duplicate_requests: int = 0
-    restarts: int = 0
-    persists: int = 0
-
-
-class CausalECServer(Node):
+class CausalECServer(EffectNode, ServerCore):
     """One CausalEC server node (server index == node id)."""
 
     def __init__(
@@ -120,337 +41,14 @@ class CausalECServer(Node):
         code: LinearCode,
         config: ServerConfig | None = None,
     ):
-        super().__init__(node_id, scheduler, network)
-        if not 0 <= node_id < code.N:
-            raise ValueError("server id must index a code position")
-        self.code = code
-        self.config = config or ServerConfig()
-        self.stats = ServerStats()
-
-        n, k = code.N, code.K
-        self._zero = zero_tag(n)
-        self.vc = VectorClock.zero(n)
-        self.inqueue = InQueue()
-        self.L: dict[int, HistoryList] = {}
-        self.DelL: dict[int, DeletionList] = {}
-        self.readl = ReadList()
-        self.tmax: dict[int, Tag] = {}
-        for x in range(k):
-            hist = HistoryList(self._zero)
-            hist.add(self._zero, code.zero_value())  # Fig. 3 initial state
-            self.L[x] = hist
-            self.DelL[x] = DeletionList()
-            self.tmax[x] = self._zero
-        self.M = Codeword(
-            value=code.zero_symbol(node_id),
-            tagvec={x: self._zero for x in range(k)},
-        )
-        self.objects = code.objects_at(node_id)
-        self._others = [i for i in range(code.N) if i != node_id]
-        self._opid_seq = 0  # plain int: fork/deepcopy-deterministic
-        # del-broadcast deduplication (see DESIGN.md)
-        self._del_sent_storing: dict[int, Tag] = {x: self._zero for x in range(k)}
-        self._del_sent_all: dict[int, Tag] = {x: self._zero for x in range(k)}
-        self._read_timeouts: dict[object, object] = {}
-        #: per-client request dedup: client id -> (last write opid, cached
-        #: ack).  Client retries (timeout + retransmit) may deliver the same
-        #: WriteRequest twice; re-acking from the cache keeps writes
-        #: exactly-once even across a crash-restart (the table is part of
-        #: the durable checkpoint).
-        self._client_sessions: dict[int, tuple[object, WriteAck]] = {}
+        Node.__init__(self, node_id, scheduler, network)
+        ServerCore.__init__(self, node_id, code, config)
         #: durable storage for crash-recovery; wired by attach_durability().
         self.durable = None
         self._transport = None
-        #: (time, obj, tag) triples recorded when a version becomes locally
-        #: visible (write receipt or causal application); enables visibility
-        #: latency measurement.  Populated only with record_visibility.
-        self.visibility_log: list[tuple[float, int, Tag]] = []
-        if self.config.gc_interval is not None:
-            self.set_timer(self.config.gc_interval, self._gc_tick)
-
-    # ------------------------------------------------------------------
-    # helpers
-
-    def _lookup(self, obj: int, tag: Tag) -> np.ndarray | None:
-        """Value for ``tag`` in L[obj]; the zero tag always resolves to 0.
-
-        The zero tag denotes the initial (all-zero) object value, which the
-        initial history list carries explicitly (Fig. 3); treating it as
-        always resolvable keeps the pseudocode's ``tag != 0`` case analysis
-        uniform after garbage collection removes the initial entry.
-        """
-        if tag == self._zero:
-            return self.code.zero_value()
-        return self.L[obj].get(tag)
-
-    def _next_opid(self) -> tuple:
-        self._opid_seq += 1
-        return ("srv", self.node_id, self._opid_seq)
-
-    def _sized(self, msg, n_values: float = 0.0, n_tags: float = 0.0):
-        msg.size_bits = self.config.cost_model.size(n_values, n_tags)
-        return msg
-
-    def _storing_nodes(self, obj: int) -> list[int]:
-        return [i for i in range(self.code.N) if obj in self.code.objects_at(i)]
-
-    # ------------------------------------------------------------------
-    # message dispatch
-
-    def on_message(self, src: int, msg: object) -> None:
-        if isinstance(msg, WriteRequest):
-            self._on_write(src, msg)
-        elif isinstance(msg, ReadRequest):
-            self._on_read(src, msg)
-        elif isinstance(msg, App):
-            self.inqueue.add(InQueueEntry(src, msg.obj, msg.value, msg.tag))
-        elif isinstance(msg, Del):
-            self._on_del(src, msg)
-        elif isinstance(msg, ValInq):
-            self._on_val_inq(src, msg)
-        elif isinstance(msg, ValResp):
-            self._on_val_resp(src, msg)
-        elif isinstance(msg, ValRespEncoded):
-            self._on_val_resp_encoded(src, msg)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unexpected message {msg!r}")
-        self._internal_actions()
-        self._persist()
-
-    # ------------------------------------------------------------------
-    # Algorithm 1: client messages
-
-    def _on_write(self, client: int, msg: WriteRequest) -> None:
-        cached = self._client_sessions.get(client)
-        if cached is not None and cached[0] == msg.opid:
-            # retried request whose effect is already applied: re-ack only
-            self.stats.duplicate_requests += 1
-            self.send(client, cached[1])
-            return
-        self.stats.writes += 1
-        self.vc = self.vc.increment(self.node_id)
-        tag = Tag(self.vc, client)
-        self.L[msg.obj].add(tag, msg.value)
-        if self.config.record_visibility:
-            self.visibility_log.append((self.scheduler.now, msg.obj, tag))
-        ack = WriteAck(msg.opid)
-        ack.ts = self.vc
-        ack.tag = tag
-        self._client_sessions[client] = (msg.opid, ack)
-        self.send(client, self._sized(ack))
-        for j in self._others:
-            self.send(j, self._sized(App(msg.obj, msg.value, tag), 1, 1))
-        # clear pending external reads to this object (Alg. 1 lines 7-9)
-        for entry in self.readl.for_object(msg.obj):
-            if entry.client_id != LOCALHOST:
-                self._respond_read(entry, msg.value, tag)
-
-    def _on_read(self, client: int, msg: ReadRequest) -> None:
-        if self.readl.get(msg.opid) is not None:
-            # retried request already pending: inquiries are in flight
-            self.stats.duplicate_requests += 1
-            return
-        self.stats.reads += 1
-        obj = msg.obj
-        hist = self.L[obj]
-        if len(hist) and hist.highest_tag >= self.M.tagvec[obj]:
-            self.stats.local_reads += 1
-            value = hist.highest_value()
-            self._send_read_return(client, msg.opid, value, hist.highest_tag)
-            return
-        if self.code.is_recovery_set((self.node_id,), obj):
-            self.stats.decoded_local_reads += 1
-            value = self.code.decode(obj, {self.node_id: self.M.value})
-            self._send_read_return(client, msg.opid, value, self.M.tagvec[obj])
-            return
-        self.stats.remote_reads += 1
-        self._register_read(client, msg.opid, obj)
-
-    def _register_read(self, client_id: int, opid, obj: int) -> None:
-        """Register a pending read in ReadL and send inquiries (line 16-18)."""
-        entry = ReadEntry(
-            client_id=client_id,
-            opid=opid,
-            obj=obj,
-            tagvec=dict(self.M.tagvec),
-            symbols={self.node_id: np.array(self.M.value, copy=True)},
-            registered_at=self.scheduler.now,
-        )
-        self.readl.add(entry)
-        targets = self._inq_targets(obj)
-        for j in targets:
-            self.send(
-                j,
-                self._sized(
-                    ValInq(client_id, opid, obj, dict(self.M.tagvec)),
-                    0,
-                    self.code.K,
-                ),
-            )
-        if self.config.read_policy == "recovery_set" and set(targets) != set(
-            self._others
-        ):
-            remaining = [j for j in self._others if j not in targets]
-            handle = self.set_timer(
-                self.config.read_timeout,
-                lambda: self._read_timeout(opid, remaining),
-            )
-            self._read_timeouts[opid] = handle
-
-    def _inq_targets(self, obj: int) -> list[int]:
-        """Nodes to inquire first: everyone, or the cheapest recovery set."""
-        if self.config.read_policy != "recovery_set":
-            return list(self._others)
-        best: list[int] | None = None
-        best_cost = float("inf")
-        for rset in self.code.minimal_recovery_sets(obj):
-            others = [j for j in rset if j != self.node_id]
-            if not others:
-                continue
-            if self.config.rtt is not None:
-                cost = max(float(self.config.rtt[self.node_id, j]) for j in others)
-            else:
-                cost = float(len(others))
-            if cost < best_cost:
-                best, best_cost = others, cost
-        return best if best is not None else list(self._others)
-
-    def _read_timeout(self, opid, remaining: list[int]) -> None:
-        entry = self.readl.get(opid)
-        self._read_timeouts.pop(opid, None)
-        if entry is None:
-            return
-        for j in remaining:
-            self.send(
-                j,
-                self._sized(
-                    ValInq(entry.client_id, opid, entry.obj, dict(entry.tagvec)),
-                    0,
-                    self.code.K,
-                ),
-            )
-
-    def _send_read_return(self, client: int, opid, value, value_tag: Tag) -> None:
-        msg = ReadReturn(opid, value)
-        msg.ts = self.vc
-        msg.value_tag = value_tag
-        self.send(client, self._sized(msg, 1))
-
-    def _respond_read(
-        self, entry: ReadEntry, value: np.ndarray, value_tag: Tag | None = None
-    ) -> None:
-        """Complete a pending read: return to the client or feed the
-        internal (localhost) read, then clear the ReadL entry."""
-        if value_tag is None:
-            value_tag = entry.tagvec[entry.obj]
-        if entry.client_id == LOCALHOST:
-            self.L[entry.obj].add(entry.tagvec[entry.obj], value)
-        else:
-            self._send_read_return(entry.client_id, entry.opid, value, value_tag)
-        self.readl.remove(entry.opid)
-        handle = self._read_timeouts.pop(entry.opid, None)
-        if handle is not None:
-            handle.cancel()
-
-    # ------------------------------------------------------------------
-    # Algorithm 2: server messages
-
-    def _on_val_inq(self, src: int, msg: ValInq) -> None:
-        wanted = msg.wanted_tagvec
-        value = self._lookup(msg.obj, wanted[msg.obj])
-        if value is not None:
-            self.send(
-                src,
-                self._sized(
-                    ValResp(msg.obj, value, msg.client_id, msg.opid, dict(wanted)),
-                    1,
-                    self.code.K,
-                ),
-            )
-            return
-        # re-encode M towards the wanted tag vector where the history allows;
-        # all per-object deltas are folded in with one batched kernel call
-        tagvec = dict(self.M.tagvec)
-        s = self.node_id
-        updates = []
-        for x in sorted(self.objects):
-            if tagvec[x] == wanted[x]:
-                continue
-            current = self._lookup(x, tagvec[x])
-            if current is None:
-                # case (iii): cannot cancel our version; leave it encoded --
-                # the inquirer holds (or will hold) this version locally.
-                continue
-            target = self._lookup(x, wanted[x])
-            if target is not None:
-                updates.append((x, current, target))
-                tagvec[x] = wanted[x]
-            else:
-                updates.append((x, current, self.code.zero_value()))
-                tagvec[x] = self._zero
-        symbol = self.code.reencode_many(s, self.M.value, updates)
-        self.send(
-            src,
-            self._sized(
-                ValRespEncoded(
-                    symbol, tagvec, msg.client_id, msg.opid, msg.obj, dict(wanted)
-                ),
-                self.code.symbols_at(s),
-                2 * self.code.K,
-            ),
-        )
-
-    def _on_val_resp_encoded(self, src: int, msg: ValRespEncoded) -> None:
-        entry = self.readl.get(msg.opid)
-        if entry is None:
-            return
-        requested = entry.tagvec
-        ok = True
-        updates = []
-        for x in sorted(self.code.objects_at(src)):
-            if requested[x] == msg.tagvec[x]:
-                continue
-            # swap the sender's encoded version of x for the requested one
-            current = self._lookup(x, msg.tagvec[x])
-            if current is None:
-                self.stats.error1_events += 1  # Lemma D.1 says: unreachable
-                ok = False
-                break
-            target = self._lookup(x, requested[x])
-            if target is None:
-                self.stats.error2_events += 1  # Lemma D.2 says: unreachable
-                ok = False
-                break
-            updates.append((x, current, target))
-        if not ok:
-            return
-        modified = self.code.reencode_many(src, msg.symbol, updates)
-        entry.symbols[src] = modified
-        value = self.code.decode(entry.obj, entry.symbols)
-        if value is not None:
-            self._respond_read(entry, value)
-
-    def _on_val_resp(self, src: int, msg: ValResp) -> None:
-        entry = self.readl.get(msg.opid)
-        if entry is None:
-            return
-        self._respond_read(entry, msg.value)
-
-    # ------------------------------------------------------------------
-    # Algorithm 3: internal actions
-
-    def _internal_actions(self) -> None:
-        self._apply_inqueue()
-        self._encoding()
-        if self.config.gc_interval is None:
-            self._garbage_collection()
-
-    def _gc_tick(self) -> None:
-        self._garbage_collection()
-        # encoding may be enabled by GC-driven del exchange
-        self._encoding()
-        self.set_timer(self.config.gc_interval, self._gc_tick)
-        self._persist()
+        self._timers: dict[tuple, object] = {}
+        self.decision_log: list[tuple] = []
+        self.interpret(self.boot(self.scheduler.now))
 
     # ------------------------------------------------------------------
     # durability and crash-recovery
@@ -484,31 +82,7 @@ class CausalECServer(Node):
         if self.durable is not None:
             # wipe in-memory protocol state so recovery demonstrably comes
             # from stable storage, not from simulator memory
-            self._wipe_volatile()
-
-    def _wipe_volatile(self) -> None:
-        code, n, k = self.code, self.code.N, self.code.K
-        self.vc = VectorClock.zero(n)
-        self.inqueue = InQueue()
-        self.L = {}
-        self.DelL = {}
-        self.readl = ReadList()
-        self.tmax = {}
-        for x in range(k):
-            hist = HistoryList(self._zero)
-            hist.add(self._zero, code.zero_value())
-            self.L[x] = hist
-            self.DelL[x] = DeletionList()
-            self.tmax[x] = self._zero
-        self.M = Codeword(
-            value=code.zero_symbol(self.node_id),
-            tagvec={x: self._zero for x in range(k)},
-        )
-        self._opid_seq = 0
-        self._del_sent_storing = {x: self._zero for x in range(k)}
-        self._del_sent_all = {x: self._zero for x in range(k)}
-        self._client_sessions = {}
-        self._read_timeouts = {}
+            self.wipe_volatile()
 
     def on_restart(self) -> None:
         """Crash-recovery: reload the last durable snapshot and rejoin.
@@ -517,8 +91,9 @@ class CausalECServer(Node):
         this server sent but never saw acknowledged, and deduplicates
         retransmissions of segments it had already delivered -- together
         with eager persistence this re-establishes the paper's reliable
-        FIFO channels across the crash.  GC timers are re-armed (they died
-        with the old incarnation) and pending remote reads re-inquire.
+        FIFO channels across the crash.  The core's
+        :meth:`~repro.protocol.server_core.ServerCore.after_restart` then
+        re-arms GC timers and re-inquires pending reads.
         """
         from .snapshot import restore_server_state  # avoid import cycle
 
@@ -527,203 +102,5 @@ class CausalECServer(Node):
             checkpoint = self.durable.load(self.node_id)
             if checkpoint is not None:
                 restore_server_state(self, checkpoint, self._transport)
-        if self.config.gc_interval is not None:
-            self.set_timer(self.config.gc_interval, self._gc_tick)
-        self._reissue_pending_reads()
-        self._internal_actions()
-        self._persist()
-
-    def _reissue_pending_reads(self) -> None:
-        """Re-broadcast inquiries for reads restored from the checkpoint:
-        responses to the pre-crash inquiries may have been consumed by the
-        dead incarnation's ARQ acks, so ask everyone again."""
-        for entry in list(self.readl.entries()):
-            for j in self._others:
-                self.send(
-                    j,
-                    self._sized(
-                        ValInq(
-                            entry.client_id, entry.opid, entry.obj,
-                            dict(entry.tagvec),
-                        ),
-                        0,
-                        self.code.K,
-                    ),
-                )
-
-    def _apply_inqueue(self) -> None:
-        """Apply_InQueue: causally apply pending remote writes."""
-        while True:
-            e = self.inqueue.pop_applicable(self.vc)
-            if e is None:
-                return
-            self.vc = self.vc.with_component(e.sender, e.tag.ts[e.sender])
-            self.L[e.obj].add(e.tag, e.value)
-            if self.config.record_visibility:
-                self.visibility_log.append((self.scheduler.now, e.obj, e.tag))
-            for entry in self.readl.for_object(e.obj):
-                if entry.client_id != LOCALHOST and entry.tagvec[e.obj] <= e.tag:
-                    self._respond_read(entry, e.value, e.tag)
-                elif entry.client_id == LOCALHOST and entry.tagvec[e.obj] == e.tag:
-                    # the wanted version just landed in L; the internal read
-                    # is no longer needed (Alg. 3 lines 11-12)
-                    self.readl.remove(entry.opid)
-
-    def _encoding(self) -> None:
-        """Encoding: fold newer history-list versions into M."""
-        progress = True
-        while progress:
-            progress = False
-            for x in sorted(self.objects):
-                progress |= self._encode_stored_object(x)
-            for x in range(self.code.K):
-                if x not in self.objects:
-                    progress |= self._advance_unstored_tag(x)
-
-    def _encode_stored_object(self, x: int) -> bool:
-        hist = self.L[x]
-        highest = hist.highest_tag
-        if not (len(hist) and highest > self.M.tagvec[x]):
-            return False
-        current = self._lookup(x, self.M.tagvec[x])
-        if current is not None:
-            new_value = hist.get(highest)
-            self.M.value = self.code.reencode(
-                self.node_id, self.M.value, x, current, new_value
-            )
-            self.M.tagvec[x] = highest
-            self.stats.reencodings += 1
-            self.DelL[x].add(highest, self.node_id)
-            self._send_del_storing(x, highest)
-            return True
-        # the encoded version left the history list: issue an internal read
-        if not self.readl.localhost_entry_for(x, self.M.tagvec[x], LOCALHOST):
-            self.stats.internal_reads += 1
-            self._register_read(LOCALHOST, self._next_opid(), x)
-        return False
-
-    def _advance_unstored_tag(self, x: int) -> bool:
-        """Bookkeeping for X not in X_s (Alg. 3 lines 26-32)."""
-        hist = self.L[x]
-        if not (len(hist) and hist.highest_tag > self.M.tagvec[x]):
-            return False
-        storing = self._storing_nodes(x)
-        if not storing:
-            return False
-        candidates = [t for t in hist.tags() if t > self.M.tagvec[x]]
-        eligible = [
-            t
-            for t in candidates
-            if all(
-                (m := self.DelL[x].max_from(i)) is not None and m >= t
-                for i in storing
-            )
-        ]
-        if not eligible:
-            return False
-        best = max(eligible)
-        self.M.tagvec[x] = best
-        self.DelL[x].add(best, self.node_id)
-        self._send_del_all(x, best)
-        return True
-
-    def _on_del(self, src: int, msg: Del) -> None:
-        """Record a del; a leader forwards fanout dels to everyone else."""
-        origin = msg.origin if msg.origin is not None else src
-        self.DelL[msg.obj].add(msg.tag, origin)
-        if msg.fanout and self.config.del_leader == self.node_id:
-            for j in self._others:
-                if j != origin:
-                    self.send(
-                        j, self._sized(Del(msg.obj, msg.tag, origin=origin), 0, 1)
-                    )
-
-    def _send_del_storing(self, x: int, tag: Tag) -> None:
-        """Encoding line 20: del to the nodes storing X (deduplicated)."""
-        if tag <= max(self._del_sent_storing[x], self._del_sent_all[x]):
-            return
-        leader = self.config.del_leader
-        if leader is not None and leader != self.node_id:
-            # low-cost variant: one message; the leader reaches everyone
-            self._del_sent_storing[x] = tag
-            self._del_sent_all[x] = tag
-            self.send(leader, self._sized(Del(x, tag, fanout=True), 0, 1))
-            return
-        self._del_sent_storing[x] = tag
-        for j in self._storing_nodes(x):
-            if j != self.node_id:
-                self.send(j, self._sized(Del(x, tag), 0, 1))
-
-    def _send_del_all(self, x: int, tag: Tag) -> None:
-        """Encoding line 32 / GC line 48: del to every node (deduplicated)."""
-        if tag <= self._del_sent_all[x]:
-            return
-        self._del_sent_all[x] = tag
-        leader = self.config.del_leader
-        if leader is not None and leader != self.node_id:
-            self._del_sent_storing[x] = tag
-            self.send(leader, self._sized(Del(x, tag, fanout=True), 0, 1))
-            return
-        for j in self._others:
-            self.send(j, self._sized(Del(x, tag), 0, 1))
-
-    def _garbage_collection(self) -> None:
-        """Garbage_Collection: watermark advance + history-list deletion."""
-        self.stats.gc_runs += 1
-        all_nodes = range(self.code.N)
-        for x in range(self.code.K):
-            common = self.DelL[x].max_common(all_nodes)
-            if common is not None and common > self.tmax[x]:
-                self.tmax[x] = common
-            watermark = self.tmax[x]
-            mtag = self.M.tagvec[x]
-            protected = {
-                e.tagvec[x] for e in self.readl.entries() if e.tagvec[x] < mtag
-            }
-            hist = self.L[x]
-            if (
-                watermark == mtag
-                and self.DelL[x].has_exact_from_all(mtag, all_nodes)
-                and hist.highest_tag <= mtag
-            ):
-                doomed = [
-                    t for t in hist.tags() if t <= watermark and t not in protected
-                ]
-            elif watermark < mtag and x not in self.objects:
-                doomed = [
-                    t for t in hist.tags() if t <= watermark and t not in protected
-                ]
-            else:
-                doomed = [
-                    t for t in hist.tags() if t < watermark and t not in protected
-                ]
-            for t in doomed:
-                hist.remove(t)
-            self.stats.gc_deletions += len(doomed)
-            if x in self.objects:
-                max_u = self.DelL[x].max_common(self._storing_nodes(x))
-                if max_u is not None and max_u > self._zero:
-                    self._send_del_all(x, max_u)
-            self.DelL[x].prune_below(watermark)
-
-    # ------------------------------------------------------------------
-    # introspection (tests, benchmarks)
-
-    def history_size(self) -> int:
-        """Total (tag, value) entries across all history lists.
-
-        The initial (zero-tag, zero-value) placeholder (Fig. 3) is excluded:
-        it denotes the implicit initial value and stores no data.
-        """
-        return sum(
-            sum(1 for t in h.tags() if not t.is_zero) for h in self.L.values()
-        )
-
-    def transient_state_size(self) -> int:
-        """Entries in L + InQueue + ReadL: Theorem 4.5's vanishing state."""
-        return self.history_size() + len(self.inqueue) + len(self.readl)
-
-    def stored_value_bits(self, value_bits: float | None = None) -> float:
-        """Bits of object-value data held: codeword symbol + history lists."""
-        b = value_bits or self.config.cost_model.value_bits
-        return b * (self.code.symbols_at(self.node_id) + self.history_size())
+        self._timers = {}  # timers died with the old incarnation
+        self.interpret(self.after_restart(self.scheduler.now))

@@ -145,22 +145,29 @@ class ServerCheckpoint:
     transport: dict[str, Any] | None = None
 
 
-def capture_server_state(server: CausalECServer, transport=None) -> ServerCheckpoint:
-    """Deep-copy a server's recoverable state into a checkpoint."""
+def capture_server_state(server, transport=None) -> ServerCheckpoint:
+    """Deep-copy a server's recoverable state into a checkpoint.
+
+    ``server`` may be a simulated :class:`CausalECServer` or a bare
+    :class:`~repro.protocol.server_core.ServerCore` driven by a live
+    runtime; the checkpoint time comes from the scheduler when there is
+    one, else from the core's last-event clock.
+    """
     state = {name: copy.deepcopy(getattr(server, name)) for name in _DURABLE_ATTRS}
     tstate = None
     if transport is not None and getattr(transport, "active", False):
         tstate = transport.snapshot_node(server.node_id)
+    sched = getattr(server, "scheduler", None)
     return ServerCheckpoint(
         server_id=server.node_id,
-        time=server.scheduler.now,
+        time=sched.now if sched is not None else server.now,
         state=state,
         transport=tstate,
     )
 
 
 def restore_server_state(
-    server: CausalECServer, checkpoint: ServerCheckpoint, transport=None
+    server, checkpoint: ServerCheckpoint, transport=None
 ) -> None:
     """Reinstall a checkpoint into ``server`` (same id/code required)."""
     if checkpoint.server_id != server.node_id:

@@ -1,0 +1,47 @@
+"""Sans-I/O protocol cores: pure state machines plus typed effects.
+
+This package holds exactly one implementation of each protocol in the
+repository -- CausalEC servers (:class:`ServerCore`), the shared client
+(:class:`ClientCore`), and the baselines' causal broadcast base
+(:class:`CausalBroadcastCore`) -- written as side-effect-free state
+machines.  Handlers consume an event (a delivered message, a fired timer,
+a client invocation) plus the current time and return an ordered list of
+:mod:`~repro.protocol.effects` describing the I/O to perform.
+
+Runtimes that interpret the effects live in :mod:`repro.runtime`:
+the discrete-event :class:`~repro.runtime.sim.EffectNode` adapters (used by
+every benchmark, chaos test, and the model checker) and the live
+:mod:`~repro.runtime.asyncio_rt` TCP cluster.
+"""
+
+from .broadcast_core import CausalBroadcastCore
+from .client_core import ClientCore, HomeServerUnavailable, RetryPolicy
+from .effects import (
+    CancelTimerEffect,
+    LogEffect,
+    OpSettledEffect,
+    PersistEffect,
+    ProtocolCore,
+    ReplyEffect,
+    SendEffect,
+    SetTimerEffect,
+)
+from .server_core import ServerConfig, ServerCore, ServerStats
+
+__all__ = [
+    "ServerCore",
+    "ServerConfig",
+    "ServerStats",
+    "ClientCore",
+    "RetryPolicy",
+    "HomeServerUnavailable",
+    "CausalBroadcastCore",
+    "ProtocolCore",
+    "SendEffect",
+    "ReplyEffect",
+    "SetTimerEffect",
+    "CancelTimerEffect",
+    "PersistEffect",
+    "LogEffect",
+    "OpSettledEffect",
+]

@@ -1,0 +1,233 @@
+"""The CausalEC client protocol (Sec. 3, "Client protocol"), sans I/O.
+
+A client is attached to exactly one server (the partition C_s of Sec. 2.1)
+and sends ``write``/``read`` messages to it, awaiting the matching
+``write-return-ack``/``read-return``.  Well-formedness is enforced: a client
+has at most one pending invocation at any point.
+
+The same client core drives every protocol in this repository (CausalEC and
+the baselines) since they share the client-facing message types, and every
+runtime (discrete-event simulation and the live asyncio cluster) since it
+performs no I/O: invocations and handlers return effect lists, and operation
+completion is surfaced as an :class:`~repro.protocol.effects.OpSettledEffect`
+for the runtime to deliver to the application layer.
+
+**Fault tolerance.**  With a :class:`RetryPolicy` attached, a client that
+hears nothing from its home server re-sends the request with exponential
+backoff, and -- once the retry budget or deadline is exhausted -- *fails
+fast*: the operation is marked failed with a typed
+:class:`HomeServerUnavailable` error instead of hanging.  Servers
+deduplicate retried requests (same opid), so retries are safe even when the
+original request was delivered but its response was lost to a crash.  A
+failed operation releases the well-formedness slot; the consistency checkers
+treat it as incomplete (it *may* still take effect later, e.g. when a
+crashed server recovers and the ARQ transport delivers the original request
+after all).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..consistency.history import History, Operation
+from ..core.messages import ReadRequest, ReadReturn, WriteAck, WriteRequest
+from .effects import (
+    CancelTimerEffect,
+    OpSettledEffect,
+    ProtocolCore,
+    SetTimerEffect,
+)
+
+__all__ = ["ClientCore", "RetryPolicy", "HomeServerUnavailable"]
+
+
+class HomeServerUnavailable(RuntimeError):
+    """A client operation gave up: the home server did not respond in time."""
+
+    def __init__(self, opid, server_id: int, attempts: int, waited: float):
+        self.opid = opid
+        self.server_id = server_id
+        self.attempts = attempts
+        self.waited = waited
+        super().__init__(
+            f"operation {opid!r}: home server {server_id} unresponsive after "
+            f"{attempts} attempt(s) over {waited:.1f} ms"
+        )
+
+
+@dataclass
+class RetryPolicy:
+    """Request timeout + retry with exponential backoff.
+
+    ``timeout`` is the wait before the first retry; each subsequent wait
+    multiplies by ``backoff``.  After ``max_retries`` re-sends -- or, if
+    ``deadline`` is set, once that much total time has elapsed since the
+    invocation -- the operation fails with :class:`HomeServerUnavailable`.
+    """
+
+    timeout: float = 50.0
+    max_retries: int = 4
+    backoff: float = 2.0
+    deadline: float | None = None
+
+    def __post_init__(self):
+        if self.timeout <= 0 or self.backoff < 1.0 or self.max_retries < 0:
+            raise ValueError(
+                "need timeout > 0, backoff >= 1, max_retries >= 0"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive when set")
+
+
+class ClientCore(ProtocolCore):
+    """A client state machine issuing read/write operations to its server.
+
+    Retry timers are named ``("retry", opid, attempt)``; the attempt count
+    in the id makes re-arming on retransmission a fresh timer rather than a
+    replacement race.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        server_id: int,
+        history: History | None = None,
+        retry: RetryPolicy | None = None,
+    ):
+        self.node_id = node_id
+        self.server_id = server_id
+        self.history = history
+        self.retry = retry
+        self.now = 0.0
+        self._op_counter = itertools.count()
+        self._pending: Operation | None = None
+        self._attempts = 0
+        self._retry_timer_id: tuple | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._pending is not None
+
+    def start_write(self, obj: int, value: np.ndarray, now: float):
+        """Invoke write(X, v); returns ``(op, effects)``."""
+        self._begin(now)
+        op = self._invoke("write", obj, value)
+        self._transmit_request()
+        return op, self._end()
+
+    def start_read(self, obj: int, now: float):
+        """Invoke read(X); returns ``(op, effects)``."""
+        self._begin(now)
+        op = self._invoke("read", obj, None)
+        self._transmit_request()
+        return op, self._end()
+
+    def _invoke(self, kind: str, obj: int, value) -> Operation:
+        if self._pending is not None:
+            raise RuntimeError(
+                f"client {self.node_id} already has a pending operation "
+                f"(well-formedness, Sec. 2.1)"
+            )
+        op = Operation(
+            client_id=self.node_id,
+            opid=(self.node_id, next(self._op_counter)),
+            kind=kind,
+            obj=obj,
+            value=None if value is None else np.asarray(value),
+            invoke_time=self.now,
+        )
+        self._pending = op
+        self._attempts = 0
+        if self.history is not None:
+            self.history.record_invoke(op)
+        return op
+
+    def _request_message(self):
+        op = self._pending
+        if op.kind == "write":
+            msg = WriteRequest(op.opid, op.obj, op.value)
+        else:
+            msg = ReadRequest(op.opid, op.obj)
+        msg.size_bits = 0.0
+        return msg
+
+    def _transmit_request(self) -> None:
+        """(Re-)send the pending request and arm the retry timer."""
+        op = self._pending
+        if op is None:
+            return
+        self._attempts += 1
+        self._emit_send(self.server_id, self._request_message())
+        if self.retry is not None:
+            wait = self.retry.timeout * (
+                self.retry.backoff ** (self._attempts - 1)
+            )
+            timer_id = ("retry", op.opid, self._attempts)
+            self._emit(SetTimerEffect(timer_id, wait))
+            self._retry_timer_id = timer_id
+
+    def handle_timer(self, timer_id: tuple, now: float) -> list:
+        self._begin(now)
+        if timer_id[0] == "retry":
+            self._on_timeout(timer_id[1])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown timer {timer_id!r}")
+        return self._end()
+
+    def _on_timeout(self, opid) -> None:
+        op = self._pending
+        if op is None or op.opid != opid:
+            return  # completed (or failed) meanwhile
+        waited = self.now - op.invoke_time
+        out_of_retries = self._attempts > self.retry.max_retries
+        past_deadline = (
+            self.retry.deadline is not None and waited >= self.retry.deadline
+        )
+        if out_of_retries or past_deadline:
+            self._fail(op, waited)
+        else:
+            self._transmit_request()
+
+    def _fail(self, op: Operation, waited: float) -> None:
+        """Give up: surface unavailability instead of hanging forever."""
+        op.failed = True
+        op.failed_time = self.now
+        op.error = HomeServerUnavailable(
+            op.opid, self.server_id, self._attempts, waited
+        )
+        self._pending = None
+        self._emit(OpSettledEffect(op, failed=True))
+
+    def _cancel_retry(self) -> None:
+        if self._retry_timer_id is not None:
+            self._emit(CancelTimerEffect(self._retry_timer_id))
+            self._retry_timer_id = None
+
+    # ------------------------------------------------------------------
+
+    def handle_message(self, src: int, msg: object, now: float) -> list:
+        self._begin(now)
+        op = self._pending
+        if op is None:
+            return self._end()
+        if isinstance(msg, WriteAck) and msg.opid == op.opid:
+            self._cancel_retry()
+            op.response_time = self.now
+            op.ts = msg.ts
+            op.tag = msg.tag
+            self._pending = None
+            self._emit(OpSettledEffect(op))
+        elif isinstance(msg, ReadReturn) and msg.opid == op.opid:
+            self._cancel_retry()
+            op.response_time = self.now
+            op.value = msg.value
+            op.ts = msg.ts
+            op.tag = msg.value_tag
+            self._pending = None
+            self._emit(OpSettledEffect(op))
+        return self._end()

@@ -1,0 +1,157 @@
+"""Typed effects and the sans-I/O core contract.
+
+The protocol logic of CausalEC (Algorithms 1-3) is expressed as *pure state
+machines* -- :class:`~repro.protocol.server_core.ServerCore`,
+:class:`~repro.protocol.client_core.ClientCore`, and the baselines' causal
+broadcast core -- that never touch a scheduler, a socket, or a disk.
+Instead, every handler consumes one *event* (a delivered message, a fired
+timer, a client invocation) plus the current time, and returns an ordered
+list of **effects** describing the I/O the surrounding runtime must perform:
+
+* :class:`SendEffect` -- transmit a protocol message to a peer server;
+* :class:`ReplyEffect` -- transmit a response to a client (runtimes that
+  distinguish peer links from client connections route on this);
+* :class:`SetTimerEffect` / :class:`CancelTimerEffect` -- arm/cancel a named
+  timer; when it fires the runtime feeds ``handle_timer(timer_id, now)``
+  back into the core;
+* :class:`PersistEffect` -- checkpoint the core's durable state (a no-op
+  for runtimes without stable storage attached);
+* :class:`LogEffect` -- a structured protocol-decision record (causal
+  application, read returns, GC deletions); used by the runtime-equivalence
+  tests to prove two runtimes drive the same protocol.
+
+Effect **order is part of the contract**: runtimes must interpret a
+returned effect list strictly in order.  The discrete-event
+:class:`~repro.runtime.sim.SimRuntime` relies on this to reproduce, bit for
+bit, the executions of the pre-sans-I/O implementation (message send order
+determines both per-channel FIFO floors and latency-RNG consumption), and
+the :class:`~repro.runtime.asyncio_rt.AsyncioRuntime` relies on it so that
+acks are written before the checkpoint that covers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "SendEffect",
+    "ReplyEffect",
+    "SetTimerEffect",
+    "CancelTimerEffect",
+    "PersistEffect",
+    "LogEffect",
+    "OpSettledEffect",
+    "ProtocolCore",
+]
+
+
+@dataclass
+class SendEffect:
+    """Transmit ``msg`` to peer node ``dst`` over a reliable FIFO channel."""
+
+    dst: int
+    msg: Any
+
+
+@dataclass
+class ReplyEffect:
+    """Transmit ``msg`` to client ``client_id`` (response path)."""
+
+    client_id: int
+    msg: Any
+
+
+@dataclass
+class SetTimerEffect:
+    """Arm a named timer; deliver ``handle_timer(timer_id)`` after ``delay``.
+
+    ``timer_id`` is an opaque hashable tuple owned by the core (it may carry
+    payload, e.g. the servers still to inquire on a read timeout).  Arming a
+    timer id that is already armed replaces it.  Timers belong to a process
+    incarnation: a crash or restart discards every armed timer.
+    """
+
+    timer_id: tuple
+    delay: float
+
+
+@dataclass
+class CancelTimerEffect:
+    """Disarm a previously armed timer (no-op if it already fired)."""
+
+    timer_id: tuple
+
+
+@dataclass
+class PersistEffect:
+    """Checkpoint the core's durable state to stable storage (if attached).
+
+    Emitted at the end of every handled event, modelling a synchronous
+    write-ahead log: every state the core has acknowledged to anyone is
+    recoverable after a crash.
+    """
+
+
+@dataclass
+class LogEffect:
+    """A structured protocol-decision record (see ServerConfig.decision_log)."""
+
+    entry: tuple
+
+
+@dataclass
+class OpSettledEffect:
+    """Client core only: the pending operation completed or failed fast.
+
+    Runtimes deliver this to the application layer -- the sim adapter calls
+    its ``on_complete``/``on_failure`` hooks, the asyncio runtime resolves
+    the operation's future.
+    """
+
+    op: Any
+    failed: bool = False
+
+
+class ProtocolCore:
+    """Mixin base for sans-I/O cores: the per-event effect buffer.
+
+    Handlers run between :meth:`_begin` and :meth:`_end`; side effects are
+    *emitted* (appended to the buffer) rather than performed.  ``self.now``
+    holds the event's timestamp for the duration of the handler -- the only
+    notion of time a core ever sees.
+
+    The buffer is recreated at every event entry, so cores cloned by
+    structural copy (e.g. the model checker's state forking, which bypasses
+    ``__init__``) need no special handling.
+    """
+
+    def _begin(self, now: float) -> None:
+        self._effects: list = []
+        self.now = now
+
+    def _end(self) -> list:
+        effects = self._effects
+        self._effects = []
+        return effects
+
+    # -- emission helpers ----------------------------------------------------
+
+    def _emit(self, effect) -> None:
+        self._effects.append(effect)
+
+    def _emit_send(self, dst: int, msg) -> None:
+        self._effects.append(SendEffect(dst, msg))
+
+    def _emit_reply(self, client_id: int, msg) -> None:
+        self._effects.append(ReplyEffect(client_id, msg))
+
+    # -- runtime-facing contract --------------------------------------------
+
+    def handle_message(self, src: int, msg, now: float) -> list:
+        """Consume one delivered message; return the effects to perform."""
+        raise NotImplementedError
+
+    def handle_timer(self, timer_id: tuple, now: float) -> list:
+        """Consume one fired timer; return the effects to perform."""
+        raise NotImplementedError

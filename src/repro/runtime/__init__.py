@@ -1,0 +1,34 @@
+"""Runtimes: interpreters for the sans-I/O protocol cores.
+
+Two interchangeable drivers for :mod:`repro.protocol`:
+
+* :mod:`repro.runtime.sim` -- the discrete-event adapter
+  (:class:`~repro.runtime.sim.EffectNode`) that runs cores inside the
+  existing scheduler/network/transport stack, bit-for-bit compatible with
+  the pre-sans-I/O implementation;
+* :mod:`repro.runtime.asyncio_rt` -- a real asyncio TCP runtime that boots
+  an N-server CausalEC cluster on localhost sockets, with the
+  :mod:`~repro.runtime.wire` length-prefixed codec on the wire, per-peer
+  reconnect, monotonic-clock timers, and a file-backed durable store.
+"""
+
+from .asyncio_rt import (
+    AsyncioClient,
+    AsyncioCluster,
+    AsyncioServer,
+    FileDurableStore,
+)
+from .sim import EffectNode
+from .wire import WIRE_VERSION, WireError, decode_frame, encode_frame
+
+__all__ = [
+    "EffectNode",
+    "AsyncioCluster",
+    "AsyncioServer",
+    "AsyncioClient",
+    "FileDurableStore",
+    "WIRE_VERSION",
+    "WireError",
+    "encode_frame",
+    "decode_frame",
+]

@@ -1,0 +1,685 @@
+"""Real-network runtime: the sans-I/O cores on asyncio TCP sockets.
+
+This module proves the sans-I/O refactor by running the *same*
+:class:`~repro.protocol.server_core.ServerCore` and
+:class:`~repro.protocol.client_core.ClientCore` objects that power the
+discrete-event simulator on an actual asyncio event loop, with real
+length-prefixed frames (:mod:`repro.runtime.wire`) over real localhost
+sockets, monotonic-clock timers, and file-backed durable checkpoints.
+
+Topology
+--------
+Each :class:`AsyncioServer` owns one TCP listener.  Three connection kinds
+arrive on it, distinguished by a hello frame:
+
+* ``("hp", i)`` -- the *peer data channel* from server ``i``: server ``i``
+  dials every other server and owns the directed channel ``i -> j``.  Data
+  frames ``("d", seq, msg)`` flow dialer -> listener; cumulative acks
+  ``("a", seq)`` flow back on the same socket.
+* ``("hc", c)`` -- a client connection: request/reply frames ``("m", msg)``
+  flow both ways.  Clients get no ARQ; the client retry policy plus
+  server-side opid deduplication already make requests crash-tolerant.
+
+Reliable FIFO channels (the paper's network model) are realised per peer
+channel with a small ARQ: the dialer numbers messages, buffers them until
+acked, and replays the unacked tail on every reconnect; the listener
+delivers in sequence order, deduplicates, records the delivery watermark
+*before* handling (so the post-handler checkpoint makes delivery and state
+change atomic), and acks only after the handler's ``PersistEffect`` hit
+stable storage.  Channel state (send seq + unacked tail, receive
+watermarks) rides inside each :class:`~repro.core.snapshot.ServerCheckpoint`
+exactly like the simulator's ARQ transport state, so a restarted server
+resumes its channels without duplicating or dropping protocol messages.
+
+Time is ``loop.time()`` in milliseconds, so the cores see the same unit the
+simulator uses; effect timers map to ``loop.call_later`` guarded by an
+incarnation epoch (a timer armed before a crash never fires into the next
+incarnation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import struct
+import tempfile
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from ..consistency.history import History, Operation
+from ..core.snapshot import (
+    ServerCheckpoint,
+    capture_server_state,
+    restore_server_state,
+)
+from ..ec.code import LinearCode
+from ..protocol.client_core import ClientCore, RetryPolicy
+from ..protocol.effects import (
+    CancelTimerEffect,
+    LogEffect,
+    OpSettledEffect,
+    PersistEffect,
+    ReplyEffect,
+    SendEffect,
+    SetTimerEffect,
+)
+from ..protocol.server_core import ServerConfig, ServerCore
+from . import wire
+
+__all__ = [
+    "FileDurableStore",
+    "AsyncioServer",
+    "AsyncioClient",
+    "AsyncioCluster",
+]
+
+#: seconds between reconnect attempts for peer channels and clients
+RECONNECT_DELAY = 0.02
+
+_CONN_ERRORS = (
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    OSError,
+    wire.WireError,
+)
+
+
+async def read_frame(reader: asyncio.StreamReader):
+    """Read one length-prefixed wire frame from a stream."""
+    (length,) = struct.unpack(">I", await reader.readexactly(4))
+    if length > wire.MAX_FRAME_BYTES:
+        raise wire.WireError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    return wire.decode_body(await reader.readexactly(length))
+
+
+def _now_ms(loop: asyncio.AbstractEventLoop) -> float:
+    return loop.time() * 1000.0
+
+
+class FileDurableStore:
+    """File-backed stable storage: one checkpoint file per server.
+
+    The live-runtime counterpart of the simulator's in-memory
+    :class:`~repro.core.snapshot.DurableStore`, with the same interface.
+    Checkpoints are wire-encoded (never pickled) and replaced atomically
+    (write-to-temp + rename), so a crash mid-persist leaves the previous
+    checkpoint intact.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.persist_counts: dict[int, int] = {}
+
+    def _path(self, server_id: int) -> Path:
+        return self.root / f"server_{server_id}.ckpt"
+
+    def persist(self, checkpoint: ServerCheckpoint) -> None:
+        path = self._path(checkpoint.server_id)
+        tmp = path.with_suffix(".ckpt.tmp")
+        tmp.write_bytes(wire.encode_frame(checkpoint))
+        os.replace(tmp, path)
+        self.persist_counts[checkpoint.server_id] = (
+            self.persist_counts.get(checkpoint.server_id, 0) + 1
+        )
+
+    def load(self, server_id: int) -> ServerCheckpoint | None:
+        path = self._path(server_id)
+        if not path.exists():
+            return None
+        return wire.decode_frame(path.read_bytes())
+
+    def wipe(self, server_id: int) -> None:
+        """Simulate disk loss for one server (tests)."""
+        self._path(server_id).unlink(missing_ok=True)
+
+
+class _PeerChannel:
+    """The dialer end of one directed reliable channel ``me -> peer``."""
+
+    def __init__(self, server: "AsyncioServer", peer_id: int):
+        self.server = server
+        self.peer_id = peer_id
+        self.seq = 0
+        self.unacked: deque[tuple[int, object]] = deque()
+        self.writer: asyncio.StreamWriter | None = None
+        self.task: asyncio.Task | None = None
+        self._stopped = False
+
+    def send(self, msg) -> None:
+        self.seq += 1
+        self.unacked.append((self.seq, msg))
+        if self.writer is not None:
+            try:
+                self.writer.write(wire.encode_frame(("d", self.seq, msg)))
+            except _CONN_ERRORS:  # pragma: no cover - racing disconnect
+                self.writer = None
+
+    def start(self) -> None:
+        self.task = asyncio.ensure_future(self._run())
+
+    async def _run(self) -> None:
+        while not self._stopped:
+            writer = None
+            try:
+                host, port = self.server.peers[self.peer_id]
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(wire.encode_frame(("hp", self.server.node_id)))
+                for seq, msg in list(self.unacked):  # replay the unacked tail
+                    writer.write(wire.encode_frame(("d", seq, msg)))
+                await writer.drain()
+                self.writer = writer
+                while True:
+                    payload = await read_frame(reader)
+                    if payload[0] == "a":
+                        self._on_ack(payload[1])
+            except _CONN_ERRORS:
+                pass
+            finally:
+                self.writer = None
+                if writer is not None:
+                    writer.close()
+            if not self._stopped:
+                await asyncio.sleep(RECONNECT_DELAY)
+
+    def _on_ack(self, upto: int) -> None:
+        while self.unacked and self.unacked[0][0] <= upto:
+            self.unacked.popleft()
+
+    async def stop(self) -> None:
+        self._stopped = True
+        if self.task is not None:
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self.task = None
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+
+
+class _ChannelStateView:
+    """Presents ARQ channel state through the transport-snapshot interface
+    that :func:`~repro.core.snapshot.capture_server_state` expects."""
+
+    active = True
+
+    def __init__(self, server: "AsyncioServer"):
+        self._server = server
+
+    def snapshot_node(self, node_id: int) -> dict:
+        s = self._server
+        return {
+            "send": {
+                j: {"seq": ch.seq, "unacked": list(ch.unacked)}
+                for j, ch in s._channels.items()
+            },
+            "recv": dict(s._recv_last),
+        }
+
+    def restore_node(self, node_id: int, state: dict) -> None:
+        s = self._server
+        for j, st in state.get("send", {}).items():
+            ch = s._channels.get(j)
+            if ch is not None:
+                ch.seq = st["seq"]
+                ch.unacked = deque(tuple(entry) for entry in st["unacked"])
+        s._recv_last = dict(state.get("recv", {}))
+
+
+class AsyncioServer:
+    """One CausalEC server: a :class:`ServerCore` behind a TCP listener."""
+
+    def __init__(
+        self,
+        core: ServerCore,
+        store: FileDurableStore | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.core = core
+        self.node_id = core.node_id
+        self.num_servers = core.code.N
+        self.store = store
+        self.host = host
+        self.port = port
+        self.peers: dict[int, tuple[str, int]] = {}
+        self.halted = False
+        self.decision_log: list[tuple] = []
+        #: delivered-frame counter; quiescence detection watches it
+        self.activity = 0
+        self._epoch = 0
+        self._listener: asyncio.Server | None = None
+        self._channels: dict[int, _PeerChannel] = {}
+        self._recv_last: dict[int, int] = {}
+        self._ooo: dict[int, dict[int, object]] = {}
+        self._clients: dict[int, asyncio.StreamWriter] = {}
+        self._inbound: set[asyncio.StreamWriter] = set()
+        self._timers: dict[tuple, asyncio.TimerHandle] = {}
+        self._arq_view = _ChannelStateView(self)
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def now(self) -> float:
+        return _now_ms(self._loop)
+
+    @property
+    def stats(self):
+        return self.core.stats
+
+    async def start(self) -> None:
+        """Bind the listener (port 0 = ephemeral) and boot the core."""
+        self._loop = asyncio.get_running_loop()
+        await self._start_listener()
+        self.interpret(self.core.boot(self.now()))
+
+    async def _start_listener(self) -> None:
+        self._listener = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._listener.sockets[0].getsockname()[1]
+
+    def set_peers(self, addresses: dict[int, tuple[str, int]]) -> None:
+        self.peers = {j: a for j, a in addresses.items() if j != self.node_id}
+
+    def connect_peers(self) -> None:
+        for j in self.peers:
+            ch = self._channels[j] = _PeerChannel(self, j)
+            ch.start()
+
+    async def kill(self) -> None:
+        """Crash: drop timers, connections, listener, and volatile state."""
+        self.halted = True
+        self._epoch += 1
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        for ch in self._channels.values():
+            await ch.stop()
+        self._channels.clear()
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        for writer in list(self._inbound):
+            writer.close()
+        self._inbound.clear()
+        self._clients.clear()
+        await asyncio.sleep(0.01)  # let connection handlers observe the close
+        # a crash loses everything not on disk
+        self._recv_last = {}
+        self._ooo = {}
+        self.core.wipe_volatile()
+
+    async def restart(self) -> None:
+        """Recover: reload the durable checkpoint, rebind, redial, resume.
+
+        Also usable as a cold-start entry point for a standalone server
+        process resuming from an on-disk checkpoint (``repro serve``).
+        """
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        self.halted = False
+        for j in self.peers:
+            ch = self._channels[j] = _PeerChannel(self, j)
+        checkpoint = None if self.store is None else self.store.load(self.node_id)
+        if checkpoint is not None:
+            restore_server_state(self.core, checkpoint, transport=self._arq_view)
+        await self._start_listener()
+        for ch in self._channels.values():
+            ch.start()
+        self.interpret(self.core.after_restart(self.now()))
+
+    async def shutdown(self) -> None:
+        if not self.halted:
+            await self.kill()
+
+    # ------------------------------------------------------------------
+    # connections
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        epoch = self._epoch
+        src = None
+        self._inbound.add(writer)
+        try:
+            hello = await read_frame(reader)
+            kind, src = hello[0], hello[1]
+            if kind == "hp":
+                await self._peer_loop(src, reader, writer, epoch)
+            elif kind == "hc":
+                self._clients[src] = writer
+                await self._client_loop(src, reader, epoch)
+        except _CONN_ERRORS:
+            pass
+        finally:
+            self._inbound.discard(writer)
+            if src is not None and self._clients.get(src) is writer:
+                del self._clients[src]
+            writer.close()
+
+    async def _peer_loop(self, src, reader, writer, epoch) -> None:
+        """Deliver data frames from peer ``src`` in order, exactly once."""
+        while True:
+            payload = await read_frame(reader)
+            if self._epoch != epoch or self.halted:
+                return
+            if payload[0] != "d":
+                continue
+            _, seq, msg = payload
+            last = self._recv_last.get(src, 0)
+            if seq > last:
+                pending = self._ooo.setdefault(src, {})
+                pending[seq] = msg
+                while last + 1 in pending:
+                    last += 1
+                    m = pending.pop(last)
+                    # watermark first: the handler's persist then records
+                    # delivery and the resulting state change atomically
+                    self._recv_last[src] = last
+                    self.activity += 1
+                    self.interpret(self.core.handle_message(src, m, self.now()))
+            # cumulative ack, sent only after the persist above hit disk
+            writer.write(wire.encode_frame(("a", last)))
+
+    async def _client_loop(self, src, reader, epoch) -> None:
+        while True:
+            payload = await read_frame(reader)
+            if self._epoch != epoch or self.halted:
+                return
+            if payload[0] == "m":
+                self.activity += 1
+                self.interpret(
+                    self.core.handle_message(src, payload[1], self.now())
+                )
+
+    # ------------------------------------------------------------------
+    # effect interpretation
+
+    def interpret(self, effects) -> None:
+        for e in effects:
+            cls = type(e)
+            if cls is SendEffect:
+                self._send(e.dst, e.msg)
+            elif cls is ReplyEffect:
+                self._send(e.client_id, e.msg)
+            elif cls is SetTimerEffect:
+                handle = self._loop.call_later(
+                    e.delay / 1000.0, self._on_timer, e.timer_id, self._epoch
+                )
+                self._timers[e.timer_id] = handle
+            elif cls is CancelTimerEffect:
+                handle = self._timers.pop(e.timer_id, None)
+                if handle is not None:
+                    handle.cancel()
+            elif cls is PersistEffect:
+                self._persist()
+            elif cls is LogEffect:
+                self.decision_log.append(e.entry)
+            else:
+                raise TypeError(f"unknown effect {e!r}")
+
+    def _send(self, dst: int, msg) -> None:
+        if dst < self.num_servers:
+            channel = self._channels.get(dst)
+            if channel is not None:
+                channel.send(msg)
+        else:
+            writer = self._clients.get(dst)
+            if writer is not None:
+                try:
+                    writer.write(wire.encode_frame(("m", msg)))
+                except _CONN_ERRORS:  # pragma: no cover - racing disconnect
+                    pass
+            # else: client gone; its retry policy re-requests
+
+    def _on_timer(self, timer_id: tuple, epoch: int) -> None:
+        if epoch != self._epoch or self.halted:
+            return
+        self._timers.pop(timer_id, None)
+        self.interpret(self.core.handle_timer(timer_id, self.now()))
+
+    def _persist(self) -> None:
+        if self.store is None or self.halted:
+            return
+        self.core.stats.persists += 1
+        self.store.persist(capture_server_state(self.core, self._arq_view))
+
+
+class AsyncioClient:
+    """A :class:`ClientCore` speaking wire frames to its home server."""
+
+    def __init__(
+        self,
+        core: ClientCore,
+        server_addr: tuple[str, int],
+        on_settled=None,
+    ):
+        self.core = core
+        self.node_id = core.node_id
+        self._addr = server_addr
+        self._on_settled = on_settled
+        self._writer: asyncio.StreamWriter | None = None
+        self._timers: dict[tuple, asyncio.TimerHandle] = {}
+        self._settled: asyncio.Future | None = None
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    def _now(self) -> float:
+        return _now_ms(self._loop)
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._task = asyncio.ensure_future(self._run())
+        for _ in range(200):  # wait for the first connection
+            if self._writer is not None:
+                return
+            await asyncio.sleep(0.01)
+        raise ConnectionError(f"client {self.node_id}: server never answered")
+
+    async def _run(self) -> None:
+        while not self._closed:
+            writer = None
+            try:
+                reader, writer = await asyncio.open_connection(*self._addr)
+                writer.write(wire.encode_frame(("hc", self.node_id)))
+                await writer.drain()
+                self._writer = writer
+                while True:
+                    payload = await read_frame(reader)
+                    if payload[0] == "m":
+                        self.interpret(
+                            self.core.handle_message(
+                                self.core.server_id, payload[1], self._now()
+                            )
+                        )
+            except _CONN_ERRORS:
+                pass
+            finally:
+                self._writer = None
+                if writer is not None:
+                    writer.close()
+            if not self._closed:
+                await asyncio.sleep(RECONNECT_DELAY)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+
+    async def write(self, obj: int, value) -> Operation:
+        """Invoke write(X, v) and await its completion (or fast failure)."""
+        op, effects = self.core.start_write(obj, value, self._now())
+        return await self._settle(op, effects)
+
+    async def read(self, obj: int) -> Operation:
+        """Invoke read(X) and await its completion (or fast failure)."""
+        op, effects = self.core.start_read(obj, self._now())
+        return await self._settle(op, effects)
+
+    async def _settle(self, op: Operation, effects) -> Operation:
+        self._settled = self._loop.create_future()
+        self.interpret(effects)
+        await self._settled
+        self._settled = None
+        return op
+
+    def interpret(self, effects) -> None:
+        for e in effects:
+            cls = type(e)
+            if cls is SendEffect:
+                if self._writer is not None:
+                    try:
+                        self._writer.write(wire.encode_frame(("m", e.msg)))
+                    except _CONN_ERRORS:  # pragma: no cover
+                        pass
+                # else: disconnected; the retry timer re-sends
+            elif cls is SetTimerEffect:
+                handle = self._loop.call_later(
+                    e.delay / 1000.0, self._on_timer, e.timer_id
+                )
+                self._timers[e.timer_id] = handle
+            elif cls is CancelTimerEffect:
+                handle = self._timers.pop(e.timer_id, None)
+                if handle is not None:
+                    handle.cancel()
+            elif cls is OpSettledEffect:
+                if self._settled is not None and not self._settled.done():
+                    self._settled.set_result(e.op)
+                if self._on_settled is not None:
+                    self._on_settled(e.op)
+            else:
+                raise TypeError(f"unknown effect {e!r}")
+
+    def _on_timer(self, timer_id: tuple) -> None:
+        self._timers.pop(timer_id, None)
+        if not self._closed:
+            self.interpret(self.core.handle_timer(timer_id, self._now()))
+
+
+class AsyncioCluster:
+    """An in-process N-server CausalEC cluster on localhost TCP sockets.
+
+    The live counterpart of :class:`~repro.core.cluster.CausalECCluster`:
+    same code/config parameters, same ``add_client``/``value``/``history``
+    surface, but every method that touches the network is a coroutine.
+
+    Quickstart::
+
+        cluster = AsyncioCluster(example1_code())
+        await cluster.start()
+        client = await cluster.add_client(server=0)
+        op = await client.write(0, cluster.value(7))
+        await cluster.quiesce()
+        await cluster.shutdown()
+    """
+
+    def __init__(
+        self,
+        code: LinearCode,
+        config: ServerConfig | None = None,
+        store_dir: str | os.PathLike | None = None,
+        retry: RetryPolicy | None = None,
+        host: str = "127.0.0.1",
+    ):
+        self.code = code
+        self.num_servers = code.N
+        self.config = config or ServerConfig()
+        self.retry = retry
+        self.history = History()
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        if store_dir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="causalec-ckpt-")
+            store_dir = self._tmpdir.name
+        self.store = FileDurableStore(store_dir)
+        self.servers = [
+            AsyncioServer(ServerCore(i, code, self.config), self.store, host=host)
+            for i in range(code.N)
+        ]
+        self.clients: list[AsyncioClient] = []
+
+    async def start(self) -> None:
+        """Bind every server, exchange addresses, dial all peer channels."""
+        for s in self.servers:
+            await s.start()
+        addresses = {s.node_id: (s.host, s.port) for s in self.servers}
+        for s in self.servers:
+            s.set_peers(addresses)
+        for s in self.servers:
+            s.connect_peers()
+
+    async def add_client(
+        self, server: int = 0, retry: RetryPolicy | None = None
+    ) -> AsyncioClient:
+        if not 0 <= server < self.num_servers:
+            raise ValueError(f"no such server {server}")
+        node_id = self.num_servers + len(self.clients)
+        core = ClientCore(
+            node_id,
+            server,
+            history=self.history,
+            retry=retry if retry is not None else self.retry,
+        )
+        srv = self.servers[server]
+        client = AsyncioClient(core, (srv.host, srv.port))
+        self.clients.append(client)
+        await client.start()
+        return client
+
+    def value(self, raw) -> np.ndarray:
+        """Coerce a python scalar/list into an object value for this code."""
+        field = self.code.field
+        arr = np.asarray(raw)
+        if arr.ndim == 0:
+            arr = np.full(self.code.value_len, int(arr))
+        return field.validate(arr)
+
+    async def kill_server(self, i: int) -> None:
+        await self.servers[i].kill()
+
+    async def restart_server(self, i: int) -> None:
+        await self.servers[i].restart()
+
+    async def quiesce(
+        self, idle_rounds: int = 4, poll: float = 0.03, timeout: float = 30.0
+    ) -> None:
+        """Wait until no frames have been delivered for a few poll rounds."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        stable = 0
+        last = None
+        while stable < idle_rounds:
+            snapshot = tuple(s.activity for s in self.servers)
+            if snapshot == last:
+                stable += 1
+            else:
+                stable = 0
+                last = snapshot
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError("cluster did not quiesce in time")
+            await asyncio.sleep(poll)
+
+    async def shutdown(self) -> None:
+        for client in self.clients:
+            await client.close()
+        for server in self.servers:
+            await server.shutdown()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None

@@ -1,0 +1,97 @@
+"""Discrete-event runtime: drive sans-I/O cores with the simulator.
+
+:class:`EffectNode` is the adapter between the two layers: it *is* a
+simulated :class:`~repro.sim.node.Node` (scheduler + network + halt/restart
+machinery) and expects to be mixed with a :class:`~repro.protocol.effects
+.ProtocolCore` (``class CausalECServer(EffectNode, ServerCore)``), whose
+``handle_message``/``handle_timer`` it invokes on every delivered event.
+The returned effect list is interpreted **strictly in order**:
+
+* ``SendEffect``/``ReplyEffect`` -> :meth:`~repro.sim.node.Node.send` (the
+  simulator does not distinguish peer links from client connections);
+* ``SetTimerEffect`` -> :meth:`~repro.sim.node.Node.set_timer`, with the
+  handle remembered under the timer id so ``CancelTimerEffect`` can cancel
+  it; a fired timer feeds ``handle_timer(timer_id)`` back into the core;
+* ``PersistEffect`` -> a durable checkpoint when a store is attached;
+* ``OpSettledEffect`` -> the ``on_complete``/``on_failure`` application
+  hooks (overridden by workload drivers);
+* ``LogEffect`` -> appended to ``decision_log``.
+
+In-order interpretation after the handler returns consumes the scheduler's
+sequence numbers and the network's latency RNG in exactly the order the
+pre-sans-I/O implementation did (handlers themselves never draw
+randomness), so simulated executions are bit-for-bit identical to the old
+welded implementation -- the refactor is invisible to every benchmark,
+chaos schedule, and recorded history.
+
+Mixed classes stay plain attribute bags: the model checker's state forking
+(``CausalECServer.__new__`` + direct attribute assignment) keeps working,
+which is why the timer table is lazily created.
+"""
+
+from __future__ import annotations
+
+from ..protocol.effects import (
+    CancelTimerEffect,
+    LogEffect,
+    OpSettledEffect,
+    PersistEffect,
+    ReplyEffect,
+    SendEffect,
+    SetTimerEffect,
+)
+from ..sim.node import Node
+
+__all__ = ["EffectNode"]
+
+
+class EffectNode(Node):
+    """A simulated node whose behaviour comes from a mixed-in ProtocolCore."""
+
+    def on_message(self, src: int, msg: object) -> None:
+        self.interpret(self.handle_message(src, msg, self.scheduler.now))
+
+    def interpret(self, effects: list) -> None:
+        """Perform an effect list in order (the order is part of the
+        sans-I/O contract; see the module docstring)."""
+        for e in effects:
+            cls = type(e)
+            if cls is SendEffect:
+                self.send(e.dst, e.msg)
+            elif cls is ReplyEffect:
+                self.send(e.client_id, e.msg)
+            elif cls is SetTimerEffect:
+                timers = self.__dict__.setdefault("_timers", {})
+                timers[e.timer_id] = self.set_timer(
+                    e.delay, lambda tid=e.timer_id: self._fire_timer(tid)
+                )
+            elif cls is CancelTimerEffect:
+                handle = self.__dict__.get("_timers", {}).pop(e.timer_id, None)
+                if handle is not None:
+                    handle.cancel()
+            elif cls is PersistEffect:
+                self._persist()
+            elif cls is OpSettledEffect:
+                if e.failed:
+                    self.on_failure(e.op)
+                else:
+                    self.on_complete(e.op)
+            elif cls is LogEffect:
+                self.__dict__.setdefault("decision_log", []).append(e.entry)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown effect {e!r}")
+
+    def _fire_timer(self, timer_id: tuple) -> None:
+        self.__dict__.get("_timers", {}).pop(timer_id, None)
+        self.interpret(self.handle_timer(timer_id, self.scheduler.now))
+
+    # -- effect targets overridable by subclasses --------------------------
+
+    def _persist(self) -> None:
+        """Durable checkpointing; a no-op unless the subclass attaches it."""
+
+    def on_complete(self, op) -> None:
+        """Hook for workload drivers; default is a no-op."""
+
+    def on_failure(self, op) -> None:
+        """Hook for workload drivers on an unavailability failure."""

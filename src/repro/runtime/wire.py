@@ -1,0 +1,366 @@
+"""Versioned wire codec for protocol messages and durable checkpoints.
+
+The simulator passes Python objects by reference, so it never needed a wire
+format.  The asyncio runtime sends real bytes over real sockets, and the
+file-backed durable store writes real files, so both need one -- and it must
+not be pickle: checkpoints outlive processes, peers may run different builds,
+and unpickling attacker-supplied bytes executes code.
+
+This codec is a small, explicit, recursive tagged-binary format:
+
+* every encoded value starts with a one-byte type tag;
+* integers are 8-byte big-endian two's complement (arbitrary-precision
+  fallback for the rare overflow), floats are IEEE-754 doubles, strings are
+  UTF-8, all length prefixes are unsigned 32-bit big-endian;
+* containers (tuple/list/dict/set) encode their length then their elements;
+  sets are encoded in sorted-bytes order so encoding is deterministic;
+* numpy arrays encode dtype, shape and raw bytes;
+* :class:`~repro.core.tags.VectorClock` and :class:`~repro.core.tags.Tag`
+  have dedicated tags (they dominate protocol traffic);
+* registered classes -- every ``core/messages.py`` dataclass plus the
+  durable-state containers -- encode as a class id followed by their fields
+  in an **explicit registered order**.  Field order is part of the wire
+  contract: it is spelled out here, not inferred from ``__dict__`` or
+  dataclass introspection, so reordering a dataclass cannot silently change
+  the encoding.  Decoding builds instances with ``cls.__new__`` + setattr,
+  which also round-trips ``init=False`` fields like ``WriteAck.ts``.
+
+Frames
+------
+A *frame* is ``u32 length || version byte || encoded value``.  The length
+covers everything after the length word.  :data:`WIRE_VERSION` is bumped on
+any incompatible change; decoders reject frames from a different version
+instead of misparsing them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from ..core.messages import (
+    App,
+    Del,
+    ReadRequest,
+    ReadReturn,
+    ValInq,
+    ValResp,
+    ValRespEncoded,
+    WriteAck,
+    WriteRequest,
+)
+from ..core.snapshot import ServerCheckpoint
+from ..core.state import (
+    Codeword,
+    DeletionList,
+    HistoryList,
+    InQueue,
+    InQueueEntry,
+    ReadEntry,
+    ReadList,
+)
+from ..core.tags import Tag, VectorClock
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireError",
+    "encode",
+    "decode",
+    "encode_frame",
+    "decode_frame",
+    "decode_body",
+    "register",
+    "registered_classes",
+]
+
+#: Bumped on any incompatible change to the encoding or the class registry.
+WIRE_VERSION = 1
+
+#: Frames larger than this are rejected before allocation (corrupt length
+#: words must not trigger multi-gigabyte reads).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """Raised on malformed, truncated, or wrong-version wire data."""
+
+
+# ---------------------------------------------------------------------------
+# type tags
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03  # 8-byte big-endian signed
+_T_BIGINT = 0x04  # u32 length + signed big-endian bytes
+_T_FLOAT = 0x05  # IEEE-754 double
+_T_STR = 0x06
+_T_BYTES = 0x07
+_T_TUPLE = 0x08
+_T_LIST = 0x09
+_T_DICT = 0x0A
+_T_SET = 0x0B
+_T_NDARRAY = 0x0C
+_T_VC = 0x0D
+_T_TAG = 0x0E
+_T_OBJ = 0x0F  # u16 class id + fields in registered order
+
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+# ---------------------------------------------------------------------------
+# class registry
+
+#: class id -> (class, field order); the inverse map speeds up encoding.
+_REGISTRY: dict[int, tuple[type, tuple[str, ...]]] = {}
+_BY_CLASS: dict[type, tuple[int, tuple[str, ...]]] = {}
+
+
+def register(class_id: int, cls: type, fields: tuple[str, ...]) -> None:
+    """Register ``cls`` under ``class_id`` with an explicit field order.
+
+    Ids and field orders are part of the wire contract: never reuse a
+    retired id, never reorder fields without bumping :data:`WIRE_VERSION`.
+    """
+    if class_id in _REGISTRY and _REGISTRY[class_id][0] is not cls:
+        raise ValueError(f"wire class id {class_id} already registered")
+    if cls in _BY_CLASS and _BY_CLASS[cls][0] != class_id:
+        raise ValueError(f"{cls.__name__} already registered")
+    _REGISTRY[class_id] = (cls, fields)
+    _BY_CLASS[cls] = (class_id, fields)
+
+
+def registered_classes() -> dict[int, type]:
+    """The current id -> class table (for tests and debugging)."""
+    return {cid: cls for cid, (cls, _) in _REGISTRY.items()}
+
+
+# protocol messages (ids 1-15).  ``size_bits`` rides along so the receiving
+# side sees the same cost accounting the sender assigned.
+register(1, WriteRequest, ("opid", "obj", "value", "size_bits"))
+register(2, WriteAck, ("opid", "ts", "tag", "size_bits"))
+register(3, ReadRequest, ("opid", "obj", "size_bits"))
+register(4, ReadReturn, ("opid", "value", "ts", "value_tag", "size_bits"))
+register(5, App, ("obj", "value", "tag", "size_bits"))
+register(6, Del, ("obj", "tag", "origin", "fanout", "size_bits"))
+register(7, ValInq, ("client_id", "opid", "obj", "wanted_tagvec", "size_bits"))
+register(8, ValResp, ("obj", "value", "client_id", "opid", "requested_tags", "size_bits"))
+register(
+    9,
+    ValRespEncoded,
+    ("symbol", "tagvec", "client_id", "opid", "obj", "requested_tags", "size_bits"),
+)
+
+# durable server state (ids 20-31): everything a ServerCheckpoint holds, so
+# the file-backed durable store never needs pickle.
+register(20, HistoryList, ("_zero", "_items"))
+register(21, DeletionList, ("_tags", "_max"))
+register(22, InQueueEntry, ("sender", "obj", "value", "tag"))
+register(23, InQueue, ("_entries",))
+register(24, ReadEntry, ("client_id", "opid", "obj", "tagvec", "symbols", "registered_at"))
+register(25, ReadList, ("_by_opid",))
+register(26, Codeword, ("value", "tagvec"))
+register(27, ServerCheckpoint, ("server_id", "time", "state", "transport"))
+
+
+# ---------------------------------------------------------------------------
+# encoding
+
+def _encode_into(out: list[bytes], obj: Any) -> None:
+    if obj is None:
+        out.append(bytes([_T_NONE]))
+    elif obj is True:
+        out.append(bytes([_T_TRUE]))
+    elif obj is False:
+        out.append(bytes([_T_FALSE]))
+    elif isinstance(obj, (int, np.integer)):  # bools were handled above
+        v = int(obj)
+        if _I64_MIN <= v <= _I64_MAX:
+            out.append(bytes([_T_INT]) + _I64.pack(v))
+        else:
+            raw = v.to_bytes((v.bit_length() + 8) // 8, "big", signed=True)
+            out.append(bytes([_T_BIGINT]) + _U32.pack(len(raw)) + raw)
+    elif isinstance(obj, (float, np.floating)):
+        out.append(bytes([_T_FLOAT]) + _F64.pack(float(obj)))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(bytes([_T_STR]) + _U32.pack(len(raw)) + raw)
+    elif isinstance(obj, (bytes, bytearray)):
+        out.append(bytes([_T_BYTES]) + _U32.pack(len(obj)) + bytes(obj))
+    elif isinstance(obj, tuple):
+        out.append(bytes([_T_TUPLE]) + _U32.pack(len(obj)))
+        for item in obj:
+            _encode_into(out, item)
+    elif isinstance(obj, list):
+        out.append(bytes([_T_LIST]) + _U32.pack(len(obj)))
+        for item in obj:
+            _encode_into(out, item)
+    elif isinstance(obj, dict):
+        out.append(bytes([_T_DICT]) + _U32.pack(len(obj)))
+        for k, v in obj.items():
+            _encode_into(out, k)
+            _encode_into(out, v)
+    elif isinstance(obj, (set, frozenset)):
+        # sorted-bytes order makes set encoding deterministic
+        items = sorted(encode(item) for item in obj)
+        out.append(bytes([_T_SET]) + _U32.pack(len(items)))
+        out.extend(items)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        raw = arr.tobytes()
+        out.append(bytes([_T_NDARRAY]))
+        _encode_into(out, arr.dtype.str)
+        _encode_into(out, arr.shape)
+        out.append(_U32.pack(len(raw)) + raw)
+    elif isinstance(obj, VectorClock):
+        out.append(bytes([_T_VC]) + _U32.pack(len(obj.components)))
+        for c in obj.components:
+            out.append(_I64.pack(c))
+    elif isinstance(obj, Tag):
+        out.append(bytes([_T_TAG]))
+        _encode_into(out, obj.ts)
+        _encode_into(out, obj.client_id)
+    else:
+        entry = _BY_CLASS.get(type(obj))
+        if entry is None:
+            raise WireError(f"cannot encode unregistered type {type(obj).__name__}")
+        class_id, fields = entry
+        out.append(bytes([_T_OBJ]) + _U16.pack(class_id))
+        for name in fields:
+            _encode_into(out, getattr(obj, name))
+
+
+def encode(obj: Any) -> bytes:
+    """Encode one value (no frame header)."""
+    out: list[bytes] = []
+    _encode_into(out, obj)
+    return b"".join(out)
+
+
+# ---------------------------------------------------------------------------
+# decoding
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise WireError("truncated wire data")
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+
+def _decode_from(r: _Reader) -> Any:
+    tag = r.take(1)[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return _I64.unpack(r.take(8))[0]
+    if tag == _T_BIGINT:
+        return int.from_bytes(r.take(r.u32()), "big", signed=True)
+    if tag == _T_FLOAT:
+        return _F64.unpack(r.take(8))[0]
+    if tag == _T_STR:
+        return r.take(r.u32()).decode("utf-8")
+    if tag == _T_BYTES:
+        return r.take(r.u32())
+    if tag == _T_TUPLE:
+        return tuple(_decode_from(r) for _ in range(r.u32()))
+    if tag == _T_LIST:
+        return [_decode_from(r) for _ in range(r.u32())]
+    if tag == _T_DICT:
+        n = r.u32()
+        d = {}
+        for _ in range(n):
+            k = _decode_from(r)
+            d[k] = _decode_from(r)
+        return d
+    if tag == _T_SET:
+        return {_decode_from(r) for _ in range(r.u32())}
+    if tag == _T_NDARRAY:
+        dtype = _decode_from(r)
+        shape = _decode_from(r)
+        raw = r.take(r.u32())
+        return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape).copy()
+    if tag == _T_VC:
+        n = r.u32()
+        return VectorClock(tuple(_I64.unpack(r.take(8))[0] for _ in range(n)))
+    if tag == _T_TAG:
+        ts = _decode_from(r)
+        client_id = _decode_from(r)
+        return Tag(ts, client_id)
+    if tag == _T_OBJ:
+        class_id = _U16.unpack(r.take(2))[0]
+        entry = _REGISTRY.get(class_id)
+        if entry is None:
+            raise WireError(f"unknown wire class id {class_id}")
+        cls, fields = entry
+        obj = cls.__new__(cls)
+        for name in fields:
+            # object.__setattr__ also handles frozen dataclasses
+            object.__setattr__(obj, name, _decode_from(r))
+        return obj
+    raise WireError(f"unknown wire type tag 0x{tag:02x}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode one value previously produced by :func:`encode`."""
+    r = _Reader(data)
+    obj = _decode_from(r)
+    if r.pos != len(data):
+        raise WireError(f"{len(data) - r.pos} trailing bytes after value")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# frames
+
+def encode_frame(obj: Any) -> bytes:
+    """``u32 length || version || encode(obj)`` -- ready to write to a socket."""
+    body = bytes([WIRE_VERSION]) + encode(obj)
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return _U32.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Any:
+    """Decode a frame body (everything after the length word)."""
+    if not body:
+        raise WireError("empty frame body")
+    if body[0] != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: got {body[0]}, expected {WIRE_VERSION}"
+        )
+    return decode(body[1:])
+
+
+def decode_frame(data: bytes) -> Any:
+    """Decode one complete frame (length word included)."""
+    if len(data) < 4:
+        raise WireError("truncated frame header")
+    (length,) = _U32.unpack(data[:4])
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    if len(data) != 4 + length:
+        raise WireError(f"frame length {length} != {len(data) - 4} body bytes")
+    return decode_body(data[4:])

@@ -1,0 +1,45 @@
+"""Shared node-liveness bookkeeping for network implementations.
+
+Both the discrete-event :class:`~repro.sim.network.Network` and the
+manually stepped :class:`~repro.sim.manual.ManualNetwork` need the same
+registry: which node ids have handlers, and which are currently halted
+(crash faults).  Keeping one mixin prevents the two implementations'
+crash semantics from drifting -- a halted node neither sends (checked by
+the owner's ``send``) nor receives, and a restarted node resumes both.
+
+Messages sent to a node while it was down stay lost -- recovering them is
+the job of the ARQ sublayer (:mod:`repro.sim.transport`) and of
+durable-snapshot recovery (:mod:`repro.core.snapshot`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = ["LivenessRegistry"]
+
+
+class LivenessRegistry:
+    """Handler registry + halted set shared by all network implementations."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[int, Callable[[int, object], None]] = {}
+        self._halted: set[int] = set()
+
+    def register(
+        self, node_id: int, handler: Callable[[int, object], None]
+    ) -> None:
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+
+    def halt(self, node_id: int) -> None:
+        """Crash a node: it receives no further messages and sends none."""
+        self._halted.add(node_id)
+
+    def restart(self, node_id: int) -> None:
+        """Un-halt a crashed node: it may send and receive again."""
+        self._halted.discard(node_id)
+
+    def is_halted(self, node_id: int) -> bool:
+        return node_id in self._halted

@@ -18,37 +18,28 @@ from collections.abc import Callable
 
 import numpy as np
 
+from .liveness import LivenessRegistry
 from .network import NetworkStats
 
 __all__ = ["ManualNetwork"]
 
 
-class ManualNetwork:
-    """FIFO per-channel queues with test-controlled delivery."""
+class ManualNetwork(LivenessRegistry):
+    """FIFO per-channel queues with test-controlled delivery.
+
+    Registration and halt/restart bookkeeping come from
+    :class:`~repro.sim.liveness.LivenessRegistry`, shared with the
+    discrete-event :class:`~repro.sim.network.Network`.
+    """
 
     def __init__(self) -> None:
+        super().__init__()
         self.stats = NetworkStats()
-        self._handlers: dict[int, Callable[[int, object], None]] = {}
-        self._halted: set[int] = set()
         self._queues: dict[tuple[int, int], deque] = {}
         self.monitor: Callable[[int, int, object], None] | None = None
         self.delivered = 0
 
     # -- Network interface -------------------------------------------------
-
-    def register(self, node_id: int, handler: Callable[[int, object], None]) -> None:
-        if node_id in self._handlers:
-            raise ValueError(f"node {node_id} already registered")
-        self._handlers[node_id] = handler
-
-    def halt(self, node_id: int) -> None:
-        self._halted.add(node_id)
-
-    def restart(self, node_id: int) -> None:
-        self._halted.discard(node_id)
-
-    def is_halted(self, node_id: int) -> bool:
-        return node_id in self._halted
 
     def send(self, src: int, dst: int, msg: object) -> None:
         if dst not in self._handlers:

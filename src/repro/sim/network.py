@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .liveness import LivenessRegistry
 from .scheduler import Scheduler
 
 __all__ = [
@@ -292,11 +293,14 @@ class LinkFaults:
         return False
 
 
-class Network:
+class Network(LivenessRegistry):
     """FIFO message transport among registered handlers.
 
     Reliable by default; attach a :class:`LinkFaults` to model a lossy
-    substrate (see the module docstring).
+    substrate (see the module docstring).  Handler registration and
+    halt/restart bookkeeping come from :class:`LivenessRegistry`, shared
+    with :class:`~repro.sim.manual.ManualNetwork` so crash semantics
+    cannot drift between the two network implementations.
     """
 
     def __init__(
@@ -307,38 +311,15 @@ class Network:
         fifo_epsilon: float = 1e-9,
         faults: LinkFaults | None = None,
     ):
+        super().__init__()
         self.scheduler = scheduler
         self.latency = latency or ConstantLatency(1.0)
         self.rng = rng or np.random.default_rng(0)
         self.fifo_epsilon = fifo_epsilon
         self.faults = faults
         self.stats = NetworkStats()
-        self._handlers: dict[int, Callable[[int, object], None]] = {}
-        self._halted: set[int] = set()
         self._last_delivery: dict[tuple[int, int], float] = {}
         self.monitor: Callable[[int, int, object], None] | None = None
-
-    def register(self, node_id: int, handler: Callable[[int, object], None]) -> None:
-        if node_id in self._handlers:
-            raise ValueError(f"node {node_id} already registered")
-        self._handlers[node_id] = handler
-
-    def halt(self, node_id: int) -> None:
-        """Crash a node: it receives no further messages and sends none."""
-        self._halted.add(node_id)
-
-    def restart(self, node_id: int) -> None:
-        """Un-halt a crashed node: it may send and receive again.
-
-        Messages sent to the node while it was down were suppressed at
-        delivery time and stay lost -- recovering them is the job of the
-        ARQ sublayer (:mod:`repro.sim.transport`) and of durable-snapshot
-        recovery (:mod:`repro.core.snapshot`).
-        """
-        self._halted.discard(node_id)
-
-    def is_halted(self, node_id: int) -> bool:
-        return node_id in self._halted
 
     def send(self, src: int, dst: int, msg: object) -> None:
         """Enqueue ``msg`` for FIFO delivery from ``src`` to ``dst``."""
