@@ -169,30 +169,78 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
     from repro.consistency.causal import check_causal_consistency
     from repro.protocol.client_core import RetryPolicy
+    from repro.protocol.failure_detector import FailureDetectorConfig
     from repro.protocol.server_core import ServerConfig
     from repro.runtime.asyncio_rt import AsyncioCluster
+    from repro.runtime.auditor import OnlineAuditor
+    from repro.runtime.chaos_rt import LiveFaultInjector
+    from repro.runtime.supervisor import RestartPolicy, Supervisor
+    from repro.sim.network import LinkFaults
 
     code = _cli_code(args.code)
 
     async def run() -> int:
+        auditor = None
+        if args.audit:
+            auditor = OnlineAuditor()
+            await auditor.start()
+        chaos = None
+        if args.drop > 0 or args.dup > 0:
+            chaos = LiveFaultInjector(
+                LinkFaults(drop_prob=args.drop, dup_prob=args.dup,
+                           seed=args.seed),
+                jitter_ms=args.jitter,
+            )
         cluster = AsyncioCluster(
             code,
             config=ServerConfig(gc_interval=args.gc_interval),
             retry=RetryPolicy(timeout=40.0, max_retries=8),
+            chaos=chaos,
+            detector=FailureDetectorConfig() if args.detector else None,
+            audit_addr=auditor.address if auditor else None,
         )
         await cluster.start()
         ports = [s.port for s in cluster.servers]
         print(f"booted {code.N} servers on localhost ports {ports}")
-        clients = [await cluster.add_client(i) for i in range(code.N)]
+        supervisor = None
+        if args.supervise:
+            supervisor = Supervisor(
+                cluster,
+                RestartPolicy(initial_delay=args.restart_delay,
+                              backoff=args.restart_backoff),
+            )
+            supervisor.start()
+            print(f"supervisor armed (initial delay {args.restart_delay}s, "
+                  f"backoff x{args.restart_backoff})")
+        clients = [
+            await cluster.add_client(i, failover=args.detector)
+            for i in range(code.N)
+        ]
         rng = np.random.default_rng(args.seed)
+        crashes = sorted(args.crash or [])
+        # crash injections spread evenly across the workload
+        crash_at = {
+            (args.ops * (k + 1)) // (len(crashes) + 1): victim
+            for k, victim in enumerate(crashes)
+        }
         kill_at = args.ops // 2 if args.kill is not None else None
         for n in range(args.ops):
             if n == kill_at:
                 print(f"killing server {args.kill} mid-workload ...")
                 await cluster.kill_server(args.kill)
+            if n in crash_at:
+                victim = crash_at[n]
+                if supervisor is not None:
+                    print(f"injecting crash of server {victim} ...")
+                    await supervisor.inject_crash(victim)
+                else:
+                    print(f"killing server {victim} (no supervisor: down "
+                          f"until the workload ends) ...")
+                    await cluster.kill_server(victim)
             client = clients[int(rng.integers(code.N))]
-            if args.kill is not None and client.core.server_id == args.kill \
-                    and cluster.servers[args.kill].halted:
+            if client.core.server_id < code.N \
+                    and cluster.servers[client.core.server_id].halted \
+                    and not args.detector:
                 continue  # its home server is down; skip, not hang
             obj = int(rng.integers(code.K))
             if rng.random() < 0.5:
@@ -204,6 +252,20 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         if kill_at is not None:
             await cluster.restart_server(args.kill)
             print(f"server {args.kill} restarted from its durable checkpoint")
+        if supervisor is not None:
+            deadline = asyncio.get_running_loop().time() + 15.0
+            while any(s.halted for s in cluster.servers):
+                if asyncio.get_running_loop().time() > deadline:
+                    print("error: supervisor failed to heal the cluster",
+                          file=sys.stderr)
+                    return 1
+                await asyncio.sleep(0.05)
+        elif crashes:
+            for victim in crashes:
+                if cluster.servers[victim].halted:
+                    await cluster.restart_server(victim)
+        if chaos is not None:
+            chaos.disable()
         await cluster.quiesce()
         completed = [op for op in cluster.history.operations if op.done]
         check_causal_consistency(cluster.history, code.zero_value())
@@ -213,10 +275,55 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             print(f"latency: mean {np.mean(lat):.2f} ms, "
                   f"max {np.max(lat):.2f} ms (real sockets, localhost)")
         print(f"durable persists: {sum(cluster.store.persist_counts.values())}")
+        if chaos is not None:
+            print(f"chaos: {chaos.dropped} dropped, {chaos.duplicated} "
+                  f"duplicated, {chaos.delayed} delayed frames")
+        if args.detector:
+            suspects = sum(
+                1 for _, _, k in cluster.detector_transitions if k == "suspect"
+            )
+            print(f"failure detector: {suspects} suspicion(s), "
+                  f"{sum(len(c.switch_log) for c in clients)} client "
+                  f"failover(s)")
+        if supervisor is not None:
+            print(f"supervisor: {sum(supervisor.restarts.values())} "
+                  f"restart(s)")
+            await supervisor.stop()
+        if auditor is not None:
+            violations = auditor.finalize()
+            print(f"online auditor: {auditor.checker.records_ingested} "
+                  f"records, {len(violations)} violation(s)")
+            for v in violations:
+                print(f"  auditor violation: {v.kind}: {v.detail}")
+            await cluster.shutdown()
+            await auditor.close()
+            return 1 if violations else 0
         await cluster.shutdown()
         return 0
 
     return asyncio.run(run())
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded live chaos soaks and print one summary per seed."""
+    from repro.runtime.live_chaos import run_live_chaos
+    from repro.sim.chaos import ChaosConfig
+
+    code = _cli_code(args.code)
+    cfg = ChaosConfig(ops_per_client=args.ops)
+    failures = 0
+    for seed in args.seeds:
+        result = run_live_chaos(
+            code, seed, config=cfg,
+            time_scale=args.time_scale,
+            artifact_dir=args.artifacts,
+        )
+        print(result.summary())
+        if not result.ok:
+            failures += 1
+            for path in result.artifacts:
+                print(f"  artifact: {path}")
+    return 1 if failures else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -311,8 +418,45 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--gc-interval", type=float, default=25.0)
     p.add_argument("--kill", type=int, default=None, metavar="SERVER",
                    help="crash this server mid-workload, then restart it")
+    p.add_argument("--crash", type=int, action="append", metavar="SERVER",
+                   help="inject a crash of this server mid-workload "
+                        "(repeatable); with --supervise the supervisor "
+                        "restarts it with exponential backoff")
+    p.add_argument("--supervise", action="store_true",
+                   help="run a supervisor that auto-restarts crashed servers")
+    p.add_argument("--restart-delay", type=float, default=0.1,
+                   help="supervisor initial restart delay in seconds")
+    p.add_argument("--restart-backoff", type=float, default=2.0,
+                   help="supervisor restart delay multiplier")
+    p.add_argument("--detector", action="store_true",
+                   help="run heartbeat failure detectors and give clients "
+                        "read failover to other servers")
+    p.add_argument("--audit", action="store_true",
+                   help="stream decision logs to an online causal-"
+                        "consistency auditor; exit 1 on any violation")
+    p.add_argument("--drop", type=float, default=0.0,
+                   help="per-frame drop probability on server channels")
+    p.add_argument("--dup", type=float, default=0.0,
+                   help="per-frame duplication probability")
+    p.add_argument("--jitter", type=float, default=0.0,
+                   help="max per-frame extra delay in ms (reordering)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser(
+        "chaos", help="seeded chaos soak against the live asyncio runtime"
+    )
+    p.add_argument("--code", default="six-dc", choices=["example1", "six-dc"])
+    p.add_argument("--seeds", type=lambda s: [int(x) for x in s.split(",")],
+                   default=[1, 2, 3],
+                   help="comma-separated seeds, one soak each")
+    p.add_argument("--ops", type=int, default=8,
+                   help="operations per client")
+    p.add_argument("--time-scale", type=float, default=4.0,
+                   help="real ms per simulated schedule ms")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="write auditor/supervisor dumps here on failure")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "serve", help="run one CausalEC server as a standalone TCP process"

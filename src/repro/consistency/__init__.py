@@ -8,6 +8,7 @@ from .causal import (
     expected_final_value,
 )
 from .history import History, Operation
+from .online import AuditOp, AuditViolation, IncrementalCausalChecker
 from .patterns import check_causal_bad_patterns
 from .sessions import check_session_guarantees
 
@@ -21,4 +22,7 @@ __all__ = [
     "check_session_guarantees",
     "check_causal_bad_patterns",
     "expected_final_value",
+    "AuditOp",
+    "AuditViolation",
+    "IncrementalCausalChecker",
 ]

@@ -1,0 +1,373 @@
+"""Online (incremental) causal-consistency auditing of live decision logs.
+
+The offline checkers in this package (:mod:`~repro.consistency.causal`,
+:mod:`~repro.consistency.patterns`) need the complete recorded history; a
+live cluster wants violations flagged *while it runs*.  This module provides
+the pure checking logic: :class:`AuditOp` is one record of a server's
+decision log (a client write applied, a causal apply, a read returned),
+and :class:`IncrementalCausalChecker` consumes records one at a time -- in
+any arrival order, with duplicates -- and incrementally maintains the
+causal order to flag violations with the offending operation pair.
+
+The checks are the bad-pattern family of Bouajjani, Enea, Guerraoui &
+Hamza, "On Verifying Causal Consistency" (POPL'17, arXiv:1611.00580),
+adapted to *tag-level* evidence: decision logs carry write tags, not
+values, and CausalEC's tag order **is** the arbitration total order
+(Definition 5(b) / ``core/tags.py``).  That turns the expensive CCv
+``CyclicCF`` search into a direct comparison:
+
+* **DuplicateWrite** -- one client write (opid) applied under two different
+  tags: the write took effect twice (e.g. an unsafe cross-server retry).
+* **DuplicateTag** -- two different writes share a tag (Lemma B.3 broken).
+* **CyclicCO** -- the causal order (session order + reads-from, closed
+  transitively) has a cycle.
+* **StaleRead** -- a read returned tag ``t`` although a write with a
+  *larger* tag to the same object causally precedes the read; under
+  last-writer-wins arbitration by tag order that write should have won.
+* **WriteCOInitRead** -- a read returned the initial value although a write
+  to the object causally precedes it.
+* **ThinAirRead** (finalize only) -- a read returned a tag never written.
+  Deferred to :meth:`~IncrementalCausalChecker.finalize` because the
+  writer's log record may simply not have arrived yet.
+
+**Arrival-order tolerance.**  Records from different servers interleave
+arbitrarily; a read's writer may be logged by a server whose stream is
+behind.  Reads whose writer is unknown are *pending* -- their reads-from
+edge is added when the writer record arrives.  Records are deduplicated by
+``(server, seq)``, so a runtime that replays its whole log after a
+reconnect (the simple, robust strategy) costs nothing.
+
+**Ambiguous reads.**  A crashed server may have logged a read-return whose
+reply never reached the client; the client retries elsewhere and a second
+server logs the same opid with a (possibly different) tag.  Only one of
+the two was accepted by the client, and server logs cannot tell which.
+Flagging either as stale could be a false positive, so a read opid logged
+with two different tags is marked *ambiguous*: it keeps its session-order
+position (that much is certain) but is excluded from reads-from edges and
+read checks, and the causal order is rebuilt without it.  Writes get no
+such amnesty -- their dedup is per-server and per-session, so two tags for
+one write opid is a real double apply.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["AuditOp", "AuditViolation", "IncrementalCausalChecker"]
+
+
+@dataclass
+class AuditOp:
+    """One decision-log record, as streamed over the wire by a server.
+
+    ``kind`` is ``"write"`` (a client write applied at its home server,
+    opid known), ``"apply"`` (the same write applied at a peer -- opid
+    unknown, corroborates the tag), or ``"read"`` (a read-return).
+    ``seq`` is the server's monotone per-log sequence number: together with
+    ``server`` it deduplicates replayed records.  ``tag`` is the decision
+    log's tag key ``(vector-clock components, writing client id)``; the
+    zero timestamp denotes the initial value.  ``opid`` is the operation id
+    ``(client id, per-client counter)``, or ``None`` for apply records.
+    """
+
+    server: int
+    seq: int
+    kind: str
+    obj: int
+    tag: tuple
+    opid: tuple | None = None
+    time: float = 0.0
+
+
+@dataclass
+class AuditViolation:
+    """A detected consistency violation, with the offending operations."""
+
+    kind: str
+    detail: str
+    ops: tuple = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}: {self.detail}"
+
+
+def _order_key(tag: tuple) -> tuple:
+    """The Tag total-order key reconstructed from a logged tag key.
+
+    Logged keys are ``(components, client_id)``; Tag order compares
+    ``(lamport, client_id, components)`` (see ``core/tags.py``).
+    """
+    components, client_id = tag
+    return (sum(components), client_id, tuple(components))
+
+
+def _is_zero(tag: tuple) -> bool:
+    return sum(tag[0]) == 0
+
+
+@dataclass
+class _Node:
+    kind: str  # "write" | "read"
+    obj: int
+    tag: tuple
+    opid: tuple | None  # None for writes known only from apply records
+    ambiguous: bool = False
+    sources: list = field(default_factory=list)  # (server, seq) evidence
+
+
+class IncrementalCausalChecker:
+    """Incremental tag-level bad-pattern checker over audit records.
+
+    Feed records with :meth:`ingest` (returns newly found violations);
+    :meth:`sweep` runs the full read checks over the current graph (cheap,
+    also triggered automatically every ``sweep_interval`` ingests);
+    :meth:`finalize` additionally reports thin-air reads and returns every
+    violation found over the checker's lifetime.
+    """
+
+    def __init__(self, sweep_interval: int = 64):
+        self.sweep_interval = sweep_interval
+        self.violations: list[AuditViolation] = []
+        self._reported: set[tuple] = set()
+        self._seen: set[tuple[int, int]] = set()  # (server, seq)
+        self._nodes: list[_Node] = []
+        self._writes_by_tag: dict[tuple, int] = {}
+        self._writes_by_opid: dict[tuple, int] = {}
+        self._reads_by_opid: dict[tuple, int] = {}
+        self._writes_by_obj: dict[int, list[int]] = defaultdict(list)
+        self._reads_by_obj: dict[int, list[int]] = defaultdict(list)
+        self._sessions: dict[int, dict[int, int]] = defaultdict(dict)
+        self._pending_reads: dict[tuple, list[int]] = defaultdict(list)
+        self._cap = 64
+        self._closure = np.zeros((self._cap, self._cap), dtype=bool)
+        self._since_sweep = 0
+        self.records_ingested = 0
+
+    # -- record ingestion ----------------------------------------------
+
+    def ingest(self, op: AuditOp) -> list[AuditViolation]:
+        """Consume one record; return violations newly detected by it."""
+        before = len(self.violations)
+        key = (op.server, op.seq)
+        if key in self._seen:
+            return []
+        self._seen.add(key)
+        self.records_ingested += 1
+        if op.kind in ("write", "apply"):
+            self._ingest_write(op)
+        elif op.kind == "read":
+            self._ingest_read(op)
+        else:
+            raise ValueError(f"unknown audit record kind {op.kind!r}")
+        self._since_sweep += 1
+        if self._since_sweep >= self.sweep_interval:
+            self.sweep()
+        return self.violations[before:]
+
+    def _ingest_write(self, op: AuditOp) -> None:
+        idx = self._writes_by_tag.get(op.tag)
+        if idx is not None:
+            node = self._nodes[idx]
+            node.sources.append((op.server, op.seq))
+            if op.opid is None:
+                return  # apply record corroborating a known tag
+            if node.opid is None:
+                # the home-server record arrived after a peer's apply:
+                # the write gains its identity and session position now
+                node.opid = op.opid
+                self._register_write_opid(idx, op)
+            elif node.opid != op.opid:
+                self._report(
+                    "DuplicateTag",
+                    f"writes {node.opid!r} and {op.opid!r} share tag "
+                    f"{op.tag!r} on object {op.obj} (tag uniqueness broken)",
+                    (node.opid, op.opid),
+                )
+            return
+        if op.opid is not None and op.opid in self._writes_by_opid:
+            other = self._nodes[self._writes_by_opid[op.opid]]
+            self._report(
+                "DuplicateWrite",
+                f"write {op.opid!r} applied under two tags "
+                f"{other.tag!r} and {op.tag!r} on object {op.obj} "
+                f"(the write took effect twice)",
+                (op.opid,),
+            )
+            return
+        idx = self._new_node(_Node("write", op.obj, op.tag, op.opid))
+        self._nodes[idx].sources.append((op.server, op.seq))
+        self._writes_by_tag[op.tag] = idx
+        self._writes_by_obj[op.obj].append(idx)
+        if op.opid is not None:
+            self._register_write_opid(idx, op)
+        # resolve reads that were waiting for this writer
+        for r in self._pending_reads.pop(op.tag, ()):
+            self._add_edge(idx, r, "reads-from")
+
+    def _register_write_opid(self, idx: int, op: AuditOp) -> None:
+        self._writes_by_opid[op.opid] = idx
+        self._session_insert(op.opid, idx)
+
+    def _ingest_read(self, op: AuditOp) -> None:
+        idx = self._reads_by_opid.get(op.opid)
+        if idx is not None:
+            node = self._nodes[idx]
+            node.sources.append((op.server, op.seq))
+            if node.tag != op.tag and not node.ambiguous:
+                # two servers answered the same read differently; only one
+                # answer reached the client and we cannot tell which -- see
+                # the module docstring.  Not a violation by itself.
+                node.ambiguous = True
+                self._rebuild()
+            return
+        idx = self._new_node(_Node("read", op.obj, op.tag, op.opid))
+        self._nodes[idx].sources.append((op.server, op.seq))
+        self._reads_by_opid[op.opid] = idx
+        self._reads_by_obj[op.obj].append(idx)
+        self._session_insert(op.opid, idx)
+        self._link_reads_from(idx)
+
+    def _link_reads_from(self, idx: int) -> None:
+        node = self._nodes[idx]
+        if node.ambiguous or _is_zero(node.tag):
+            return
+        w = self._writes_by_tag.get(node.tag)
+        if w is not None:
+            self._add_edge(w, idx, "reads-from")
+        else:
+            self._pending_reads[node.tag].append(idx)
+
+    def _session_insert(self, opid: tuple, idx: int) -> None:
+        client, counter = opid
+        session = self._sessions[client]
+        session[counter] = idx
+        below = [c for c in session if c < counter]
+        above = [c for c in session if c > counter]
+        if below:
+            self._add_edge(session[max(below)], idx, "session")
+        if above:
+            self._add_edge(idx, session[min(above)], "session")
+
+    # -- causal order maintenance --------------------------------------
+
+    def _new_node(self, node: _Node) -> int:
+        idx = len(self._nodes)
+        self._nodes.append(node)
+        if idx >= self._cap:
+            self._cap *= 2
+            grown = np.zeros((self._cap, self._cap), dtype=bool)
+            grown[:idx, :idx] = self._closure
+            self._closure = grown
+        return idx
+
+    def _add_edge(self, u: int, v: int, why: str) -> None:
+        if u == v:
+            return
+        if self._closure[v, u]:
+            a, b = self._nodes[u], self._nodes[v]
+            self._report(
+                "CyclicCO",
+                f"adding {why} edge {self._describe(a)} -> "
+                f"{self._describe(b)} closes a causal cycle",
+                (a.opid, b.opid),
+            )
+            return  # keep the graph acyclic so later checks stay sound
+        if self._closure[u, v]:
+            return
+        n = len(self._nodes)
+        preds = self._closure[:n, u].copy()
+        preds[u] = True
+        succs = self._closure[v, :n].copy()
+        succs[v] = True
+        self._closure[:n, :n] |= np.outer(preds, succs)
+
+    def _rebuild(self) -> None:
+        """Recompute the causal order from scratch.
+
+        Needed when a read becomes ambiguous: its reads-from edge must be
+        retracted, and transitive closures do not support edge deletion.
+        Session edges and every unambiguous reads-from edge are re-added.
+        """
+        self._closure = np.zeros((self._cap, self._cap), dtype=bool)
+        self._pending_reads = defaultdict(list)
+        for session in self._sessions.values():
+            order = sorted(session)
+            for a, b in zip(order, order[1:]):
+                self._add_edge(session[a], session[b], "session")
+        for idx, node in enumerate(self._nodes):
+            if node.kind == "read":
+                self._link_reads_from(idx)
+
+    # -- checks ---------------------------------------------------------
+
+    def _report(self, kind: str, detail: str, ops: tuple) -> None:
+        key = (kind, ops)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.violations.append(AuditViolation(kind, detail, ops))
+
+    def _describe(self, node: _Node) -> str:
+        who = f"op {node.opid!r}" if node.opid is not None else "write"
+        return f"{who} ({node.kind} obj {node.obj} tag {node.tag!r})"
+
+    def sweep(self) -> list[AuditViolation]:
+        """Run the full read checks over the current causal order.
+
+        Incremental ingestion catches cycles and duplicate applications the
+        moment they appear, but a read's staleness can be established by
+        edges that arrive *after* the read (a later record extends the
+        closure).  The sweep re-examines every read against the writes that
+        currently precede it; already-reported violations are not repeated.
+        """
+        before = len(self.violations)
+        self._since_sweep = 0
+        for obj, reads in self._reads_by_obj.items():
+            writes = self._writes_by_obj.get(obj, ())
+            for r in reads:
+                node = self._nodes[r]
+                if node.ambiguous:
+                    continue
+                initial = _is_zero(node.tag)
+                returned = None if initial else _order_key(node.tag)
+                for w in writes:
+                    if not self._closure[w, r]:
+                        continue
+                    wnode = self._nodes[w]
+                    if initial:
+                        self._report(
+                            "WriteCOInitRead",
+                            f"read {node.opid!r} returned the initial value "
+                            f"of object {obj} but {self._describe(wnode)} "
+                            f"causally precedes it",
+                            (wnode.opid, node.opid),
+                        )
+                    elif _order_key(wnode.tag) > returned:
+                        self._report(
+                            "StaleRead",
+                            f"read {node.opid!r} returned tag {node.tag!r} "
+                            f"although {self._describe(wnode)} causally "
+                            f"precedes it and has a larger tag "
+                            f"(LWW arbitration violated)",
+                            (wnode.opid, node.opid),
+                        )
+        return self.violations[before:]
+
+    def finalize(self) -> list[AuditViolation]:
+        """End of run: sweep, then report reads of never-written tags."""
+        self.sweep()
+        for idx, node in enumerate(self._nodes):
+            if node.kind != "read" or node.ambiguous or _is_zero(node.tag):
+                continue
+            if node.tag not in self._writes_by_tag:
+                self._report(
+                    "ThinAirRead",
+                    f"read {node.opid!r} returned tag {node.tag!r} on "
+                    f"object {node.obj}, which no write record carries",
+                    (node.opid,),
+                )
+        return list(self.violations)

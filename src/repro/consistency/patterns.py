@@ -32,14 +32,15 @@ import numpy as np
 from .causal import CausalViolation
 from .history import History, Operation
 
-__all__ = ["check_causal_bad_patterns"]
+__all__ = ["check_causal_bad_patterns", "transitive_closure", "has_cycle"]
 
 
 def _key(value) -> tuple:
     return tuple(np.asarray(value).ravel().tolist())
 
 
-def _transitive_closure(adj: np.ndarray) -> np.ndarray:
+def transitive_closure(adj: np.ndarray) -> np.ndarray:
+    """Boolean transitive closure (Warshall); shared with the online auditor."""
     n = adj.shape[0]
     closure = adj.copy()
     for k in range(n):
@@ -49,7 +50,7 @@ def _transitive_closure(adj: np.ndarray) -> np.ndarray:
     return closure
 
 
-def _has_cycle(adj: np.ndarray) -> bool:
+def has_cycle(adj: np.ndarray) -> bool:
     """Cycle detection by repeated removal of sink-free pruning (Kahn)."""
     n = adj.shape[0]
     indeg = adj.sum(axis=0)
@@ -65,6 +66,11 @@ def _has_cycle(adj: np.ndarray) -> bool:
             if indeg[j] == 0 and alive[j]:
                 queue.append(int(j))
     return removed < n
+
+
+# backward-compatible private aliases
+_transitive_closure = transitive_closure
+_has_cycle = has_cycle
 
 
 def check_causal_bad_patterns(

@@ -33,6 +33,7 @@ __all__ = [
     "ValInq",
     "ValResp",
     "ValRespEncoded",
+    "Heartbeat",
 ]
 
 
@@ -70,6 +71,11 @@ class WriteRequest(_Message):
     opid: Any
     obj: int
     value: np.ndarray
+    # session floor: the merge of every response ``ts`` this client has
+    # observed.  A server whose clock does not dominate it defers the
+    # request -- this is what keeps session guarantees (monotone reads,
+    # read-your-writes) intact when a client fails over to another server.
+    session_ts: Any = field(default=None, init=False)
 
 
 @dataclass
@@ -91,6 +97,8 @@ class ReadRequest(_Message):
     kind = "read"
     opid: Any
     obj: int
+    # session floor (see WriteRequest.session_ts)
+    session_ts: Any = field(default=None, init=False)
 
 
 @dataclass
@@ -131,6 +139,21 @@ class Del(_Message):
     tag: Tag
     origin: int | None = None
     fanout: bool = False
+
+
+@dataclass
+class Heartbeat(_Message):
+    """Failure-detector liveness beacon: ``<hb, sender, sent_at>``.
+
+    Not part of the paper's protocol (its model is asynchronous, so no
+    failure detector exists); heartbeats are an operational overlay and are
+    sent best-effort -- never through the reliable ARQ channel, where
+    retransmission would defeat their purpose.
+    """
+
+    kind = "heartbeat"
+    sender: int
+    sent_at: float
 
 
 @dataclass

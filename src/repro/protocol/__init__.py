@@ -18,14 +18,18 @@ from .broadcast_core import CausalBroadcastCore
 from .client_core import ClientCore, HomeServerUnavailable, RetryPolicy
 from .effects import (
     CancelTimerEffect,
+    HomeServerSwitchEffect,
     LogEffect,
     OpSettledEffect,
+    PeerAliveEffect,
+    PeerSuspectedEffect,
     PersistEffect,
     ProtocolCore,
     ReplyEffect,
     SendEffect,
     SetTimerEffect,
 )
+from .failure_detector import FailureDetectorConfig, FailureDetectorCore
 from .server_core import ServerConfig, ServerCore, ServerStats
 
 __all__ = [
@@ -36,6 +40,8 @@ __all__ = [
     "RetryPolicy",
     "HomeServerUnavailable",
     "CausalBroadcastCore",
+    "FailureDetectorCore",
+    "FailureDetectorConfig",
     "ProtocolCore",
     "SendEffect",
     "ReplyEffect",
@@ -44,4 +50,7 @@ __all__ = [
     "PersistEffect",
     "LogEffect",
     "OpSettledEffect",
+    "PeerSuspectedEffect",
+    "PeerAliveEffect",
+    "HomeServerSwitchEffect",
 ]

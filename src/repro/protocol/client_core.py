@@ -23,6 +23,22 @@ failed operation releases the well-formedness slot; the consistency checkers
 treat it as incomplete (it *may* still take effect later, e.g. when a
 crashed server recovers and the ARQ transport delivers the original request
 after all).
+
+**Failover.**  With a ``failover`` candidate list attached, a client whose
+home server exhausts its per-server retry budget *fails over* instead of
+failing the operation: it switches its home server (sticky -- subsequent
+operations go to the new server too) and surfaces the switch as a
+:class:`~repro.protocol.effects.HomeServerSwitchEffect` so a live runtime
+can re-dial.  Only **reads** are retried across servers mid-operation:
+read requests are idempotent everywhere, whereas write dedup is *per
+server* (each server keeps its own client-session table), so re-sending an
+in-flight write to a different server could apply the same write twice
+under two different tags.  A pending write therefore fails fast with
+:class:`HomeServerUnavailable` as before -- but the client still rotates to
+a new home server for its *next* operation.  ``failover_writes=True``
+lifts the restriction for callers that accept duplicate-apply risk.
+:class:`HomeServerUnavailable` is raised only after every candidate has
+been tried (for reads) and carries the list of servers tried.
 """
 
 from __future__ import annotations
@@ -36,6 +52,7 @@ from ..consistency.history import History, Operation
 from ..core.messages import ReadRequest, ReadReturn, WriteAck, WriteRequest
 from .effects import (
     CancelTimerEffect,
+    HomeServerSwitchEffect,
     OpSettledEffect,
     ProtocolCore,
     SetTimerEffect,
@@ -45,16 +62,34 @@ __all__ = ["ClientCore", "RetryPolicy", "HomeServerUnavailable"]
 
 
 class HomeServerUnavailable(RuntimeError):
-    """A client operation gave up: the home server did not respond in time."""
+    """A client operation gave up: no candidate server responded in time.
 
-    def __init__(self, opid, server_id: int, attempts: int, waited: float):
+    ``servers_tried`` lists every server the operation was sent to (just the
+    home server when no failover candidates are configured, or when the
+    operation is a write -- see the module docstring).
+    """
+
+    def __init__(
+        self,
+        opid,
+        server_id: int,
+        attempts: int,
+        waited: float,
+        servers_tried: list[int] | None = None,
+    ):
         self.opid = opid
         self.server_id = server_id
         self.attempts = attempts
         self.waited = waited
+        self.servers_tried = (
+            list(servers_tried) if servers_tried is not None else [server_id]
+        )
+        tried = ""
+        if len(self.servers_tried) > 1:
+            tried = f" (servers tried: {self.servers_tried})"
         super().__init__(
             f"operation {opid!r}: home server {server_id} unresponsive after "
-            f"{attempts} attempt(s) over {waited:.1f} ms"
+            f"{attempts} attempt(s) over {waited:.1f} ms{tried}"
         )
 
 
@@ -96,16 +131,25 @@ class ClientCore(ProtocolCore):
         server_id: int,
         history: History | None = None,
         retry: RetryPolicy | None = None,
+        failover: list[int] | None = None,
+        failover_writes: bool = False,
     ):
         self.node_id = node_id
         self.server_id = server_id
         self.history = history
         self.retry = retry
+        self.failover = list(failover or [])
+        self.failover_writes = failover_writes
         self.now = 0.0
+        #: session floor: merge of every response ``ts`` observed.  Sent
+        #: with each request so a failed-over-to server can defer serving
+        #: until its own clock covers everything this session has seen.
+        self.session_ts = None
         self._op_counter = itertools.count()
         self._pending: Operation | None = None
         self._attempts = 0
         self._retry_timer_id: tuple | None = None
+        self._servers_tried: list[int] = [server_id]
 
     # ------------------------------------------------------------------
 
@@ -143,6 +187,7 @@ class ClientCore(ProtocolCore):
         )
         self._pending = op
         self._attempts = 0
+        self._servers_tried = [self.server_id]
         if self.history is not None:
             self.history.record_invoke(op)
         return op
@@ -153,6 +198,7 @@ class ClientCore(ProtocolCore):
             msg = WriteRequest(op.opid, op.obj, op.value)
         else:
             msg = ReadRequest(op.opid, op.obj)
+        msg.session_ts = self.session_ts
         msg.size_bits = 0.0
         return msg
 
@@ -188,17 +234,77 @@ class ClientCore(ProtocolCore):
         past_deadline = (
             self.retry.deadline is not None and waited >= self.retry.deadline
         )
-        if out_of_retries or past_deadline:
+        if past_deadline:
+            # The deadline is a total budget across every candidate server.
             self._fail(op, waited)
+        elif out_of_retries:
+            nxt = self._next_candidate()
+            if nxt is None:
+                self._fail(op, waited)
+            elif op.kind == "read" or self.failover_writes:
+                self._switch(nxt, op.opid)
+                self._attempts = 0
+                self._transmit_request()
+            else:
+                # An in-flight write must not chase a new server: write dedup
+                # is per-server, so a cross-server retry could apply twice.
+                # Fail it fast, but rotate the sticky home server so the
+                # client's *next* operation avoids the unresponsive one.
+                self._fail(op, waited)
+                self._switch(nxt, None)
         else:
             self._transmit_request()
+
+    def suspect_home(self, now: float) -> list:
+        """External suspicion hint (e.g. a failure detector): rotate early.
+
+        An idle client just switches its sticky home server; a client with a
+        pending read re-sends it to the new server immediately.  A pending
+        write is left to the retry policy's fail-fast path -- the same
+        per-server-dedup hazard as in :meth:`_on_timeout` applies.
+        """
+        self._begin(now)
+        nxt = self._next_candidate()
+        if nxt is not None:
+            op = self._pending
+            if op is None:
+                self._switch(nxt, None)
+            elif op.kind == "read" or self.failover_writes:
+                self._cancel_retry()
+                self._switch(nxt, op.opid)
+                self._attempts = 0
+                self._transmit_request()
+        return self._end()
+
+    def _next_candidate(self) -> int | None:
+        """The first failover server not yet tried for the current op."""
+        tried = (
+            self._servers_tried
+            if self._pending is not None
+            else [self.server_id]
+        )
+        for s in self.failover:
+            if s != self.server_id and s not in tried:
+                return s
+        return None
+
+    def _switch(self, new: int, opid) -> None:
+        old = self.server_id
+        self.server_id = new
+        if self._pending is not None:
+            self._servers_tried.append(new)
+        self._emit(HomeServerSwitchEffect(old, new, opid))
 
     def _fail(self, op: Operation, waited: float) -> None:
         """Give up: surface unavailability instead of hanging forever."""
         op.failed = True
         op.failed_time = self.now
         op.error = HomeServerUnavailable(
-            op.opid, self.server_id, self._attempts, waited
+            op.opid,
+            self.server_id,
+            self._attempts,
+            waited,
+            servers_tried=self._servers_tried,
         )
         self._pending = None
         self._emit(OpSettledEffect(op, failed=True))
@@ -220,6 +326,7 @@ class ClientCore(ProtocolCore):
             op.response_time = self.now
             op.ts = msg.ts
             op.tag = msg.tag
+            self._observe_ts(msg.ts)
             self._pending = None
             self._emit(OpSettledEffect(op))
         elif isinstance(msg, ReadReturn) and msg.opid == op.opid:
@@ -228,6 +335,14 @@ class ClientCore(ProtocolCore):
             op.value = msg.value
             op.ts = msg.ts
             op.tag = msg.value_tag
+            self._observe_ts(msg.ts)
             self._pending = None
             self._emit(OpSettledEffect(op))
         return self._end()
+
+    def _observe_ts(self, ts) -> None:
+        if ts is None:
+            return
+        self.session_ts = (
+            ts if self.session_ts is None else self.session_ts.merge(ts)
+        )

@@ -42,6 +42,9 @@ __all__ = [
     "PersistEffect",
     "LogEffect",
     "OpSettledEffect",
+    "PeerSuspectedEffect",
+    "PeerAliveEffect",
+    "HomeServerSwitchEffect",
     "ProtocolCore",
 ]
 
@@ -111,6 +114,42 @@ class OpSettledEffect:
 
     op: Any
     failed: bool = False
+
+
+@dataclass
+class PeerSuspectedEffect:
+    """Failure detector: ``peer`` missed enough heartbeats to be suspected.
+
+    Purely advisory -- CausalEC's safety never depends on failure detection
+    (the model is asynchronous), so runtimes use suspicion only for
+    operational reactions: supervisor alerts, metrics, client failover
+    hints.  ``last_heard`` is the core-clock time of the last liveness
+    evidence from the peer.
+    """
+
+    peer: int
+    last_heard: float
+
+
+@dataclass
+class PeerAliveEffect:
+    """Failure detector: a previously suspected ``peer`` was heard again."""
+
+    peer: int
+
+
+@dataclass
+class HomeServerSwitchEffect:
+    """Client core: the client failed over from server ``old`` to ``new``.
+
+    Emitted before the re-sent request's :class:`SendEffect`, so a live
+    runtime can re-dial the new server's address first; the simulator needs
+    no reaction (its network routes by destination id).
+    """
+
+    old: int
+    new: int
+    opid: Any = None
 
 
 class ProtocolCore:

@@ -1,0 +1,155 @@
+"""Heartbeat failure detection as a sans-I/O protocol core.
+
+CausalEC's model is asynchronous with halting faults: *safety never depends
+on knowing who crashed*, and no failure detector can be reliable under
+unbounded delays.  Operationally, though, a live deployment wants to know
+which peers look dead -- supervisors alert on it, dashboards plot it, and
+clients use it as a failover hint.  :class:`FailureDetectorCore` provides
+exactly that as a pure state machine in the style of the other cores in
+this package: events in (``boot``/``handle_timer``/``handle_message``/
+``observe``), typed effects out (:class:`~repro.protocol.effects
+.SendEffect` heartbeats, :class:`~repro.protocol.effects.SetTimerEffect`
+re-arms, and :class:`~repro.protocol.effects.PeerSuspectedEffect` /
+:class:`~repro.protocol.effects.PeerAliveEffect` on state transitions).
+Because it performs no I/O it is testable deterministically by feeding it
+explicit ``(event, now)`` sequences, and the *same* core instance drives
+both the discrete-event simulator and the live asyncio runtime.
+
+The detector is an eventually-perfect-style timeout detector (``<>P`` in
+the Chandra-Toueg hierarchy): it may wrongly suspect a slow peer (and will,
+under the asynchrony the paper allows), but it always un-suspects a peer it
+hears from again.  *Any* delivered message counts as liveness evidence, not
+just heartbeats -- runtimes feed data traffic through :meth:`observe` so a
+busy channel never needs heartbeats to stay trusted.
+
+Timers are namespaced under ``("fd", ...)`` so a runtime can multiplex the
+detector's timers with a protocol core's on one timer table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.messages import Heartbeat
+from .effects import (
+    PeerAliveEffect,
+    PeerSuspectedEffect,
+    ProtocolCore,
+    SetTimerEffect,
+)
+
+__all__ = ["FailureDetectorConfig", "FailureDetectorCore"]
+
+HEARTBEAT_TIMER = ("fd", "hb")
+CHECK_TIMER = ("fd", "check")
+
+
+@dataclass
+class FailureDetectorConfig:
+    """Detector tunables (milliseconds, like every core clock).
+
+    ``suspect_after`` is the silence threshold: a peer not heard from for
+    this long becomes suspected.  It should be several multiples of
+    ``heartbeat_interval`` so a single dropped heartbeat never triggers a
+    suspicion.  ``check_interval`` bounds detection latency; it defaults to
+    the heartbeat interval.
+    """
+
+    heartbeat_interval: float = 25.0
+    suspect_after: float = 150.0
+    check_interval: float | None = None
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0 or self.suspect_after <= 0:
+            raise ValueError("intervals must be positive")
+        if self.suspect_after < 2 * self.heartbeat_interval:
+            raise ValueError(
+                "suspect_after must be at least two heartbeat intervals"
+            )
+        if self.check_interval is None:
+            self.check_interval = self.heartbeat_interval
+        elif self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+
+
+class FailureDetectorCore(ProtocolCore):
+    """Per-node heartbeat failure detector over a fixed peer set."""
+
+    def __init__(
+        self,
+        node_id: int,
+        peers: list[int],
+        config: FailureDetectorConfig | None = None,
+    ):
+        if node_id in peers:
+            raise ValueError("a node does not monitor itself")
+        self.node_id = node_id
+        self.peers = list(peers)
+        self.config = config or FailureDetectorConfig()
+        self.now = 0.0
+        self.last_heard: dict[int, float] = {}
+        self.suspected: set[int] = set()
+        #: (time, peer, "suspect" | "alive") transition history
+        self.transitions: list[tuple[float, int, str]] = []
+
+    # ------------------------------------------------------------------
+
+    def boot(self, now: float) -> list:
+        """Start monitoring: every peer gets the benefit of the doubt."""
+        self._begin(now)
+        self.last_heard = {p: now for p in self.peers}
+        self.suspected = set()
+        self._send_heartbeats()
+        self._emit(SetTimerEffect(HEARTBEAT_TIMER, self.config.heartbeat_interval))
+        self._emit(SetTimerEffect(CHECK_TIMER, self.config.check_interval))
+        return self._end()
+
+    def handle_timer(self, timer_id: tuple, now: float) -> list:
+        self._begin(now)
+        if timer_id == HEARTBEAT_TIMER:
+            self._send_heartbeats()
+            self._emit(
+                SetTimerEffect(HEARTBEAT_TIMER, self.config.heartbeat_interval)
+            )
+        elif timer_id == CHECK_TIMER:
+            self._check()
+            self._emit(SetTimerEffect(CHECK_TIMER, self.config.check_interval))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown detector timer {timer_id!r}")
+        return self._end()
+
+    def handle_message(self, src: int, msg: object, now: float) -> list:
+        """A heartbeat arrived from ``src``."""
+        if not isinstance(msg, Heartbeat):  # pragma: no cover - defensive
+            raise TypeError(f"unexpected detector message {msg!r}")
+        return self.observe(src, now)
+
+    def observe(self, src: int, now: float) -> list:
+        """Any delivered message from ``src`` is liveness evidence."""
+        self._begin(now)
+        if src in self.last_heard:
+            self.last_heard[src] = now
+            if src in self.suspected:
+                self.suspected.discard(src)
+                self.transitions.append((now, src, "alive"))
+                self._emit(PeerAliveEffect(src))
+        return self._end()
+
+    # ------------------------------------------------------------------
+
+    def is_suspected(self, peer: int) -> bool:
+        return peer in self.suspected
+
+    def _send_heartbeats(self) -> None:
+        for p in self.peers:
+            hb = Heartbeat(self.node_id, self.now)
+            hb.size_bits = 0.0  # operational overlay: free in the cost model
+            self._emit_send(p, hb)
+
+    def _check(self) -> None:
+        threshold = self.now - self.config.suspect_after
+        for p in self.peers:
+            if p not in self.suspected and self.last_heard[p] < threshold:
+                self.suspected.add(p)
+                self.transitions.append((self.now, p, "suspect"))
+                self._emit(PeerSuspectedEffect(p, self.last_heard[p]))

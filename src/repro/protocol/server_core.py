@@ -126,6 +126,7 @@ class ServerStats:
     error1_events: int = 0
     error2_events: int = 0
     duplicate_requests: int = 0
+    parked_requests: int = 0
     restarts: int = 0
     persists: int = 0
 
@@ -187,6 +188,11 @@ class ServerCore(ProtocolCore):
         #: visible (write receipt or causal application); enables visibility
         #: latency measurement.  Populated only with record_visibility.
         self.visibility_log: list[tuple[float, int, Tag]] = []
+        #: requests from failed-over clients whose session floor this
+        #: server's clock does not yet dominate, parked until it does.
+        #: Volatile on purpose: a crash drops them and the client's retry
+        #: re-delivers.
+        self._parked: list[tuple[int, object]] = []
 
     # ------------------------------------------------------------------
     # helpers
@@ -247,6 +253,7 @@ class ServerCore(ProtocolCore):
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message {msg!r}")
         self._internal_actions()
+        self._drain_parked()
         self._emit(PersistEffect())
         return self._end()
 
@@ -316,6 +323,7 @@ class ServerCore(ProtocolCore):
         self._del_sent_all = {x: self._zero for x in range(k)}
         self._client_sessions = {}
         self._read_timeouts = {}
+        self._parked = []
 
     # ------------------------------------------------------------------
     # Algorithm 1: client messages
@@ -327,11 +335,13 @@ class ServerCore(ProtocolCore):
             self.stats.duplicate_requests += 1
             self._emit_reply(client, cached[1])
             return
+        if self._park_if_behind(client, msg):
+            return
         self.stats.writes += 1
         self.vc = self.vc.increment(self.node_id)
         tag = Tag(self.vc, client)
         self.L[msg.obj].add(tag, msg.value)
-        self._log("write", msg.obj, _tag_key(tag))
+        self._log("write", msg.obj, _tag_key(tag), msg.opid, client)
         if self.config.record_visibility:
             self.visibility_log.append((self.now, msg.obj, tag))
         ack = WriteAck(msg.opid)
@@ -351,21 +361,64 @@ class ServerCore(ProtocolCore):
             # retried request already pending: inquiries are in flight
             self.stats.duplicate_requests += 1
             return
+        if self._park_if_behind(client, msg):
+            return
         self.stats.reads += 1
         obj = msg.obj
         hist = self.L[obj]
         if len(hist) and hist.highest_tag >= self.M.tagvec[obj]:
             self.stats.local_reads += 1
             value = hist.highest_value()
-            self._send_read_return(client, msg.opid, value, hist.highest_tag)
+            self._send_read_return(client, msg.opid, value, hist.highest_tag, obj)
             return
         if self.code.is_recovery_set((self.node_id,), obj):
             self.stats.decoded_local_reads += 1
             value = self.code.decode(obj, {self.node_id: self.M.value})
-            self._send_read_return(client, msg.opid, value, self.M.tagvec[obj])
+            self._send_read_return(client, msg.opid, value, self.M.tagvec[obj], obj)
             return
         self.stats.remote_reads += 1
         self._register_read(client, msg.opid, obj)
+
+    def _park_if_behind(self, client: int, msg) -> bool:
+        """Defer a request whose session floor this clock does not cover.
+
+        A client that failed over carries the merge of every response
+        ``ts`` its session has observed.  Serving it from a clock that
+        does not dominate that floor could regress the session (stale
+        reads of its own writes, write tags ordered before ones it has
+        already seen).  Park the request; causal application of the
+        missing writes advances ``vc`` and releases it.
+        """
+        floor = getattr(msg, "session_ts", None)
+        if floor is None or floor.leq(self.vc):
+            return False
+        if any(m.opid == msg.opid for _, m in self._parked):
+            # client retry of an already-parked request
+            self.stats.duplicate_requests += 1
+            return True
+        self.stats.parked_requests += 1
+        self._parked.append((client, msg))
+        return True
+
+    def _drain_parked(self) -> None:
+        """Re-dispatch parked requests whose floor ``vc`` now dominates.
+
+        Runs to fixpoint: serving a parked write increments ``vc`` and may
+        release further parked requests.
+        """
+        progress = True
+        while progress and self._parked:
+            progress = False
+            for i, (client, msg) in enumerate(self._parked):
+                if msg.session_ts.leq(self.vc):
+                    del self._parked[i]
+                    if isinstance(msg, WriteRequest):
+                        self._on_write(client, msg)
+                    else:
+                        self._on_read(client, msg)
+                    self._internal_actions()
+                    progress = True
+                    break
 
     def _register_read(self, client_id: int, opid, obj: int) -> None:
         """Register a pending read in ReadL and send inquiries (line 16-18)."""
@@ -429,11 +482,15 @@ class ServerCore(ProtocolCore):
                 ),
             )
 
-    def _send_read_return(self, client: int, opid, value, value_tag: Tag) -> None:
+    def _send_read_return(
+        self, client: int, opid, value, value_tag: Tag, obj: int
+    ) -> None:
         msg = ReadReturn(opid, value)
         msg.ts = self.vc
         msg.value_tag = value_tag
-        self._log("read-return", repr(opid), _tag_key(value_tag))
+        # entry[1] (repr) keys per-channel comparisons; the trailing fields
+        # let the online auditor attribute the read (opid, object, client)
+        self._log("read-return", repr(opid), _tag_key(value_tag), opid, obj, client)
         self._emit_reply(client, self._sized(msg, 1))
 
     def _respond_read(
@@ -446,7 +503,9 @@ class ServerCore(ProtocolCore):
         if entry.client_id == LOCALHOST:
             self.L[entry.obj].add(entry.tagvec[entry.obj], value)
         else:
-            self._send_read_return(entry.client_id, entry.opid, value, value_tag)
+            self._send_read_return(
+                entry.client_id, entry.opid, value, value_tag, entry.obj
+            )
         self.readl.remove(entry.opid)
         timer_id = self._read_timeouts.pop(entry.opid, None)
         if timer_id is not None:

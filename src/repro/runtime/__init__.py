@@ -10,6 +10,15 @@ Two interchangeable drivers for :mod:`repro.protocol`:
   an N-server CausalEC cluster on localhost sockets, with the
   :mod:`~repro.runtime.wire` length-prefixed codec on the wire, per-peer
   reconnect, monotonic-clock timers, and a file-backed durable store.
+
+Around the live runtime sit the chaos and observability layers:
+:class:`~repro.runtime.chaos_rt.LiveFaultInjector` (deterministic fault
+injection inside the peer channels), :class:`~repro.runtime.supervisor
+.Supervisor` (crash restarts with exponential backoff),
+:class:`~repro.runtime.auditor.OnlineAuditor` (an online causal-consistency
+checker fed by decision-log streams), and
+:func:`~repro.runtime.live_chaos.run_live_chaos` (the seeded soak harness
+tying them all together).
 """
 
 from .asyncio_rt import (
@@ -18,7 +27,11 @@ from .asyncio_rt import (
     AsyncioServer,
     FileDurableStore,
 )
+from .auditor import OnlineAuditor
+from .chaos_rt import FrameFate, LiveFaultInjector
+from .live_chaos import LiveChaosResult, run_live_chaos
 from .sim import EffectNode
+from .supervisor import RestartPolicy, Supervisor
 from .wire import WIRE_VERSION, WireError, decode_frame, encode_frame
 
 __all__ = [
@@ -27,6 +40,13 @@ __all__ = [
     "AsyncioServer",
     "AsyncioClient",
     "FileDurableStore",
+    "FrameFate",
+    "LiveFaultInjector",
+    "OnlineAuditor",
+    "RestartPolicy",
+    "Supervisor",
+    "LiveChaosResult",
+    "run_live_chaos",
     "WIRE_VERSION",
     "WireError",
     "encode_frame",

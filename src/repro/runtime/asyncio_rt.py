@@ -49,24 +49,32 @@ from pathlib import Path
 import numpy as np
 
 from ..consistency.history import History, Operation
+from ..consistency.online import AuditOp
+from ..core.messages import Heartbeat
 from ..core.snapshot import (
     ServerCheckpoint,
     capture_server_state,
     restore_server_state,
 )
 from ..ec.code import LinearCode
-from ..protocol.client_core import ClientCore, RetryPolicy
+from ..protocol.client_core import ClientCore, HomeServerUnavailable, RetryPolicy
 from ..protocol.effects import (
     CancelTimerEffect,
+    HomeServerSwitchEffect,
     LogEffect,
     OpSettledEffect,
+    PeerAliveEffect,
+    PeerSuspectedEffect,
     PersistEffect,
     ReplyEffect,
     SendEffect,
     SetTimerEffect,
 )
+from ..protocol.failure_detector import FailureDetectorConfig, FailureDetectorCore
 from ..protocol.server_core import ServerConfig, ServerCore
+from ..sim.faults import FaultPlan
 from . import wire
+from .chaos_rt import LiveFaultInjector
 
 __all__ = [
     "FileDurableStore",
@@ -77,6 +85,14 @@ __all__ = [
 
 #: seconds between reconnect attempts for peer channels and clients
 RECONNECT_DELAY = 0.02
+
+#: seconds between retransmissions of the unacked tail while chaos is
+#: active (plain TCP never loses frames, so the loop only runs under an
+#: injector; the receiver's watermark dedups the repeats)
+RETRANSMIT_INTERVAL = 0.05
+
+#: seconds between polls of the audit log by the streaming task
+AUDIT_POLL = 0.02
 
 _CONN_ERRORS = (
     ConnectionError,
@@ -137,28 +153,84 @@ class FileDurableStore:
 
 
 class _PeerChannel:
-    """The dialer end of one directed reliable channel ``me -> peer``."""
+    """The dialer end of one directed reliable channel ``me -> peer``.
+
+    With a :class:`~repro.runtime.chaos_rt.LiveFaultInjector` attached to
+    the server, every transmission attempt (first send, reconnect replay,
+    periodic retransmission) asks the injector for a
+    :class:`~repro.runtime.chaos_rt.FrameFate` first: frames may be
+    dropped, duplicated, or delayed before they reach the socket.  The ARQ
+    already masks exactly these hazards -- dropped frames stay in
+    ``unacked`` and are retransmitted by :meth:`_retransmit_loop`,
+    duplicates and reorderings are absorbed by the receiver's watermark --
+    so chaos costs latency, never correctness.
+    """
 
     def __init__(self, server: "AsyncioServer", peer_id: int):
         self.server = server
         self.peer_id = peer_id
         self.seq = 0
+        #: highest cumulative ack received; frames <= acked are pruned and
+        #: can never be replayed, so the hello advertises it as the
+        #: receiver's minimum watermark (see ``_peer_loop``)
+        self.acked = 0
         self.unacked: deque[tuple[int, object]] = deque()
         self.writer: asyncio.StreamWriter | None = None
         self.task: asyncio.Task | None = None
+        self._rexmit_task: asyncio.Task | None = None
         self._stopped = False
 
     def send(self, msg) -> None:
         self.seq += 1
         self.unacked.append((self.seq, msg))
+        self._transmit(self.seq, msg)
+
+    def send_gossip(self, msg) -> None:
+        """Best-effort unsequenced frame (heartbeats): no ARQ, no replay."""
+        fate = self._fate()
+        if fate is None or fate.deliver:
+            delay = 0.0 if fate is None else fate.delay_ms
+            self._write_later(("g", msg), delay)
+
+    def _fate(self):
+        chaos = self.server.chaos
+        if chaos is None:
+            return None
+        return chaos.fate(self.server.node_id, self.peer_id)
+
+    def _transmit(self, seq: int, msg) -> None:
+        """One transmission attempt for a sequenced data frame."""
+        fate = self._fate()
+        frame = ("d", seq, msg)
+        if fate is None:
+            self._write_frame(frame)
+            return
+        if fate.drop:
+            return
+        self._write_later(frame, fate.delay_ms)
+        if fate.dup:
+            # the copy lands a beat later, off the FIFO path
+            self._write_later(frame, fate.delay_ms + 1.0)
+
+    def _write_later(self, frame, delay_ms: float) -> None:
+        if delay_ms <= 0:
+            self._write_frame(frame)
+        else:
+            asyncio.get_running_loop().call_later(
+                delay_ms / 1000.0, self._write_frame, frame
+            )
+
+    def _write_frame(self, frame) -> None:
         if self.writer is not None:
             try:
-                self.writer.write(wire.encode_frame(("d", self.seq, msg)))
+                self.writer.write(wire.encode_frame(frame))
             except _CONN_ERRORS:  # pragma: no cover - racing disconnect
                 self.writer = None
 
     def start(self) -> None:
         self.task = asyncio.ensure_future(self._run())
+        if self.server.chaos is not None:
+            self._rexmit_task = asyncio.ensure_future(self._retransmit_loop())
 
     async def _run(self) -> None:
         while not self._stopped:
@@ -166,11 +238,13 @@ class _PeerChannel:
             try:
                 host, port = self.server.peers[self.peer_id]
                 reader, writer = await asyncio.open_connection(host, port)
-                writer.write(wire.encode_frame(("hp", self.server.node_id)))
-                for seq, msg in list(self.unacked):  # replay the unacked tail
-                    writer.write(wire.encode_frame(("d", seq, msg)))
-                await writer.drain()
+                writer.write(
+                    wire.encode_frame(("hp", self.server.node_id, self.acked))
+                )
                 self.writer = writer
+                for seq, msg in list(self.unacked):  # replay the unacked tail
+                    self._transmit(seq, msg)
+                await writer.drain()
                 while True:
                     payload = await read_frame(reader)
                     if payload[0] == "a":
@@ -184,19 +258,44 @@ class _PeerChannel:
             if not self._stopped:
                 await asyncio.sleep(RECONNECT_DELAY)
 
+    async def _retransmit_loop(self) -> None:
+        """Re-send the unacked tail while chaos may be eating frames.
+
+        Plain TCP needs no retransmission timer (replay-on-reconnect covers
+        connection loss), but an injector drops individual frames on a live
+        connection; without this loop a dropped frame would stall its
+        channel forever.
+        """
+        while not self._stopped:
+            await asyncio.sleep(RETRANSMIT_INTERVAL)
+            if self.writer is not None:
+                for seq, msg in list(self.unacked):
+                    self._transmit(seq, msg)
+
     def _on_ack(self, upto: int) -> None:
+        if upto > self.acked:
+            self.acked = upto
         while self.unacked and self.unacked[0][0] <= upto:
             self.unacked.popleft()
 
+    def reset(self) -> None:
+        """Abruptly drop the established connection (it redials + replays)."""
+        writer = self.writer
+        self.writer = None
+        if writer is not None:
+            writer.close()
+
     async def stop(self) -> None:
         self._stopped = True
-        if self.task is not None:
-            self.task.cancel()
-            try:
-                await self.task
-            except (asyncio.CancelledError, Exception):
-                pass
-            self.task = None
+        for task in (self.task, self._rexmit_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self.task = None
+        self._rexmit_task = None
         if self.writer is not None:
             self.writer.close()
             self.writer = None
@@ -228,11 +327,30 @@ class _ChannelStateView:
             if ch is not None:
                 ch.seq = st["seq"]
                 ch.unacked = deque(tuple(entry) for entry in st["unacked"])
+                # everything below the unacked tail was acked and pruned
+                ch.acked = ch.unacked[0][0] - 1 if ch.unacked else ch.seq
         s._recv_last = dict(state.get("recv", {}))
 
 
 class AsyncioServer:
-    """One CausalEC server: a :class:`ServerCore` behind a TCP listener."""
+    """One CausalEC server: a :class:`ServerCore` behind a TCP listener.
+
+    Optional resilience attachments:
+
+    * ``chaos`` -- a :class:`~repro.runtime.chaos_rt.LiveFaultInjector`
+      consulted by every peer-channel transmission;
+    * ``detector`` -- a :class:`FailureDetectorConfig`; the server then
+      runs a :class:`FailureDetectorCore` whose heartbeats travel as
+      best-effort ``("g", msg)`` gossip frames on the peer channels
+      (bypassing the ARQ -- retransmitting liveness evidence would defeat
+      it) and whose suspect/alive transitions land in ``detector_log``;
+    * ``audit_addr`` -- address of an :class:`~repro.runtime.auditor
+      .OnlineAuditor`; decision-log entries are then mirrored as
+      :class:`~repro.consistency.online.AuditOp` records and streamed to
+      it.  The record list models an append-only log file: it survives
+      :meth:`kill` (unlike volatile protocol state) and the stream replays
+      it in full after every reconnect, the auditor deduplicates.
+    """
 
     def __init__(
         self,
@@ -240,6 +358,9 @@ class AsyncioServer:
         store: FileDurableStore | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        chaos: LiveFaultInjector | None = None,
+        detector: FailureDetectorConfig | None = None,
+        audit_addr: tuple[str, int] | None = None,
     ):
         self.core = core
         self.node_id = core.node_id
@@ -247,6 +368,12 @@ class AsyncioServer:
         self.store = store
         self.host = host
         self.port = port
+        self.chaos = chaos
+        self.audit_addr = audit_addr
+        if audit_addr is not None:
+            # the audit stream mirrors decision-log entries; auditing a
+            # server that never logs decisions would silently check nothing
+            core.config.decision_log = True
         self.peers: dict[int, tuple[str, int]] = {}
         self.halted = False
         self.decision_log: list[tuple] = []
@@ -262,6 +389,22 @@ class AsyncioServer:
         self._timers: dict[tuple, asyncio.TimerHandle] = {}
         self._arq_view = _ChannelStateView(self)
         self._loop: asyncio.AbstractEventLoop | None = None
+        self.detector: FailureDetectorCore | None = None
+        if detector is not None:
+            others = [j for j in range(self.num_servers) if j != self.node_id]
+            self.detector = FailureDetectorCore(self.node_id, others, detector)
+        #: (time, peer, "suspect" | "alive") -- this incarnation and earlier
+        self.detector_log: list[tuple[float, int, str]] = []
+        #: hook called as ``on_transition(server_id, peer, kind)``
+        self.on_detector_transition = None
+        self._audit_log: list[AuditOp] = []
+        self._audit_task: asyncio.Task | None = None
+        #: serializes kill/restart.  Both suspend at await points, and a
+        #: supervisor (polling ``halted``) can schedule a restart while a
+        #: kill coroutine is still tearing down -- unserialized, the kill's
+        #: tail would wipe the freshly restored core and leave a zombie
+        #: listener acking frames into a never-applying inqueue.
+        self._lifecycle = asyncio.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -278,6 +421,14 @@ class AsyncioServer:
         self._loop = asyncio.get_running_loop()
         await self._start_listener()
         self.interpret(self.core.boot(self.now()))
+        self._boot_overlays()
+
+    def _boot_overlays(self) -> None:
+        """Start the operational overlays: failure detector, audit stream."""
+        if self.detector is not None:
+            self.interpret_detector(self.detector.boot(self.now()))
+        if self.audit_addr is not None:
+            self._audit_task = asyncio.ensure_future(self._audit_loop())
 
     async def _start_listener(self) -> None:
         self._listener = await asyncio.start_server(
@@ -295,11 +446,22 @@ class AsyncioServer:
 
     async def kill(self) -> None:
         """Crash: drop timers, connections, listener, and volatile state."""
+        async with self._lifecycle:
+            await self._kill_locked()
+
+    async def _kill_locked(self) -> None:
         self.halted = True
         self._epoch += 1
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
+        if self._audit_task is not None:
+            self._audit_task.cancel()
+            try:
+                await self._audit_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._audit_task = None
         for ch in self._channels.values():
             await ch.stop()
         self._channels.clear()
@@ -323,18 +485,37 @@ class AsyncioServer:
         Also usable as a cold-start entry point for a standalone server
         process resuming from an on-disk checkpoint (``repro serve``).
         """
-        if self._loop is None:
-            self._loop = asyncio.get_running_loop()
-        self.halted = False
-        for j in self.peers:
-            ch = self._channels[j] = _PeerChannel(self, j)
-        checkpoint = None if self.store is None else self.store.load(self.node_id)
-        if checkpoint is not None:
-            restore_server_state(self.core, checkpoint, transport=self._arq_view)
-        await self._start_listener()
+        async with self._lifecycle:
+            if self._loop is None:
+                self._loop = asyncio.get_running_loop()
+            self.halted = False
+            for j in self.peers:
+                ch = self._channels[j] = _PeerChannel(self, j)
+            checkpoint = (
+                None if self.store is None else self.store.load(self.node_id)
+            )
+            if checkpoint is not None:
+                restore_server_state(
+                    self.core, checkpoint, transport=self._arq_view
+                )
+            await self._start_listener()
+            for ch in self._channels.values():
+                ch.start()
+            self.interpret(self.core.after_restart(self.now()))
+            self._boot_overlays()
+
+    def reset_connections(self) -> None:
+        """Abruptly close every established connection without crashing.
+
+        Dialer channels redial and replay their unacked tails; inbound
+        peers and clients observe the close and reconnect.  Models a NIC
+        hiccup / middlebox reset: connection state is lost, process state
+        is not (:class:`~repro.sim.faults.FaultPlan` ``resets``).
+        """
         for ch in self._channels.values():
-            ch.start()
-        self.interpret(self.core.after_restart(self.now()))
+            ch.reset()
+        for writer in list(self._inbound):
+            writer.close()
 
     async def shutdown(self) -> None:
         if not self.halted:
@@ -353,7 +534,8 @@ class AsyncioServer:
             hello = await read_frame(reader)
             kind, src = hello[0], hello[1]
             if kind == "hp":
-                await self._peer_loop(src, reader, writer, epoch)
+                base = hello[2] if len(hello) > 2 else 0
+                await self._peer_loop(src, reader, writer, epoch, base)
             elif kind == "hc":
                 self._clients[src] = writer
                 await self._client_loop(src, reader, epoch)
@@ -365,15 +547,43 @@ class AsyncioServer:
                 del self._clients[src]
             writer.close()
 
-    async def _peer_loop(self, src, reader, writer, epoch) -> None:
-        """Deliver data frames from peer ``src`` in order, exactly once."""
+    async def _peer_loop(self, src, reader, writer, epoch, base=0) -> None:
+        """Deliver data frames from peer ``src`` in order, exactly once.
+
+        ``base`` is the peer's highest received ack: everything up to it
+        has been pruned from the peer's ARQ queue and can never be
+        replayed.  If our watermark is behind ``base`` (a restart from a
+        checkpoint that predates acks we sent -- acked frames that changed
+        durable state were persisted *before* their ack, so the gap frames
+        provably changed none), waiting for the gap would stall the channel
+        forever; fast-forward to ``base`` instead.
+        """
+        last = self._recv_last.get(src, 0)
+        if base > last:
+            self._recv_last[src] = base
+            pending = self._ooo.get(src)
+            if pending:
+                for seq in [s for s in pending if s <= base]:
+                    del pending[seq]
         while True:
             payload = await read_frame(reader)
             if self._epoch != epoch or self.halted:
                 return
+            if payload[0] == "g":
+                # best-effort gossip (heartbeats): no seq, no ack
+                if self.detector is not None and isinstance(
+                    payload[1], Heartbeat
+                ):
+                    self.interpret_detector(
+                        self.detector.handle_message(src, payload[1], self.now())
+                    )
+                continue
             if payload[0] != "d":
                 continue
             _, seq, msg = payload
+            if self.detector is not None:
+                # any delivered frame is liveness evidence, duplicates too
+                self.interpret_detector(self.detector.observe(src, self.now()))
             last = self._recv_last.get(src, 0)
             if seq > last:
                 pending = self._ooo.setdefault(src, {})
@@ -423,8 +633,38 @@ class AsyncioServer:
                 self._persist()
             elif cls is LogEffect:
                 self.decision_log.append(e.entry)
+                if self.audit_addr is not None:
+                    self._append_audit(e.entry)
             else:
                 raise TypeError(f"unknown effect {e!r}")
+
+    def interpret_detector(self, effects) -> None:
+        """Interpret failure-detector effects (separate send path: gossip)."""
+        for e in effects:
+            cls = type(e)
+            if cls is SendEffect:
+                channel = self._channels.get(e.dst)
+                if channel is not None:
+                    channel.send_gossip(e.msg)
+            elif cls is SetTimerEffect:
+                handle = self._loop.call_later(
+                    e.delay / 1000.0, self._on_timer, e.timer_id, self._epoch
+                )
+                self._timers[e.timer_id] = handle
+            elif cls is CancelTimerEffect:
+                handle = self._timers.pop(e.timer_id, None)
+                if handle is not None:
+                    handle.cancel()
+            elif cls is PeerSuspectedEffect:
+                self.detector_log.append((self.now(), e.peer, "suspect"))
+                if self.on_detector_transition is not None:
+                    self.on_detector_transition(self.node_id, e.peer, "suspect")
+            elif cls is PeerAliveEffect:
+                self.detector_log.append((self.now(), e.peer, "alive"))
+                if self.on_detector_transition is not None:
+                    self.on_detector_transition(self.node_id, e.peer, "alive")
+            else:
+                raise TypeError(f"unknown detector effect {e!r}")
 
     def _send(self, dst: int, msg) -> None:
         if dst < self.num_servers:
@@ -444,6 +684,12 @@ class AsyncioServer:
         if epoch != self._epoch or self.halted:
             return
         self._timers.pop(timer_id, None)
+        if timer_id[0] == "fd":
+            if self.detector is not None:
+                self.interpret_detector(
+                    self.detector.handle_timer(timer_id, self.now())
+                )
+            return
         self.interpret(self.core.handle_timer(timer_id, self.now()))
 
     def _persist(self) -> None:
@@ -452,19 +698,80 @@ class AsyncioServer:
         self.core.stats.persists += 1
         self.store.persist(capture_server_state(self.core, self._arq_view))
 
+    # ------------------------------------------------------------------
+    # audit streaming
+
+    def _append_audit(self, entry: tuple) -> None:
+        """Mirror one decision-log entry as a wire-ready audit record."""
+        kind = entry[0]
+        if kind == "write":
+            _, obj, tag, opid, _client = entry
+            rec_kind = "write"
+        elif kind == "apply":
+            _, obj, tag = entry
+            opid, rec_kind = None, "apply"
+        elif kind == "read-return":
+            _, _, tag, opid, obj, _client = entry
+            rec_kind = "read"
+        else:
+            return  # gc-del and friends carry no audit information
+        self._audit_log.append(
+            AuditOp(
+                server=self.node_id,
+                seq=len(self._audit_log) + 1,
+                kind=rec_kind,
+                obj=obj,
+                tag=tag,
+                opid=opid,
+                time=self.now(),
+            )
+        )
+
+    async def _audit_loop(self) -> None:
+        """Stream the audit log to the auditor; replay it all on reconnect."""
+        while not self.halted:
+            writer = None
+            try:
+                reader, writer = await asyncio.open_connection(*self.audit_addr)
+                writer.write(wire.encode_frame(("ha", self.node_id)))
+                sent = 0
+                while True:
+                    while sent < len(self._audit_log):
+                        writer.write(
+                            wire.encode_frame(("r", self._audit_log[sent]))
+                        )
+                        sent += 1
+                    await writer.drain()
+                    await asyncio.sleep(AUDIT_POLL)
+            except _CONN_ERRORS:
+                pass
+            finally:
+                if writer is not None:
+                    writer.close()
+            if not self.halted:
+                await asyncio.sleep(RECONNECT_DELAY)
+
 
 class AsyncioClient:
-    """A :class:`ClientCore` speaking wire frames to its home server."""
+    """A :class:`ClientCore` speaking wire frames to its home server.
+
+    ``addresses`` maps server ids to listener addresses; when the core
+    fails over (:class:`~repro.protocol.effects.HomeServerSwitchEffect`)
+    the client force-closes its connection and the dial loop redials the
+    *new* home server's address.  Switches are recorded in ``switch_log``.
+    """
 
     def __init__(
         self,
         core: ClientCore,
         server_addr: tuple[str, int],
         on_settled=None,
+        addresses: dict[int, tuple[str, int]] | None = None,
     ):
         self.core = core
         self.node_id = core.node_id
         self._addr = server_addr
+        self._addresses = dict(addresses or {})
         self._on_settled = on_settled
         self._writer: asyncio.StreamWriter | None = None
         self._timers: dict[tuple, asyncio.TimerHandle] = {}
@@ -472,24 +779,39 @@ class AsyncioClient:
         self._task: asyncio.Task | None = None
         self._closed = False
         self._loop: asyncio.AbstractEventLoop | None = None
+        #: (old, new, opid) home-server switches, oldest first
+        self.switch_log: list[tuple[int, int, object]] = []
 
     def _now(self) -> float:
         return _now_ms(self._loop)
 
+    def _home_addr(self) -> tuple[str, int]:
+        return self._addresses.get(self.core.server_id, self._addr)
+
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
+        start = self._loop.time()
         self._task = asyncio.ensure_future(self._run())
         for _ in range(200):  # wait for the first connection
             if self._writer is not None:
                 return
             await asyncio.sleep(0.01)
-        raise ConnectionError(f"client {self.node_id}: server never answered")
+        # typed, like every other unavailability surfaced by the client path
+        raise HomeServerUnavailable(
+            None,
+            self.core.server_id,
+            attempts=0,
+            waited=(self._loop.time() - start) * 1000.0,
+        )
 
     async def _run(self) -> None:
         while not self._closed:
             writer = None
+            server_id = self.core.server_id
             try:
-                reader, writer = await asyncio.open_connection(*self._addr)
+                reader, writer = await asyncio.open_connection(
+                    *self._home_addr()
+                )
                 writer.write(wire.encode_frame(("hc", self.node_id)))
                 await writer.drain()
                 self._writer = writer
@@ -498,7 +820,7 @@ class AsyncioClient:
                     if payload[0] == "m":
                         self.interpret(
                             self.core.handle_message(
-                                self.core.server_id, payload[1], self._now()
+                                server_id, payload[1], self._now()
                             )
                         )
             except _CONN_ERRORS:
@@ -509,6 +831,17 @@ class AsyncioClient:
                     writer.close()
             if not self._closed:
                 await asyncio.sleep(RECONNECT_DELAY)
+
+    def notify_home_suspected(self, peer: int) -> None:
+        """Failure-detector hint: the client's home server looks dead.
+
+        Advisory -- triggers the core's early failover (reads re-sent to
+        the next candidate, sticky rotation otherwise); a false suspicion
+        costs a redial, never correctness.
+        """
+        if self._closed or self.core.server_id != peer or not self.core.failover:
+            return
+        self.interpret(self.core.suspect_home(self._now()))
 
     async def close(self) -> None:
         self._closed = True
@@ -565,6 +898,16 @@ class AsyncioClient:
                     self._settled.set_result(e.op)
                 if self._on_settled is not None:
                     self._on_settled(e.op)
+            elif cls is HomeServerSwitchEffect:
+                self.switch_log.append((e.old, e.new, e.opid))
+                # force the dial loop off the old connection; it redials
+                # the new home server's address.  The SendEffect that may
+                # follow finds no writer yet -- the retry timer re-sends
+                # once the new connection is up.
+                writer = self._writer
+                self._writer = None
+                if writer is not None:
+                    writer.close()
             else:
                 raise TypeError(f"unknown effect {e!r}")
 
@@ -598,11 +941,15 @@ class AsyncioCluster:
         store_dir: str | os.PathLike | None = None,
         retry: RetryPolicy | None = None,
         host: str = "127.0.0.1",
+        chaos: LiveFaultInjector | None = None,
+        detector: FailureDetectorConfig | None = None,
+        audit_addr: tuple[str, int] | None = None,
     ):
         self.code = code
         self.num_servers = code.N
         self.config = config or ServerConfig()
         self.retry = retry
+        self.chaos = chaos
         self.history = History()
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         if store_dir is None:
@@ -610,13 +957,27 @@ class AsyncioCluster:
             store_dir = self._tmpdir.name
         self.store = FileDurableStore(store_dir)
         self.servers = [
-            AsyncioServer(ServerCore(i, code, self.config), self.store, host=host)
+            AsyncioServer(
+                ServerCore(i, code, self.config),
+                self.store,
+                host=host,
+                chaos=chaos,
+                detector=detector,
+                audit_addr=audit_addr,
+            )
             for i in range(code.N)
         ]
+        for s in self.servers:
+            s.on_detector_transition = self._on_detector_transition
         self.clients: list[AsyncioClient] = []
+        #: aggregated (observer server, peer, kind) transitions, in order
+        self.detector_transitions: list[tuple[int, int, str]] = []
+        self._fault_handles: list[asyncio.TimerHandle] = []
 
     async def start(self) -> None:
         """Bind every server, exchange addresses, dial all peer channels."""
+        if self.chaos is not None:
+            self.chaos.arm(asyncio.get_running_loop())
         for s in self.servers:
             await s.start()
         addresses = {s.node_id: (s.host, s.port) for s in self.servers}
@@ -625,20 +986,46 @@ class AsyncioCluster:
         for s in self.servers:
             s.connect_peers()
 
+    def _on_detector_transition(self, observer: int, peer: int, kind: str):
+        self.detector_transitions.append((observer, peer, kind))
+        if kind == "suspect":
+            for client in self.clients:
+                client.notify_home_suspected(peer)
+
     async def add_client(
-        self, server: int = 0, retry: RetryPolicy | None = None
+        self,
+        server: int = 0,
+        retry: RetryPolicy | None = None,
+        failover: bool = False,
+        failover_writes: bool = False,
     ) -> AsyncioClient:
+        """Attach a client homed at ``server``.
+
+        ``failover=True`` gives the client every other server as a
+        failover candidate (in ring order after its home) and the address
+        map to redial them; see :class:`~repro.protocol.client_core
+        .ClientCore` for the read-only failover contract.
+        """
         if not 0 <= server < self.num_servers:
             raise ValueError(f"no such server {server}")
         node_id = self.num_servers + len(self.clients)
+        candidates = None
+        if failover:
+            candidates = [
+                (server + k) % self.num_servers
+                for k in range(1, self.num_servers)
+            ]
         core = ClientCore(
             node_id,
             server,
             history=self.history,
             retry=retry if retry is not None else self.retry,
+            failover=candidates,
+            failover_writes=failover_writes,
         )
         srv = self.servers[server]
-        client = AsyncioClient(core, (srv.host, srv.port))
+        addresses = {s.node_id: (s.host, s.port) for s in self.servers}
+        client = AsyncioClient(core, (srv.host, srv.port), addresses=addresses)
         self.clients.append(client)
         await client.start()
         return client
@@ -656,6 +1043,39 @@ class AsyncioCluster:
 
     async def restart_server(self, i: int) -> None:
         await self.servers[i].restart()
+
+    def reset_server(self, i: int) -> None:
+        """Sever server ``i``'s established connections (no crash)."""
+        self.servers[i].reset_connections()
+
+    def apply_fault_plan(self, plan: FaultPlan, time_scale: float = 1.0) -> None:
+        """Arm a :class:`~repro.sim.faults.FaultPlan` on the event loop.
+
+        The same schedule object the simulator consumes: halts become
+        :meth:`kill_server`, restarts :meth:`restart_server`, and resets --
+        ignored by the simulator -- become :meth:`reset_server`.  Times are
+        schedule milliseconds, mapped to real seconds via ``time_scale``
+        (matching :class:`~repro.runtime.chaos_rt.LiveFaultInjector`).
+        """
+        loop = asyncio.get_running_loop()
+
+        def _later(at_ms: float, coro_or_fn, *args, is_coro: bool):
+            def fire():
+                if is_coro:
+                    asyncio.ensure_future(coro_or_fn(*args))
+                else:
+                    coro_or_fn(*args)
+
+            self._fault_handles.append(
+                loop.call_later(at_ms * time_scale / 1000.0, fire)
+            )
+
+        for at, server in plan.halts:
+            _later(at, self.kill_server, server, is_coro=True)
+        for at, server in plan.restarts:
+            _later(at, self.restart_server, server, is_coro=True)
+        for at, server in plan.resets:
+            _later(at, self.reset_server, server, is_coro=False)
 
     async def quiesce(
         self, idle_rounds: int = 4, poll: float = 0.03, timeout: float = 30.0
@@ -676,6 +1096,9 @@ class AsyncioCluster:
             await asyncio.sleep(poll)
 
     async def shutdown(self) -> None:
+        for handle in self._fault_handles:
+            handle.cancel()
+        self._fault_handles.clear()
         for client in self.clients:
             await client.close()
         for server in self.servers:

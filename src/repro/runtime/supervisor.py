@@ -1,0 +1,168 @@
+"""Process supervision for the live cluster: restart crashed servers.
+
+A production CausalEC deployment runs each server under a supervisor that
+restarts it after a crash -- the paper's liveness theorems (4.4/4.5) only
+promise progress for operations whose home server *stays* up, so bounded
+downtime is what turns "crash" into "blip".  :class:`Supervisor` watches an
+:class:`~repro.runtime.asyncio_rt.AsyncioCluster` for halted servers and
+restarts them with exponential backoff per :class:`RestartPolicy`; restart
+storms (a server that keeps dying) back off geometrically and give up
+after ``max_restarts``, exactly like a real init system.
+
+The supervisor also doubles as the chaos layer's crash injector:
+:meth:`inject_crash` kills a server through the same code path an external
+``repro cluster --crash`` command uses, then lets the restart policy bring
+it back.  Everything it does lands in ``events`` (and :meth:`dump`) so CI
+can archive supervisor logs from failed soaks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["RestartPolicy", "Supervisor"]
+
+
+@dataclass
+class RestartPolicy:
+    """Exponential-backoff restart schedule.
+
+    The first restart happens ``initial_delay`` seconds after the crash is
+    noticed; each subsequent restart of the *same* server multiplies the
+    delay by ``backoff`` up to ``max_delay``.  A server restarted
+    ``max_restarts`` times is abandoned (marked given-up, reported in the
+    events log).  ``reset_after`` seconds of staying up resets a server's
+    backoff to the initial delay.
+    """
+
+    initial_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    max_restarts: int = 10
+    reset_after: float = 5.0
+
+    def __post_init__(self):
+        if self.initial_delay <= 0 or self.backoff < 1.0 or self.max_delay <= 0:
+            raise ValueError("need initial_delay > 0, backoff >= 1, max_delay > 0")
+        if self.max_restarts < 0 or self.reset_after <= 0:
+            raise ValueError("need max_restarts >= 0, reset_after > 0")
+
+    def delay(self, restarts: int) -> float:
+        return min(self.initial_delay * self.backoff**restarts, self.max_delay)
+
+
+class Supervisor:
+    """Watches a live cluster and restarts halted servers with backoff."""
+
+    def __init__(
+        self,
+        cluster,
+        policy: RestartPolicy | None = None,
+        poll: float = 0.02,
+    ):
+        self.cluster = cluster
+        self.policy = policy or RestartPolicy()
+        self.poll = poll
+        #: (loop time, event, server, detail) -- crash/restart/give-up log
+        self.events: list[tuple[float, str, int, str]] = []
+        self.restarts: dict[int, int] = {}
+        self.given_up: set[int] = set()
+        self._restarting: set[int] = set()
+        self._last_up: dict[int, float] = {}
+        self._task: asyncio.Task | None = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._task = asyncio.ensure_future(self._watch())
+
+    async def stop(self) -> None:
+        self._stopped = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+
+    async def inject_crash(self, server: int) -> None:
+        """Chaos command: kill a server and let the policy revive it."""
+        self._event("inject-crash", server, "operator-injected kill")
+        await self.cluster.kill_server(server)
+
+    # ------------------------------------------------------------------
+
+    def _event(self, event: str, server: int, detail: str) -> None:
+        self.events.append(
+            (asyncio.get_event_loop().time(), event, server, detail)
+        )
+
+    async def _watch(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopped:
+            await asyncio.sleep(self.poll)
+            now = loop.time()
+            for i, server in enumerate(self.cluster.servers):
+                if not server.halted:
+                    up_since = self._last_up.setdefault(i, now)
+                    if (
+                        self.restarts.get(i, 0)
+                        and now - up_since >= self.policy.reset_after
+                    ):
+                        self.restarts[i] = 0  # stable again: forgive history
+                    continue
+                self._last_up.pop(i, None)
+                if i in self._restarting or i in self.given_up:
+                    continue
+                count = self.restarts.get(i, 0)
+                if count >= self.policy.max_restarts:
+                    self.given_up.add(i)
+                    self._event(
+                        "give-up", i, f"exceeded {self.policy.max_restarts} restarts"
+                    )
+                    continue
+                self._restarting.add(i)
+                delay = self.policy.delay(count)
+                self._event(
+                    "schedule-restart", i, f"attempt {count + 1} in {delay:.3f}s"
+                )
+                asyncio.ensure_future(self._restart_later(i, delay))
+
+    async def _restart_later(self, i: int, delay: float) -> None:
+        try:
+            await asyncio.sleep(delay)
+            if self._stopped or not self.cluster.servers[i].halted:
+                return
+            self.restarts[i] = self.restarts.get(i, 0) + 1
+            await self.cluster.restart_server(i)
+            self._event("restart", i, f"attempt {self.restarts[i]}")
+        except Exception as exc:  # noqa: BLE001 - supervisor must survive
+            self._event("restart-failed", i, repr(exc))
+        finally:
+            self._restarting.discard(i)
+
+    # ------------------------------------------------------------------
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the supervisor event log as JSON (CI failure artifact)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "restarts": self.restarts,
+                    "given_up": sorted(self.given_up),
+                    "events": [
+                        {"t": t, "event": e, "server": s, "detail": d}
+                        for t, e, s, d in self.events
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return path

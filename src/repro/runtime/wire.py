@@ -40,9 +40,11 @@ from typing import Any
 
 import numpy as np
 
+from ..consistency.online import AuditOp
 from ..core.messages import (
     App,
     Del,
+    Heartbeat,
     ReadRequest,
     ReadReturn,
     ValInq,
@@ -76,7 +78,7 @@ __all__ = [
 ]
 
 #: Bumped on any incompatible change to the encoding or the class registry.
-WIRE_VERSION = 1
+WIRE_VERSION = 2  # v2: client requests carry a session-floor vector clock
 
 #: Frames larger than this are rejected before allocation (corrupt length
 #: words must not trigger multi-gigabyte reads).
@@ -144,9 +146,9 @@ def registered_classes() -> dict[int, type]:
 
 # protocol messages (ids 1-15).  ``size_bits`` rides along so the receiving
 # side sees the same cost accounting the sender assigned.
-register(1, WriteRequest, ("opid", "obj", "value", "size_bits"))
+register(1, WriteRequest, ("opid", "obj", "value", "session_ts", "size_bits"))
 register(2, WriteAck, ("opid", "ts", "tag", "size_bits"))
-register(3, ReadRequest, ("opid", "obj", "size_bits"))
+register(3, ReadRequest, ("opid", "obj", "session_ts", "size_bits"))
 register(4, ReadReturn, ("opid", "value", "ts", "value_tag", "size_bits"))
 register(5, App, ("obj", "value", "tag", "size_bits"))
 register(6, Del, ("obj", "tag", "origin", "fanout", "size_bits"))
@@ -157,6 +159,7 @@ register(
     ValRespEncoded,
     ("symbol", "tagvec", "client_id", "opid", "obj", "requested_tags", "size_bits"),
 )
+register(10, Heartbeat, ("sender", "sent_at", "size_bits"))
 
 # durable server state (ids 20-31): everything a ServerCheckpoint holds, so
 # the file-backed durable store never needs pickle.
@@ -168,6 +171,9 @@ register(24, ReadEntry, ("client_id", "opid", "obj", "tagvec", "symbols", "regis
 register(25, ReadList, ("_by_opid",))
 register(26, Codeword, ("value", "tagvec"))
 register(27, ServerCheckpoint, ("server_id", "time", "state", "transport"))
+
+# observability (ids 40-49): records streamed to the online auditor.
+register(40, AuditOp, ("server", "seq", "kind", "obj", "tag", "opid", "time"))
 
 
 # ---------------------------------------------------------------------------

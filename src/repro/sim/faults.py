@@ -3,10 +3,19 @@
 The paper's fault model is halting (crash) failures; channels stay reliable
 and FIFO, but asynchrony puts no bound on delays.  This module provides
 
-* :class:`FaultPlan` -- halt specific servers at specific simulated times,
+* :class:`FaultPlan` -- halt/restart specific servers at specific times,
+  plus scheduled *connection resets* for runtimes with real connections,
 * :class:`DegradedLatency` -- a latency-model wrapper that multiplies
   delays on selected channels during configured windows (a "slow but alive"
   adversary, legal under asynchrony).
+
+Link-level faults (:class:`~repro.sim.network.LinkFaults` with drops,
+duplications, and :class:`~repro.sim.network.PartitionPlan` partitions) are
+defined in :mod:`~repro.sim.network` and re-exported here: together with
+:class:`FaultPlan` they form the complete chaos vocabulary, and the *same*
+schedule objects drive both the discrete-event simulator and the live
+asyncio runtime's fault-injection shim
+(:class:`~repro.runtime.chaos_rt.LiveFaultInjector`).
 """
 
 from __future__ import annotations
@@ -15,18 +24,35 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .network import LatencyModel
+from .network import LatencyModel, LinkFaults, PartitionPlan, PartitionWindow
 from .scheduler import Scheduler
 
-__all__ = ["FaultPlan", "DegradedLatency", "LatencySpike"]
+__all__ = [
+    "FaultPlan",
+    "DegradedLatency",
+    "LatencySpike",
+    "LinkFaults",
+    "PartitionPlan",
+    "PartitionWindow",
+]
 
 
 @dataclass
 class FaultPlan:
-    """A schedule of crash and recovery faults: (time, server-index) pairs."""
+    """A schedule of crash, recovery, and connection-reset faults.
+
+    ``halts``/``restarts`` are (time, server-index) pairs and apply to every
+    runtime.  ``resets`` schedules *connection resets*: at the given time
+    the server abruptly closes its established peer connections (they
+    redial and replay).  Resets only exist where connections do -- the live
+    asyncio runtime; the simulator's channels are connectionless, so
+    :meth:`apply` ignores them there (a reset is a no-op fault for a model
+    whose transport never loses channel state).
+    """
 
     halts: list[tuple[float, int]] = field(default_factory=list)
     restarts: list[tuple[float, int]] = field(default_factory=list)
+    resets: list[tuple[float, int]] = field(default_factory=list)
 
     @staticmethod
     def _validate(at_time: float, server: int) -> tuple[float, int]:
@@ -48,10 +74,16 @@ class FaultPlan:
         self.restarts.append(self._validate(at_time, server))
         return self
 
+    def reset_connections(self, at_time: float, server: int) -> "FaultPlan":
+        """Schedule an abrupt close of the server's peer connections."""
+        self.resets.append(self._validate(at_time, server))
+        return self
+
     def apply(self, cluster) -> None:
-        """Arm all faults on a cluster's scheduler."""
+        """Arm all faults on a cluster's scheduler (resets are ignored:
+        the simulator's channels have no connection state to reset)."""
         n = len(cluster.servers)
-        for at_time, server in self.halts + self.restarts:
+        for at_time, server in self.halts + self.restarts + self.resets:
             if server >= n:
                 raise ValueError(
                     f"server index {server} out of range for a "

@@ -244,6 +244,7 @@ class LinkFaults:
         self.dup_prob = float(dup_prob)
         self.partitions = partitions or PartitionPlan()
         self.per_channel = dict(per_channel or {})
+        self.seed = seed  # kept so other runtimes can derive seeded decisions
         self.rng = np.random.default_rng(seed)
         self.until = until
         self.enabled = True

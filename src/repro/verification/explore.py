@@ -103,6 +103,7 @@ def _fork_state(state: _State) -> _State:
         ns._del_sent_all = dict(s._del_sent_all)
         ns._read_timeouts = dict(s._read_timeouts)
         ns._client_sessions = dict(s._client_sessions)
+        ns._parked = list(s._parked)
         ns.durable = None  # model checking never attaches durability
         ns._transport = None
         ns.visibility_log = list(s.visibility_log)

@@ -1,0 +1,118 @@
+"""Deterministic tests of the sans-I/O heartbeat failure detector.
+
+The detector core performs no I/O, so every transition is driven here by
+explicit ``(event, now)`` sequences -- the same core the live runtime runs
+behind gossip frames.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import Heartbeat
+from repro.protocol.effects import (
+    PeerAliveEffect,
+    PeerSuspectedEffect,
+    SendEffect,
+    SetTimerEffect,
+)
+from repro.protocol.failure_detector import (
+    CHECK_TIMER,
+    HEARTBEAT_TIMER,
+    FailureDetectorConfig,
+    FailureDetectorCore,
+)
+
+
+def _make(now: float = 0.0):
+    core = FailureDetectorCore(
+        0,
+        [1, 2],
+        FailureDetectorConfig(heartbeat_interval=10.0, suspect_after=50.0),
+    )
+    return core, core.boot(now)
+
+
+def test_boot_sends_heartbeats_and_arms_timers():
+    core, effects = _make()
+    sends = [e for e in effects if isinstance(e, SendEffect)]
+    assert sorted(e.dst for e in sends) == [1, 2]
+    assert all(isinstance(e.msg, Heartbeat) for e in sends)
+    timers = {e.timer_id for e in effects if isinstance(e, SetTimerEffect)}
+    assert timers == {HEARTBEAT_TIMER, CHECK_TIMER}
+    assert not core.suspected
+
+
+def test_heartbeat_timer_resends_and_rearms():
+    core, _ = _make()
+    effects = core.handle_timer(HEARTBEAT_TIMER, 10.0)
+    assert sorted(
+        e.dst for e in effects if isinstance(e, SendEffect)
+    ) == [1, 2]
+    assert any(
+        isinstance(e, SetTimerEffect) and e.timer_id == HEARTBEAT_TIMER
+        for e in effects
+    )
+
+
+def test_silence_beyond_threshold_suspects_once():
+    core, _ = _make()
+    # within the threshold: no suspicion
+    effects = core.handle_timer(CHECK_TIMER, 49.0)
+    assert not [e for e in effects if isinstance(e, PeerSuspectedEffect)]
+    # past it: both silent peers suspected, with their last-heard time
+    effects = core.handle_timer(CHECK_TIMER, 51.0)
+    suspected = [e for e in effects if isinstance(e, PeerSuspectedEffect)]
+    assert sorted(e.peer for e in suspected) == [1, 2]
+    assert all(e.last_heard == 0.0 for e in suspected)
+    assert core.is_suspected(1) and core.is_suspected(2)
+    # a later check does not re-report an already-suspected peer
+    effects = core.handle_timer(CHECK_TIMER, 60.0)
+    assert not [e for e in effects if isinstance(e, PeerSuspectedEffect)]
+
+
+def test_heartbeat_revives_suspected_peer():
+    core, _ = _make()
+    core.handle_timer(CHECK_TIMER, 60.0)
+    assert core.is_suspected(1)
+    effects = core.handle_message(1, Heartbeat(1, 59.0), 61.0)
+    assert [e.peer for e in effects if isinstance(e, PeerAliveEffect)] == [1]
+    assert not core.is_suspected(1)
+    assert core.is_suspected(2)  # still silent
+    assert (60.0, 1, "suspect") in core.transitions
+    assert (61.0, 1, "alive") in core.transitions
+
+
+def test_any_delivered_message_counts_as_liveness():
+    core, _ = _make()
+    core.observe(1, 45.0)  # e.g. an ARQ data frame, not a heartbeat
+    effects = core.handle_timer(CHECK_TIMER, 60.0)
+    assert [
+        e.peer for e in effects if isinstance(e, PeerSuspectedEffect)
+    ] == [2]
+
+
+def test_observe_unknown_source_is_ignored():
+    core, _ = _make()
+    assert core.observe(99, 10.0) == []
+    assert 99 not in core.last_heard
+
+
+def test_flap_produces_alternating_transitions():
+    core, _ = _make()
+    core.handle_timer(CHECK_TIMER, 60.0)  # suspect 1 and 2
+    core.observe(1, 61.0)  # 1 alive
+    core.handle_timer(CHECK_TIMER, 120.0)  # 1 silent again
+    kinds = [(p, k) for _, p, k in core.transitions if p == 1]
+    assert kinds == [(1, "suspect"), (1, "alive"), (1, "suspect")]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FailureDetectorConfig(heartbeat_interval=0.0)
+    with pytest.raises(ValueError):
+        FailureDetectorConfig(heartbeat_interval=20.0, suspect_after=30.0)
+    with pytest.raises(ValueError):
+        FailureDetectorConfig(check_interval=-1.0)
+    with pytest.raises(ValueError):
+        FailureDetectorCore(0, [0, 1])  # no self-monitoring

@@ -1,0 +1,209 @@
+"""ARQ reconnect edge cases on the live runtime.
+
+The peer channels' replay-on-reconnect + receiver-watermark design has
+three corners that only show up under faults:
+
+* **duplicate reconnect races** -- connections reset again while the
+  previous redial is still in flight;
+* **replay with retransmissions in flight** -- the chaos retransmission
+  loop re-sends the unacked tail while a reset triggers a full replay of
+  the same frames; the receiver watermark must keep delivery exactly-once;
+* **watermark recovery** -- a server restarts from a checkpoint whose
+  receive watermark predates frames it had already acknowledged; the
+  sender has pruned them, so the receiver must fast-forward (via the
+  hello's acked base) instead of stalling forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.consistency.causal import check_causal_consistency
+from repro.ec.codes import example1_code
+from repro.protocol.client_core import RetryPolicy
+from repro.runtime.asyncio_rt import AsyncioCluster
+from repro.runtime.chaos_rt import LiveFaultInjector
+from repro.sim.network import LinkFaults
+
+
+async def _boot(code, chaos=None):
+    cluster = AsyncioCluster(
+        code,
+        retry=RetryPolicy(timeout=40.0, backoff=1.5, max_retries=8),
+        chaos=chaos,
+    )
+    await cluster.start()
+    client = await cluster.add_client(0)
+    return cluster, client
+
+
+def test_duplicate_reconnect_races():
+    code = example1_code()
+
+    async def run():
+        cluster, client = await _boot(code)
+        for k in range(3):
+            op = await client.write(k % code.K, cluster.value(k + 1))
+            assert not op.failed
+        # reset the same server twice back-to-back: the second reset lands
+        # while the first redial is still in flight
+        cluster.reset_server(1)
+        cluster.reset_server(1)
+        cluster.reset_server(0)
+        op = await client.write(0, cluster.value(9))
+        assert not op.failed
+        # and again mid-reconnect, interleaved with traffic
+        cluster.reset_server(0)
+        op = await client.read(0)
+        assert not op.failed
+        await cluster.quiesce()
+        check_causal_consistency(cluster.history, code.zero_value())
+        await cluster.shutdown()
+
+    asyncio.run(run())
+
+
+def test_replay_with_retransmissions_in_flight():
+    code = example1_code()
+    faults = LinkFaults(drop_prob=0.3, dup_prob=0.15, seed=5)
+    injector = LiveFaultInjector(faults, jitter_ms=3.0)
+
+    async def run():
+        cluster, client = await _boot(code, chaos=injector)
+        ops = []
+        for k in range(4):
+            ops.append(await client.write(k % code.K, cluster.value(k + 1)))
+        # every server's connections reset while dropped frames sit in the
+        # unacked tails and the retransmission loop is re-sending them:
+        # redial replays overlap in-flight retransmissions
+        for i in range(code.N):
+            cluster.reset_server(i)
+        for k in range(4):
+            ops.append(
+                await client.write(k % code.K, cluster.value(10 + k))
+            )
+        injector.disable()
+        await cluster.quiesce()
+        assert all(not op.failed for op in ops)
+        # exactly-once delivery held: the history is causally consistent
+        # and duplicates/replays never double-applied a write
+        check_causal_consistency(cluster.history, code.zero_value())
+        assert injector.dropped > 0  # the chaos really bit
+        await cluster.shutdown()
+
+    asyncio.run(run())
+
+
+def test_watermark_recovery_when_checkpoint_predates_acked_seq():
+    code = example1_code()
+
+    async def run():
+        cluster, client = await _boot(code)
+        for k in range(4):
+            op = await client.write(k % code.K, cluster.value(k + 1))
+            assert not op.failed
+        await cluster.quiesce()
+
+        victim = 1
+        acked = dict(cluster.servers[victim]._recv_last)
+        peers = [j for j, n in acked.items() if n > 0]
+        assert peers, "no peer traffic reached the victim"
+
+        await cluster.kill_server(victim)
+        # rewind the on-disk receive watermarks below what the victim
+        # already acked: the senders have pruned that range, so a naive
+        # restart would wait forever for frames that can never come
+        checkpoint = cluster.store.load(victim)
+        for j in peers:
+            checkpoint.transport["recv"][j] = max(
+                0, checkpoint.transport["recv"][j] - 2
+            )
+        cluster.store.persist(checkpoint)
+        await cluster.restart_server(victim)
+
+        # new traffic through the rewound channels must still deliver:
+        # the hello's acked base fast-forwards the watermark past the gap
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 10.0
+        j = peers[0]
+        while cluster.servers[victim]._recv_last.get(j, 0) < acked[j]:
+            assert loop.time() < deadline, (
+                f"channel {j} -> {victim} stalled after watermark rewind"
+            )
+            op = await client.write(
+                int(loop.time() * 1000) % code.K, cluster.value(77)
+            )
+            assert not op.failed
+            await asyncio.sleep(0.02)
+
+        await cluster.quiesce()
+        check_causal_consistency(cluster.history, code.zero_value())
+        await cluster.shutdown()
+
+    asyncio.run(run())
+
+
+def test_restart_racing_inflight_kill_is_serialized():
+    code = example1_code()
+
+    async def run():
+        cluster, client = await _boot(code)
+        for k in range(3):
+            op = await client.write(k % code.K, cluster.value(k + 1))
+            assert not op.failed
+        await cluster.quiesce()
+        victim = cluster.servers[2]
+        # schedule the restart while the kill coroutine is still mid-flight
+        # (a supervisor polling ``halted`` does exactly this): the lifecycle
+        # lock must run the kill to completion first, then the restart --
+        # interleaved, the kill's tail would wipe the restored core and
+        # leave a zombie listener acking frames it never applies
+        kill = asyncio.ensure_future(victim.kill())
+        await asyncio.sleep(0)  # let the kill start and hold the lock
+        restart = asyncio.ensure_future(victim.restart())
+        await asyncio.gather(kill, restart)
+        assert not victim.halted
+        assert victim._channels, "restart's channels were torn down"
+        op = await client.write(0, cluster.value(9))
+        assert not op.failed
+        await cluster.quiesce()
+        check_causal_consistency(cluster.history, code.zero_value())
+        await cluster.shutdown()
+
+    asyncio.run(run())
+
+
+def test_acked_base_tracked_and_restored():
+    code = example1_code()
+
+    async def run():
+        cluster, client = await _boot(code)
+        for k in range(3):
+            op = await client.write(k % code.K, cluster.value(k + 1))
+            assert not op.failed
+        await cluster.quiesce()
+        sender = cluster.servers[0]
+        bases = {
+            j: ch.acked for j, ch in sender._channels.items() if ch.acked > 0
+        }
+        assert bases, "no channel ever saw an ack"
+        # a restart rederives each channel's acked base from the
+        # checkpoint's send state (everything below the unacked tail).
+        # The checkpoint may predate the very last ack, so the restored
+        # base can trail the live one -- but never overstate it, and the
+        # unacked tail must sit directly above it.
+        await cluster.kill_server(0)
+        await cluster.restart_server(0)
+        restored = cluster.servers[0]._channels
+        assert any(restored[j].acked > 0 for j in bases)
+        for j, base in bases.items():
+            ch = restored[j]
+            assert ch.acked <= base
+            if ch.unacked:
+                assert ch.unacked[0][0] == ch.acked + 1
+        op = await client.write(0, cluster.value(50))
+        assert not op.failed
+        await cluster.quiesce()
+        await cluster.shutdown()
+
+    asyncio.run(run())
