@@ -42,6 +42,10 @@ from .core import (
     VectorClock,
     zero_tag,
 )
+from .protocol import (
+    FailureDetectorConfig,
+    RepairConfig,
+)
 from .ec import (
     GF256,
     BinaryExtensionField,
@@ -116,6 +120,8 @@ __all__ = [
     "RetryPolicy",
     "HomeServerUnavailable",
     "DurableStore",
+    "FailureDetectorConfig",
+    "RepairConfig",
     "ChaosConfig",
     "ChaosSchedule",
     "ChaosResult",

@@ -170,6 +170,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.consistency.causal import check_causal_consistency
     from repro.protocol.client_core import RetryPolicy
     from repro.protocol.failure_detector import FailureDetectorConfig
+    from repro.protocol.repair_core import RepairConfig
     from repro.protocol.server_core import ServerConfig
     from repro.runtime.asyncio_rt import AsyncioCluster
     from repro.runtime.auditor import OnlineAuditor
@@ -198,6 +199,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             chaos=chaos,
             detector=FailureDetectorConfig() if args.detector else None,
             audit_addr=auditor.address if auditor else None,
+            repair=(
+                RepairConfig(digest_interval=args.repair_interval)
+                if args.repair
+                else None
+            ),
         )
         await cluster.start()
         ports = [s.port for s in cluster.servers]
@@ -285,6 +291,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             print(f"failure detector: {suspects} suspicion(s), "
                   f"{sum(len(c.switch_log) for c in clients)} client "
                   f"failover(s)")
+        if args.repair:
+            rs = cluster.repair_stats()
+            print(f"repair: {int(rs.get('rounds_completed', 0))} round(s), "
+                  f"{int(rs.get('entries_installed', 0))} install(s), "
+                  f"{int(rs.get('bits_shipped', 0)) // 8} bytes shipped")
         if supervisor is not None:
             print(f"supervisor: {sum(supervisor.restarts.values())} "
                   f"restart(s)")
@@ -306,6 +317,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run seeded live chaos soaks and print one summary per seed."""
+    from repro.protocol.repair_core import RepairConfig
     from repro.runtime.live_chaos import run_live_chaos
     from repro.sim.chaos import ChaosConfig
 
@@ -317,6 +329,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             code, seed, config=cfg,
             time_scale=args.time_scale,
             artifact_dir=args.artifacts,
+            repair=RepairConfig() if args.repair else None,
         )
         print(result.summary())
         if not result.ok:
@@ -431,6 +444,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--detector", action="store_true",
                    help="run heartbeat failure detectors and give clients "
                         "read failover to other servers")
+    p.add_argument("--repair", action="store_true",
+                   help="run the anti-entropy repair overlay (digest "
+                        "gossip + background symbol re-encoding)")
+    p.add_argument("--repair-interval", type=float, default=100.0,
+                   help="repair digest gossip interval in ms")
     p.add_argument("--audit", action="store_true",
                    help="stream decision logs to an online causal-"
                         "consistency auditor; exit 1 on any violation")
@@ -454,6 +472,8 @@ def main(argv: list[str] | None = None) -> int:
                    help="operations per client")
     p.add_argument("--time-scale", type=float, default=4.0,
                    help="real ms per simulated schedule ms")
+    p.add_argument("--repair", action="store_true",
+                   help="run the anti-entropy repair overlay during the soak")
     p.add_argument("--artifacts", default=None, metavar="DIR",
                    help="write auditor/supervisor dumps here on failure")
     p.set_defaults(fn=cmd_chaos)

@@ -190,6 +190,7 @@ class CausalECCluster(Cluster):
         transport: TransportConfig | None = None,
         retry: RetryPolicy | None = None,
         durable=False,
+        repair=None,
     ):
         super().__init__(
             code.N,
@@ -202,8 +203,11 @@ class CausalECCluster(Cluster):
         )
         self.code = code
         self.config = config or ServerConfig()
+        self.repair = repair
         self.servers = [
-            CausalECServer(i, self.scheduler, self.network, code, self.config)
+            CausalECServer(
+                i, self.scheduler, self.network, code, self.config, repair=repair
+            )
             for i in range(code.N)
         ]
         self.durable = None
@@ -229,6 +233,16 @@ class CausalECCluster(Cluster):
 
     def total_history_entries(self) -> int:
         return sum(s.history_size() for s in self.servers if not s.halted)
+
+    def repair_stats(self) -> dict[str, float]:
+        """Aggregate anti-entropy counters across servers (zeros if off)."""
+        totals: dict[str, float] = {}
+        for s in self.servers:
+            if s.repair is None:
+                continue
+            for k, v in vars(s.repair.stats).items():
+                totals[k] = totals.get(k, 0) + v
+        return totals
 
     def assert_no_reencoding_errors(self) -> None:
         """Lemmas D.1/D.2: Error1/Error2 never fire in any execution."""

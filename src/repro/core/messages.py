@@ -34,6 +34,9 @@ __all__ = [
     "ValResp",
     "ValRespEncoded",
     "Heartbeat",
+    "DigestMsg",
+    "RepairRequest",
+    "RepairResponse",
 ]
 
 
@@ -154,6 +157,63 @@ class Heartbeat(_Message):
     kind = "heartbeat"
     sender: int
     sent_at: float
+
+
+@dataclass
+class DigestMsg(_Message):
+    """Anti-entropy digest: ``<digest, vc, {X: best-known tag}>``.
+
+    Periodic gossip from the repair overlay
+    (:class:`~repro.protocol.repair_core.RepairCore`): the sender's vector
+    clock plus, per object, the highest tag it holds either in its history
+    list or encoded in its codeword symbol.  Objects still at the zero tag
+    are omitted, keeping the digest compact.  Like heartbeats, digests are
+    operational-overlay traffic sent best-effort (a lost digest is replaced
+    by the next tick).
+    """
+
+    kind = "digest"
+    sender: int
+    vc: Any
+    tags: dict[int, Tag]
+    sent_at: float
+
+
+@dataclass
+class RepairRequest(_Message):
+    """Anti-entropy pull: ``<repair_req, {X: known tag}, vc>``.
+
+    Sent when an incoming digest shows a peer holds newer state; carries
+    the requester's own tag knowledge so responders ship only the delta.
+    """
+
+    kind = "repair_req"
+    sender: int
+    tags: dict[int, Tag]
+    vc: Any
+
+
+@dataclass
+class RepairResponse(_Message):
+    """Anti-entropy delta: values, deletion watermarks, and a coded symbol.
+
+    ``entries`` maps objects the requester is behind on to ``(tag, value)``
+    pairs where the responder can produce the plain value (history list or
+    singleton recovery-set decode); ``symbol``/``tagvec`` are the
+    responder's codeword symbol, so the requester can pool symbols across
+    responders with matching tag vectors and decode objects no single node
+    could serve plainly.  ``dels`` replays per-object deletion-list maxima
+    so garbage collection unblocks on both sides of a healed partition.
+    """
+
+    kind = "repair_resp"
+    sender: int
+    tags: dict[int, Tag]
+    vc: Any
+    entries: dict[int, tuple]
+    dels: dict[int, dict[int, Tag]]
+    symbol: np.ndarray
+    tagvec: dict[int, Tag]
 
 
 @dataclass

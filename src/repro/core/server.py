@@ -20,7 +20,9 @@ package for backward compatibility.
 
 from __future__ import annotations
 
+from ..core.messages import DigestMsg, RepairRequest, RepairResponse
 from ..ec.code import LinearCode
+from ..protocol.repair_core import RepairConfig, RepairCore
 from ..protocol.server_core import ServerConfig, ServerCore, ServerStats
 from ..runtime.sim import EffectNode
 from ..sim.network import Network
@@ -29,9 +31,17 @@ from ..sim.scheduler import Scheduler
 
 __all__ = ["CausalECServer", "ServerConfig", "ServerStats"]
 
+_REPAIR_MESSAGES = (DigestMsg, RepairRequest, RepairResponse)
+
 
 class CausalECServer(EffectNode, ServerCore):
-    """One CausalEC server node (server index == node id)."""
+    """One CausalEC server node (server index == node id).
+
+    ``repair`` attaches the anti-entropy overlay
+    (:class:`~repro.protocol.repair_core.RepairCore`): its ``("rep", ...)``
+    timers and digest/repair messages are multiplexed here onto the same
+    timer table and message stream the protocol core uses.
+    """
 
     def __init__(
         self,
@@ -40,6 +50,7 @@ class CausalECServer(EffectNode, ServerCore):
         network: Network,
         code: LinearCode,
         config: ServerConfig | None = None,
+        repair: RepairConfig | None = None,
     ):
         Node.__init__(self, node_id, scheduler, network)
         ServerCore.__init__(self, node_id, code, config)
@@ -48,7 +59,27 @@ class CausalECServer(EffectNode, ServerCore):
         self._transport = None
         self._timers: dict[tuple, object] = {}
         self.decision_log: list[tuple] = []
+        self.repair = None if repair is None else RepairCore(self, repair)
         self.interpret(self.boot(self.scheduler.now))
+        if self.repair is not None:
+            self.interpret(self.repair.boot(self.scheduler.now))
+
+    # ------------------------------------------------------------------
+    # repair-overlay multiplexing
+
+    def handle_message(self, src: int, msg: object, now: float) -> list:
+        if isinstance(msg, _REPAIR_MESSAGES):
+            if self.repair is None:
+                return []  # overlay disabled here: drop peer repair traffic
+            return self.repair.handle_message(src, msg, now)
+        return ServerCore.handle_message(self, src, msg, now)
+
+    def handle_timer(self, timer_id: tuple, now: float) -> list:
+        if timer_id[0] == "rep":
+            if self.repair is None:  # pragma: no cover - defensive
+                return []
+            return self.repair.handle_timer(timer_id, now)
+        return ServerCore.handle_timer(self, timer_id, now)
 
     # ------------------------------------------------------------------
     # durability and crash-recovery
@@ -104,3 +135,6 @@ class CausalECServer(EffectNode, ServerCore):
                 restore_server_state(self, checkpoint, self._transport)
         self._timers = {}  # timers died with the old incarnation
         self.interpret(self.after_restart(self.scheduler.now))
+        if self.repair is not None:
+            # the overlay's round state is volatile: reboot it fresh
+            self.interpret(self.repair.boot(self.scheduler.now))

@@ -117,6 +117,16 @@ class DeletionList:
     def has_exact_from_all(self, tag: Tag, nodes) -> bool:
         return all(tag in self._tags.get(n, ()) for n in nodes)
 
+    def max_by_node(self) -> dict[int, Tag]:
+        """Per-node maxima: enough for a peer to replay lost ``del``s.
+
+        Aggregate queries compare against maxima (``max_common``,
+        ``max_from``) or exact membership of those maxima
+        (``has_exact_from_all`` after every node converges on one tag), so
+        shipping the maxima reconstructs everything anti-entropy needs.
+        """
+        return dict(self._max)
+
     def prune_below(self, watermark: Tag) -> None:
         """Drop tags strictly below ``watermark`` (keeping per-node maxima).
 
@@ -177,6 +187,22 @@ class InQueue:
                 del self._entries[i]
                 return e
         return None
+
+    def purge_covered(self, vc) -> int:
+        """Drop entries already covered by ``vc``; returns how many.
+
+        An entry with ``t.ts[sender] <= vc[sender]`` can never again satisfy
+        the applicability predicate (``vc`` components are monotone), so
+        after a repair merges a peer's clock -- whose causally-closed state
+        subsumes these writes, with per-object tags at least as high --
+        the entries are dead weight that would hold transient state above
+        zero forever.
+        """
+        before = len(self._entries)
+        self._entries = [
+            e for e in self._entries if e.tag.ts[e.sender] > vc[e.sender]
+        ]
+        return before - len(self._entries)
 
 
 @dataclass

@@ -30,6 +30,7 @@ from .effects import (
     SetTimerEffect,
 )
 from .failure_detector import FailureDetectorConfig, FailureDetectorCore
+from .repair_core import RepairConfig, RepairCore, RepairStats
 from .server_core import ServerConfig, ServerCore, ServerStats
 
 __all__ = [
@@ -42,6 +43,9 @@ __all__ = [
     "CausalBroadcastCore",
     "FailureDetectorCore",
     "FailureDetectorConfig",
+    "RepairCore",
+    "RepairConfig",
+    "RepairStats",
     "ProtocolCore",
     "SendEffect",
     "ReplyEffect",

@@ -28,6 +28,7 @@ detector's timers with a protocol core's on one timer table.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from ..core.messages import Heartbeat
@@ -58,10 +59,16 @@ class FailureDetectorConfig:
     heartbeat_interval: float = 25.0
     suspect_after: float = 150.0
     check_interval: float | None = None
+    #: bound on the retained transition history (a flapping peer in a
+    #: long-running cluster would otherwise grow it without limit); the
+    #: newest ``max_transitions`` entries are kept, oldest evicted first
+    max_transitions: int = 1024
 
     def __post_init__(self):
         if self.heartbeat_interval <= 0 or self.suspect_after <= 0:
             raise ValueError("intervals must be positive")
+        if self.max_transitions <= 0:
+            raise ValueError("max_transitions must be positive")
         if self.suspect_after < 2 * self.heartbeat_interval:
             raise ValueError(
                 "suspect_after must be at least two heartbeat intervals"
@@ -89,8 +96,11 @@ class FailureDetectorCore(ProtocolCore):
         self.now = 0.0
         self.last_heard: dict[int, float] = {}
         self.suspected: set[int] = set()
-        #: (time, peer, "suspect" | "alive") transition history
-        self.transitions: list[tuple[float, int, str]] = []
+        #: (time, peer, "suspect" | "alive") transition history, newest
+        #: ``max_transitions`` entries only (bounded ring; see config)
+        self.transitions: deque[tuple[float, int, str]] = deque(
+            maxlen=self.config.max_transitions
+        )
 
     # ------------------------------------------------------------------
 

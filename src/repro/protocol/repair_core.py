@@ -1,0 +1,335 @@
+"""Anti-entropy and background repair as a sans-I/O protocol core.
+
+CausalEC's convergence argument (Theorem 4.5) assumes the network
+eventually delivers every ``app``/``del``; the runtimes realise that with
+ARQ channels.  But recovery by retransmission is *reactive*: after a long
+partition heals, or a server restarts from a wiped disk, the peers' ARQ
+queues may have pruned exactly the frames the stale node needs (acked
+frames are never replayed), and absent new writes the node sits stale
+forever -- eventual convergence degenerates to convergence-at-the-next-
+write.  :class:`RepairCore` closes that gap the way storage-optimized
+coded-register algorithms repair erased nodes (Konwar et al.,
+arXiv:1605.01748): proactively, from any live recovery set, without
+touching the foreground write/read paths.
+
+The overlay runs next to a :class:`~repro.protocol.server_core.ServerCore`
+(the *host*) on each server, in the style of the failure detector:
+
+1. **Digest gossip** -- every ``digest_interval`` ms the core sends a
+   compact :class:`~repro.core.messages.DigestMsg` (vector clock + highest
+   known tag per object) to every peer, best-effort.
+2. **Diff** -- an incoming digest (or request, or response: any message
+   carrying a peer's tag knowledge) showing the peer *ahead* -- a higher
+   tag for some object, or a clock component we lack -- marks a deficit.
+3. **Pull** -- a deficit opens at most one *repair round* at a time: a
+   :class:`~repro.core.messages.RepairRequest` with our own tag knowledge
+   goes to every peer.  Each responder answers wait-free from in-memory
+   state with a :class:`~repro.core.messages.RepairResponse`: plain
+   ``(tag, value)`` entries where its history list (or a singleton
+   recovery-set decode) can produce them, its codeword symbol + tag
+   vector, its deletion-list maxima, and its clock.
+4. **Re-encode** -- plain entries install into the host's history list
+   and the host's own Encoding action folds them into its symbol via the
+   vectorized :class:`~repro.ec.code.LinearCode` kernels.  Objects no
+   responder could serve plainly are decoded by pooling symbols from
+   responders whose tag vectors match exactly (identical tag vectors
+   encode identical value vectors, so linear decoding is sound) and whose
+   server set forms a recovery set.
+5. **Converge** -- once installs cover everything the responder
+   advertised, the host adopts the merged vector clock and purges
+   permanently-inapplicable InQueue entries
+   (:meth:`~repro.protocol.server_core.ServerCore.absorb_repair`).
+
+Non-interference: repair never blocks a foreground handler (cores are
+single-event state machines and responders answer from what they already
+hold), never mints tags, never acks clients, and is paced -- digests are
+tiny and periodic, rounds are serialized per node with a ``round_timeout``
+between attempts, and a node in sync sends nothing but digests.
+
+Timers are namespaced under ``("rep", ...)`` so runtimes can multiplex
+them with the host's and the failure detector's on one timer table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.messages import DigestMsg, RepairRequest, RepairResponse
+from ..core.tags import Tag, VectorClock
+from .effects import CancelTimerEffect, ProtocolCore, SetTimerEffect
+from .server_core import ServerCore
+
+__all__ = ["RepairConfig", "RepairStats", "RepairCore", "DIGEST_TIMER", "ROUND_TIMER"]
+
+DIGEST_TIMER = ("rep", "digest")
+ROUND_TIMER = ("rep", "round")
+
+
+@dataclass
+class RepairConfig:
+    """Repair-overlay tunables (milliseconds, like every core clock).
+
+    ``digest_interval`` paces the gossip; detection latency after a heal is
+    at most one interval (plus one round trip for the pull).
+    ``round_timeout`` bounds how long an unfinished round waits before the
+    deficit is re-checked and re-requested -- it is also the minimum gap
+    between rounds, which is what keeps repair traffic from crowding out
+    foreground writes and reads.
+    """
+
+    digest_interval: float = 100.0
+    round_timeout: float = 400.0
+
+    def __post_init__(self):
+        if self.digest_interval <= 0:
+            raise ValueError("digest_interval must be positive")
+        if self.round_timeout <= 0:
+            raise ValueError("round_timeout must be positive")
+
+
+@dataclass
+class RepairStats:
+    """Counters for one server's repair overlay."""
+
+    digests_sent: int = 0
+    digests_received: int = 0
+    rounds_started: int = 0
+    rounds_completed: int = 0
+    requests_served: int = 0
+    responses_received: int = 0
+    entries_installed: int = 0
+    symbols_decoded: int = 0
+    bits_shipped: float = 0.0  # repair payload sent (digests + responses)
+
+
+class RepairCore(ProtocolCore):
+    """Per-server anti-entropy overlay around a :class:`ServerCore` host."""
+
+    def __init__(self, host: ServerCore, config: RepairConfig | None = None):
+        self.host = host
+        self.config = config or RepairConfig()
+        self.stats = RepairStats()
+        self.now = 0.0
+        self._zero = host._zero
+        self._others = list(host._others)
+        #: freshest advertised knowledge per peer (digest/request/response)
+        self._peer_tags: dict[int, dict[int, Tag]] = {}
+        self._peer_vc: dict[int, VectorClock] = {}
+        #: at most one pull round in flight; symbols collected this round
+        self._round_open = False
+        self._round_symbols: dict[int, tuple[np.ndarray, dict[int, Tag]]] = {}
+
+    # ------------------------------------------------------------------
+    # runtime-facing contract
+
+    def boot(self, now: float) -> list:
+        """(Re)start the overlay: volatile round state dies with the
+        incarnation, peer knowledge is relearned from the next digests.
+
+        No digest is sent here -- peers may not be reachable yet while a
+        cluster is still assembling; the first gossip goes out one
+        ``digest_interval`` later (and :meth:`on_peer_alive` covers the
+        rejoin case promptly)."""
+        self._begin(now)
+        self._peer_tags = {}
+        self._peer_vc = {}
+        self._round_open = False
+        self._round_symbols = {}
+        self._emit(SetTimerEffect(DIGEST_TIMER, self.config.digest_interval))
+        return self._end()
+
+    def handle_timer(self, timer_id: tuple, now: float) -> list:
+        self._begin(now)
+        if timer_id == DIGEST_TIMER:
+            self._send_digests(self._others)
+            self._emit(SetTimerEffect(DIGEST_TIMER, self.config.digest_interval))
+            if not self._round_open and self._deficit():
+                self._start_round()
+        elif timer_id == ROUND_TIMER:
+            self._round_open = False
+            self._round_symbols = {}
+            if self._deficit():
+                self._start_round()  # retry: responses lost or insufficient
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown repair timer {timer_id!r}")
+        return self._end()
+
+    def handle_message(self, src: int, msg: object, now: float) -> list:
+        self._begin(now)
+        if isinstance(msg, DigestMsg):
+            self.stats.digests_received += 1
+            self._note_peer(src, msg.tags, msg.vc)
+        elif isinstance(msg, RepairRequest):
+            self._note_peer(src, msg.tags, msg.vc)
+            self._serve_request(src, msg)
+        elif isinstance(msg, RepairResponse):
+            self._on_response(src, msg)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected repair message {msg!r}")
+        if not self._round_open and self._deficit():
+            self._start_round()
+        return self._end()
+
+    def on_peer_alive(self, peer: int, now: float) -> list:
+        """Failure-detector hook (suspect -> alive): heal a rejoining peer
+        promptly.  An immediate digest lets the peer diff and pull without
+        waiting out the periodic tick; if *we* are the stale side, the
+        peer's own resumed gossip triggers our pull symmetrically."""
+        self._begin(now)
+        if peer in self._others:
+            self._send_digests([peer])
+        return self._end()
+
+    # ------------------------------------------------------------------
+    # digest side
+
+    def _known(self, x: int) -> Tag:
+        return self.host.repair_known_tag(x)
+
+    def _digest_tags(self) -> dict[int, Tag]:
+        tags = {}
+        for x in range(self.host.code.K):
+            t = self._known(x)
+            if t != self._zero:
+                tags[x] = t
+        return tags
+
+    def _sized(self, msg, n_values: float = 0.0, n_tags: float = 0.0):
+        msg.size_bits = self.host.config.cost_model.size(n_values, n_tags)
+        self.stats.bits_shipped += msg.size_bits
+        return msg
+
+    def _send_digests(self, targets) -> None:
+        tags = self._digest_tags()
+        for p in targets:
+            # vc counts as one tag of metadata; values never ride a digest
+            msg = DigestMsg(self.host.node_id, self.host.vc, dict(tags), self.now)
+            self._emit_send(p, self._sized(msg, 0, len(tags) + 1))
+            self.stats.digests_sent += 1
+
+    def _note_peer(self, src: int, tags: dict[int, Tag], vc) -> None:
+        mine = self._peer_tags.setdefault(src, {})
+        for x, t in tags.items():
+            if t > mine.get(x, self._zero):
+                mine[x] = t
+        cur = self._peer_vc.get(src)
+        self._peer_vc[src] = vc if cur is None else cur.merge(vc)
+
+    def _deficit(self) -> bool:
+        """Is any peer known to hold state we lack?"""
+        host = self.host
+        for tags in self._peer_tags.values():
+            for x, t in tags.items():
+                if t > self._known(x):
+                    return True
+        for vc in self._peer_vc.values():
+            if not vc.leq(host.vc):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # pull round
+
+    def _start_round(self) -> None:
+        self._round_open = True
+        self._round_symbols = {}
+        self.stats.rounds_started += 1
+        req_tags = self._digest_tags()
+        for p in self._others:
+            msg = RepairRequest(self.host.node_id, dict(req_tags), self.host.vc)
+            self._emit_send(p, self._sized(msg, 0, len(req_tags) + 1))
+        self._emit(SetTimerEffect(ROUND_TIMER, self.config.round_timeout))
+
+    def _finish_round(self) -> None:
+        self._round_open = False
+        self._round_symbols = {}
+        self.stats.rounds_completed += 1
+        self._emit(CancelTimerEffect(ROUND_TIMER))
+
+    def _serve_request(self, src: int, req: RepairRequest) -> None:
+        """Answer a pull wait-free from what we already hold."""
+        host, code = self.host, self.host.code
+        self.stats.requests_served += 1
+        entries: dict[int, tuple] = {}
+        for x in range(code.K):
+            mine = self._known(x)
+            if not mine > req.tags.get(x, self._zero):
+                continue
+            hist = host.L[x]
+            if len(hist) and hist.highest_tag >= host.M.tagvec[x]:
+                entries[x] = (hist.highest_tag, hist.highest_value())
+            elif code.is_recovery_set((host.node_id,), x):
+                value = code.decode(x, {host.node_id: host.M.value})
+                if value is not None:
+                    entries[x] = (host.M.tagvec[x], value)
+        dels = {}
+        for x in range(code.K):
+            by_node = host.DelL[x].max_by_node()
+            if by_node:
+                dels[x] = by_node
+        resp = RepairResponse(
+            sender=host.node_id,
+            tags=self._digest_tags(),
+            vc=host.vc,
+            entries=entries,
+            dels=dels,
+            symbol=np.array(host.M.value, copy=True),
+            tagvec=dict(host.M.tagvec),
+        )
+        # cost: plain values + one symbol's worth of coded data, plus tag
+        # metadata (entry/digest/del tags, two tag vectors, the clock)
+        n_tags = (
+            len(entries) + len(resp.tags) + sum(len(d) for d in dels.values())
+            + 2 * code.K + 1
+        )
+        n_values = len(entries) + code.symbols_at(host.node_id)
+        self._emit_send(src, self._sized(resp, n_values, n_tags))
+
+    def _on_response(self, src: int, resp: RepairResponse) -> None:
+        host, code = self.host, self.host.code
+        self.stats.responses_received += 1
+        self._note_peer(src, resp.tags, resp.vc)
+
+        installs: list[tuple[int, Tag, np.ndarray]] = []
+        known_after: dict[int, Tag] = {}
+
+        def known(x: int) -> Tag:
+            return known_after.get(x) or self._known(x)
+
+        for x, (tag, value) in sorted(resp.entries.items()):
+            if tag > known(x):
+                installs.append((x, tag, value))
+                known_after[x] = tag
+
+        # pool symbols across responders with *identical* tag vectors:
+        # equal tag vectors encode equal value vectors, so linear decoding
+        # over any recovery set among them is sound
+        self._round_symbols[src] = (resp.symbol, dict(resp.tagvec))
+        groups: dict[tuple, list[int]] = {}
+        for peer, (_, tv) in self._round_symbols.items():
+            key = tuple(sorted(tv.items()))
+            groups.setdefault(key, []).append(peer)
+        for key, peers in groups.items():
+            tv = dict(key)
+            for x in range(code.K):
+                target = tv.get(x, self._zero)
+                if not target > known(x):
+                    continue
+                if not code.is_recovery_set(tuple(peers), x):
+                    continue
+                symbols = {p: self._round_symbols[p][0] for p in peers}
+                value = code.decode(x, symbols)
+                if value is not None:
+                    installs.append((x, target, value))
+                    known_after[x] = target
+                    self.stats.symbols_decoded += 1
+
+        self.stats.entries_installed += len(installs)
+        for e in host.absorb_repair(
+            installs, resp.dels, resp.vc, dict(resp.tags), self.now
+        ):
+            self._emit(e)
+        if self._round_open and not self._deficit():
+            self._finish_round()

@@ -326,6 +326,60 @@ class ServerCore(ProtocolCore):
         self._parked = []
 
     # ------------------------------------------------------------------
+    # anti-entropy (the repair overlay's window into protocol state)
+
+    def repair_known_tag(self, x: int) -> Tag:
+        """Highest tag this server holds for ``x``: history list or symbol."""
+        h = self.L[x].highest_tag
+        m = self.M.tagvec[x]
+        return h if h > m else m
+
+    def absorb_repair(
+        self,
+        installs: list[tuple[int, Tag, np.ndarray]],
+        dels: dict[int, dict[int, Tag]],
+        peer_vc: VectorClock | None,
+        peer_tags: dict[int, Tag],
+        now: float,
+    ) -> list:
+        """Install anti-entropy results pulled from a peer; return effects.
+
+        Called by :class:`~repro.protocol.repair_core.RepairCore` after a
+        repair response.  Three monotone joins, none of which mints tags or
+        acks clients (the safety argument is in PROTOCOL.md):
+
+        * ``installs`` -- (object, tag, value) triples land in the history
+          list; the regular Encoding internal action then folds them into
+          the codeword symbol and emits the usual ``del`` notices.
+        * ``dels`` -- per-object per-node deletion maxima, replaying ``del``
+          messages lost to the fault that made repair necessary; without
+          them garbage collection would stall forever on both sides.
+        * ``peer_vc`` -- adopted only once our per-object knowledge covers
+          every tag the peer advertised (``peer_tags``): the merged state
+          is then a causally-closed superset of the peer's, so claiming its
+          clock is sound.  InQueue entries the merged clock covers are
+          purged -- they are permanently inapplicable and already subsumed.
+        """
+        self._begin(now)
+        for x, tag, value in installs:
+            if tag > self.repair_known_tag(x) and tag not in self.L[x]:
+                self.L[x].add(tag, value)
+                self._log("repair-install", x, _tag_key(tag))
+                if self.config.record_visibility:
+                    self.visibility_log.append((self.now, x, tag))
+        for x, by_node in dels.items():
+            for node, tag in by_node.items():
+                self.DelL[x].add(tag, node)
+        if peer_vc is not None and not peer_vc.leq(self.vc):
+            if all(self.repair_known_tag(x) >= t for x, t in peer_tags.items()):
+                self.vc = self.vc.merge(peer_vc)
+                self.inqueue.purge_covered(self.vc)
+        self._internal_actions()
+        self._drain_parked()
+        self._emit(PersistEffect())
+        return self._end()
+
+    # ------------------------------------------------------------------
     # Algorithm 1: client messages
 
     def _on_write(self, client: int, msg: WriteRequest) -> None:

@@ -50,7 +50,7 @@ import numpy as np
 
 from ..consistency.history import History, Operation
 from ..consistency.online import AuditOp
-from ..core.messages import Heartbeat
+from ..core.messages import DigestMsg, Heartbeat, RepairRequest, RepairResponse
 from ..core.snapshot import (
     ServerCheckpoint,
     capture_server_state,
@@ -71,6 +71,7 @@ from ..protocol.effects import (
     SetTimerEffect,
 )
 from ..protocol.failure_detector import FailureDetectorConfig, FailureDetectorCore
+from ..protocol.repair_core import RepairConfig, RepairCore
 from ..protocol.server_core import ServerConfig, ServerCore
 from ..sim.faults import FaultPlan
 from . import wire
@@ -361,6 +362,7 @@ class AsyncioServer:
         chaos: LiveFaultInjector | None = None,
         detector: FailureDetectorConfig | None = None,
         audit_addr: tuple[str, int] | None = None,
+        repair: RepairConfig | None = None,
     ):
         self.core = core
         self.node_id = core.node_id
@@ -393,6 +395,11 @@ class AsyncioServer:
         if detector is not None:
             others = [j for j in range(self.num_servers) if j != self.node_id]
             self.detector = FailureDetectorCore(self.node_id, others, detector)
+        #: anti-entropy overlay; digests ride the gossip path, repair
+        #: requests/responses the reliable ARQ channels
+        self.repair: RepairCore | None = (
+            None if repair is None else RepairCore(core, repair)
+        )
         #: (time, peer, "suspect" | "alive") -- this incarnation and earlier
         self.detector_log: list[tuple[float, int, str]] = []
         #: hook called as ``on_transition(server_id, peer, kind)``
@@ -424,9 +431,12 @@ class AsyncioServer:
         self._boot_overlays()
 
     def _boot_overlays(self) -> None:
-        """Start the operational overlays: failure detector, audit stream."""
+        """Start the operational overlays: detector, repair, audit stream."""
         if self.detector is not None:
             self.interpret_detector(self.detector.boot(self.now()))
+        if self.repair is not None:
+            # round state is volatile: each incarnation reboots the overlay
+            self.interpret(self.repair.boot(self.now()))
         if self.audit_addr is not None:
             self._audit_task = asyncio.ensure_future(self._audit_loop())
 
@@ -570,12 +580,20 @@ class AsyncioServer:
             if self._epoch != epoch or self.halted:
                 return
             if payload[0] == "g":
-                # best-effort gossip (heartbeats): no seq, no ack
-                if self.detector is not None and isinstance(
-                    payload[1], Heartbeat
-                ):
+                # best-effort gossip (heartbeats, digests): no seq, no ack
+                gm = payload[1]
+                if self.detector is not None and isinstance(gm, Heartbeat):
                     self.interpret_detector(
-                        self.detector.handle_message(src, payload[1], self.now())
+                        self.detector.handle_message(src, gm, self.now())
+                    )
+                elif type(gm) is DigestMsg and self.repair is not None:
+                    if self.detector is not None:
+                        # a digest is liveness evidence like any frame
+                        self.interpret_detector(
+                            self.detector.observe(src, self.now())
+                        )
+                    self.interpret(
+                        self.repair.handle_message(src, gm, self.now())
                     )
                 continue
             if payload[0] != "d":
@@ -595,9 +613,17 @@ class AsyncioServer:
                     # delivery and the resulting state change atomically
                     self._recv_last[src] = last
                     self.activity += 1
-                    self.interpret(self.core.handle_message(src, m, self.now()))
+                    self._deliver(src, m)
             # cumulative ack, sent only after the persist above hit disk
             writer.write(wire.encode_frame(("a", last)))
+
+    def _deliver(self, src: int, msg) -> None:
+        """Route one in-order data frame to the right core."""
+        if isinstance(msg, (RepairRequest, RepairResponse)):
+            if self.repair is not None:
+                self.interpret(self.repair.handle_message(src, msg, self.now()))
+            return  # overlay disabled here: drop peer repair traffic
+        self.interpret(self.core.handle_message(src, msg, self.now()))
 
     async def _client_loop(self, src, reader, epoch) -> None:
         while True:
@@ -617,7 +643,14 @@ class AsyncioServer:
         for e in effects:
             cls = type(e)
             if cls is SendEffect:
-                self._send(e.dst, e.msg)
+                if type(e.msg) is DigestMsg:
+                    # digests are periodic and idempotent: best-effort
+                    # gossip frames, off the ARQ (like heartbeats)
+                    channel = self._channels.get(e.dst)
+                    if channel is not None:
+                        channel.send_gossip(e.msg)
+                else:
+                    self._send(e.dst, e.msg)
             elif cls is ReplyEffect:
                 self._send(e.client_id, e.msg)
             elif cls is SetTimerEffect:
@@ -663,6 +696,12 @@ class AsyncioServer:
                 self.detector_log.append((self.now(), e.peer, "alive"))
                 if self.on_detector_transition is not None:
                     self.on_detector_transition(self.node_id, e.peer, "alive")
+                if self.repair is not None:
+                    # a peer back from the dead likely missed writes:
+                    # offer it our digest immediately (opportunistic repair)
+                    self.interpret(
+                        self.repair.on_peer_alive(e.peer, self.now())
+                    )
             else:
                 raise TypeError(f"unknown detector effect {e!r}")
 
@@ -690,6 +729,10 @@ class AsyncioServer:
                     self.detector.handle_timer(timer_id, self.now())
                 )
             return
+        if timer_id[0] == "rep":
+            if self.repair is not None:
+                self.interpret(self.repair.handle_timer(timer_id, self.now()))
+            return
         self.interpret(self.core.handle_timer(timer_id, self.now()))
 
     def _persist(self) -> None:
@@ -713,6 +756,11 @@ class AsyncioServer:
         elif kind == "read-return":
             _, _, tag, opid, obj, _client = entry
             rec_kind = "read"
+        elif kind == "repair-install":
+            # a repaired value is a write the server missed: stream it as
+            # an apply record (opid=None -> corroboration, no new edges)
+            _, obj, tag = entry
+            opid, rec_kind = None, "apply"
         else:
             return  # gc-del and friends carry no audit information
         self._audit_log.append(
@@ -944,12 +992,14 @@ class AsyncioCluster:
         chaos: LiveFaultInjector | None = None,
         detector: FailureDetectorConfig | None = None,
         audit_addr: tuple[str, int] | None = None,
+        repair: RepairConfig | None = None,
     ):
         self.code = code
         self.num_servers = code.N
         self.config = config or ServerConfig()
         self.retry = retry
         self.chaos = chaos
+        self.repair = repair
         self.history = History()
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         if store_dir is None:
@@ -964,6 +1014,7 @@ class AsyncioCluster:
                 chaos=chaos,
                 detector=detector,
                 audit_addr=audit_addr,
+                repair=repair,
             )
             for i in range(code.N)
         ]
@@ -985,6 +1036,16 @@ class AsyncioCluster:
             s.set_peers(addresses)
         for s in self.servers:
             s.connect_peers()
+
+    def repair_stats(self) -> dict[str, float]:
+        """Aggregate anti-entropy counters across servers (zeros if off)."""
+        totals: dict[str, float] = {}
+        for s in self.servers:
+            if s.repair is None:
+                continue
+            for k, v in vars(s.repair.stats).items():
+                totals[k] = totals.get(k, 0) + v
+        return totals
 
     def _on_detector_transition(self, observer: int, peer: int, kind: str):
         self.detector_transitions.append((observer, peer, kind))

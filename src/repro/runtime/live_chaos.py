@@ -41,6 +41,7 @@ from ..consistency.causal import (
 )
 from ..protocol.client_core import RetryPolicy
 from ..protocol.failure_detector import FailureDetectorConfig
+from ..protocol.repair_core import RepairConfig
 from ..protocol.server_core import ServerConfig
 from ..sim.chaos import ChaosConfig, ChaosSchedule
 from ..sim.faults import FaultPlan
@@ -78,6 +79,8 @@ class LiveChaosResult:
     supervisor_restarts: int
     schedule: ChaosSchedule
     artifacts: list[str] = field(default_factory=list)
+    #: aggregated anti-entropy counters (empty dict when repair is off)
+    repair: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else "FAIL"
@@ -97,6 +100,17 @@ class LiveChaosResult:
             f"auditor ingested {self.audit_records} record(s); "
             f"converged={self.converged}",
         ]
+        if self.repair:
+            lines.append(
+                "  repair: %d round(s), %d install(s), %d decode(s), "
+                "%d bytes shipped"
+                % (
+                    self.repair.get("rounds_completed", 0),
+                    self.repair.get("entries_installed", 0),
+                    self.repair.get("symbols_decoded", 0),
+                    self.repair.get("bits_shipped", 0) // 8,
+                )
+            )
         lines.extend(f"  violation: {v}" for v in self.violations)
         return "\n".join(lines)
 
@@ -136,7 +150,7 @@ async def _client_workload(client, cluster, cfg, seed, index, scale):
     return completed, failed
 
 
-async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir):
+async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair):
     schedule = ChaosSchedule.generate(seed, code.N, cfg)
     faults = LinkFaults(
         drop_prob=schedule.drop_prob,
@@ -162,6 +176,7 @@ async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir):
         chaos=injector,
         detector=FailureDetectorConfig(),
         audit_addr=auditor.address,
+        repair=repair,
     )
     supervisor = Supervisor(
         cluster, RestartPolicy(initial_delay=0.1, max_delay=1.0)
@@ -284,6 +299,7 @@ async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir):
             supervisor_restarts=sum(supervisor.restarts.values()),
             schedule=schedule,
             artifacts=artifacts,
+            repair=cluster.repair_stats(),
         )
     finally:
         await supervisor.stop()
@@ -298,17 +314,20 @@ def run_live_chaos(
     time_scale: float = 4.0,
     jitter_ms: float = 6.0,
     artifact_dir: str | Path | None = None,
+    repair: RepairConfig | None = None,
 ) -> LiveChaosResult:
     """Run one seeded chaos schedule against a live asyncio cluster.
 
     ``config`` is the same :class:`~repro.sim.chaos.ChaosConfig` the
     simulator's harness takes (schedule times are simulated milliseconds);
-    ``time_scale`` maps them onto the real clock.  Returns a
-    :class:`LiveChaosResult`; ``result.ok`` means zero auditor violations,
-    clean offline checks, and a converged cluster.
+    ``time_scale`` maps them onto the real clock.  ``repair`` attaches the
+    anti-entropy overlay to every server; its counters land in
+    ``result.repair``.  Returns a :class:`LiveChaosResult`; ``result.ok``
+    means zero auditor violations, clean offline checks, and a converged
+    cluster.
     """
     cfg = config or ChaosConfig()
     result = asyncio.run(
-        _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir)
+        _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair)
     )
     return result

@@ -44,9 +44,12 @@ from ..consistency.online import AuditOp
 from ..core.messages import (
     App,
     Del,
+    DigestMsg,
     Heartbeat,
     ReadRequest,
     ReadReturn,
+    RepairRequest,
+    RepairResponse,
     ValInq,
     ValResp,
     ValRespEncoded,
@@ -78,7 +81,12 @@ __all__ = [
 ]
 
 #: Bumped on any incompatible change to the encoding or the class registry.
-WIRE_VERSION = 2  # v2: client requests carry a session-floor vector clock
+#: v2: client requests carry a session-floor vector clock.
+#: v3: anti-entropy messages (DigestMsg/RepairRequest/RepairResponse,
+#: ids 11-13).  The value encoding and all pre-existing class ids are
+#: unchanged -- v2-era *bodies* still decode -- but a v2 node cannot
+#: decode the new ids, so frames reject the old version byte.
+WIRE_VERSION = 3
 
 #: Frames larger than this are rejected before allocation (corrupt length
 #: words must not trigger multi-gigabyte reads).
@@ -160,6 +168,13 @@ register(
     ("symbol", "tagvec", "client_id", "opid", "obj", "requested_tags", "size_bits"),
 )
 register(10, Heartbeat, ("sender", "sent_at", "size_bits"))
+register(11, DigestMsg, ("sender", "vc", "tags", "sent_at", "size_bits"))
+register(12, RepairRequest, ("sender", "tags", "vc", "size_bits"))
+register(
+    13,
+    RepairResponse,
+    ("sender", "tags", "vc", "entries", "dels", "symbol", "tagvec", "size_bits"),
+)
 
 # durable server state (ids 20-31): everything a ServerCheckpoint holds, so
 # the file-backed durable store never needs pickle.

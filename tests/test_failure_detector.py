@@ -116,3 +116,31 @@ def test_config_validation():
         FailureDetectorConfig(check_interval=-1.0)
     with pytest.raises(ValueError):
         FailureDetectorCore(0, [0, 1])  # no self-monitoring
+
+
+def test_transition_history_is_bounded():
+    # a peer flapping forever must not grow memory without limit
+    core = FailureDetectorCore(
+        0,
+        [1, 2],
+        FailureDetectorConfig(
+            heartbeat_interval=10.0, suspect_after=50.0, max_transitions=6
+        ),
+    )
+    core.boot(0.0)
+    now = 0.0
+    for _ in range(50):  # 100 transitions for peer 1 alone
+        now += 60.0
+        core.handle_timer(CHECK_TIMER, now)  # suspect
+        now += 1.0
+        core.observe(1, now)  # alive
+        core.observe(2, now)  # keep peer 2 quiet-but-alive
+    assert len(core.transitions) == 6
+    # the newest transitions are the ones retained
+    assert core.transitions[-1] == (now, 2, "alive")
+    assert all(t > now - 7 * 61.0 for t, _, _ in core.transitions)
+
+
+def test_max_transitions_must_be_positive():
+    with pytest.raises(ValueError):
+        FailureDetectorConfig(max_transitions=0)

@@ -22,6 +22,7 @@ from collections import defaultdict
 
 from repro.ec.codes import example1_code, six_dc_code
 from repro.protocol.client_core import RetryPolicy
+from repro.protocol.repair_core import RepairConfig
 from repro.runtime.asyncio_rt import AsyncioCluster
 from repro.runtime.chaos_rt import LiveFaultInjector
 from repro.runtime.live_chaos import run_live_chaos
@@ -33,6 +34,13 @@ SOAK_SEEDS = [
     int(s)
     for s in os.environ.get("LIVE_CHAOS_SEEDS", "1,2,3,5,7").split(",")
 ]
+
+#: LIVE_CHAOS_REPAIR=1 runs the soak with the anti-entropy overlay on --
+#: the CI repair lane; non-interference means the same zero-violation,
+#: converged verdict must hold with repair traffic in the mix
+SOAK_REPAIR = (
+    RepairConfig() if os.environ.get("LIVE_CHAOS_REPAIR") == "1" else None
+)
 
 
 # ----------------------------------------------------------------------
@@ -158,7 +166,8 @@ def test_live_chaos_soak():
     code = six_dc_code()
     results = [
         run_live_chaos(
-            code, seed, config=ChaosConfig(ops_per_client=6), time_scale=3.0
+            code, seed, config=ChaosConfig(ops_per_client=6), time_scale=3.0,
+            repair=SOAK_REPAIR,
         )
         for seed in SOAK_SEEDS
     ]
@@ -167,6 +176,8 @@ def test_live_chaos_soak():
         assert result.converged
         assert result.completed > 0
         assert result.audit_records > 0  # the auditor really watched
+        if SOAK_REPAIR is not None:
+            assert result.repair.get("digests_sent", 0) > 0
     # the soak was not a fair-weather run: frames were dropped, servers
     # crashed and were revived, and the detector raised suspicions
     assert any(r.dropped > 0 for r in results)

@@ -1,0 +1,118 @@
+"""Live-runtime repair: bounded convergence after irrecoverable state loss.
+
+The scenario the ARQ provably cannot fix: a server crashes, its durable
+checkpoint is wiped, and it restarts from the initial state.  Its peers'
+channels fast-forward past everything the victim had already acked (acked
+frames were pruned and are never replayed), so -- absent new writes --
+retransmission alone leaves the victim stale forever.  With the repair
+overlay attached, the victim's digest gossip exposes the gap and one pull
+round re-installs the missed writes and re-encodes its symbol, within a
+bounded number of digest intervals, under the online causal auditor with
+zero violations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.consistency.causal import (
+    check_causal_consistency,
+    check_returns_written_values,
+)
+from repro.ec.codes import example1_code
+from repro.protocol.client_core import RetryPolicy
+from repro.protocol.failure_detector import FailureDetectorConfig
+from repro.protocol.repair_core import RepairConfig
+from repro.protocol.server_core import ServerConfig
+from repro.runtime.asyncio_rt import AsyncioCluster
+from repro.runtime.auditor import OnlineAuditor
+
+VICTIM = 4
+
+#: bounded-convergence budget (seconds): a handful of digest intervals
+#: plus one pull round at the configured 150 ms cadence
+REPAIR_WAIT = 3.0
+
+
+async def _wiped_restart_run(repair: RepairConfig | None, audit: bool):
+    auditor = None
+    if audit:
+        auditor = OnlineAuditor()
+        await auditor.start()
+    cluster = AsyncioCluster(
+        example1_code(),
+        config=ServerConfig(gc_interval=25.0),
+        retry=RetryPolicy(timeout=40.0, max_retries=8),
+        detector=FailureDetectorConfig(heartbeat_interval=25.0,
+                                       suspect_after=150.0),
+        audit_addr=auditor.address if auditor else None,
+        repair=repair,
+    )
+    await cluster.start()
+    client = await cluster.add_client(server=0)
+    try:
+        op = await client.write(0, cluster.value(4))
+        assert not op.failed
+        await cluster.quiesce()
+
+        # crash the victim AND wipe its checkpoint: restart = total loss
+        await cluster.kill_server(VICTIM)
+        cluster.store.wipe(VICTIM)
+        op = await client.write(0, cluster.value(8))
+        assert not op.failed
+        op = await client.write(1, cluster.value(6))
+        assert not op.failed
+        await asyncio.sleep(0.3)
+        await cluster.restart_server(VICTIM)
+
+        # no further writes: convergence must come from repair (or never)
+        await asyncio.sleep(REPAIR_WAIT)
+
+        victim_core = cluster.servers[VICTIM].core
+        recovered = (
+            victim_core.repair_known_tag(0).ts.lamport > 0
+            and victim_core.repair_known_tag(1).ts.lamport > 0
+        )
+        stats = cluster.repair_stats()
+        violations = []
+        if auditor is not None:
+            violations = [
+                f"auditor: {v.kind}: {v.detail}" for v in auditor.finalize()
+            ]
+        zero = cluster.code.zero_value()
+        violations += check_causal_consistency(
+            cluster.history, zero, raise_on_violation=False
+        )
+        violations += check_returns_written_values(
+            cluster.history, zero, raise_on_violation=False
+        )
+        return recovered, stats, violations
+    finally:
+        await cluster.shutdown()
+        if auditor is not None:
+            await auditor.close()
+
+
+def test_wiped_restart_stays_stale_without_repair():
+    recovered, stats, violations = asyncio.run(
+        _wiped_restart_run(repair=None, audit=False)
+    )
+    assert not recovered, (
+        "victim converged without repair: the ARQ replayed acked frames?"
+    )
+    assert stats == {}
+    assert violations == []
+
+
+def test_wiped_restart_converges_bounded_with_repair():
+    recovered, stats, violations = asyncio.run(
+        _wiped_restart_run(
+            repair=RepairConfig(digest_interval=150.0, round_timeout=500.0),
+            audit=True,
+        )
+    )
+    assert recovered, "victim still stale after the repair budget"
+    assert stats["rounds_completed"] >= 1
+    assert stats["entries_installed"] >= 1
+    assert stats["bits_shipped"] > 0
+    assert violations == [], f"repair broke consistency: {violations}"

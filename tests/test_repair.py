@@ -1,0 +1,314 @@
+"""Anti-entropy repair: core unit tests and sim bounded convergence.
+
+The unit half drives a :class:`~repro.protocol.repair_core.RepairCore`
+deterministically with explicit ``(event, now)`` sequences, like the
+failure-detector tests.  The integration half reproduces the scenario the
+overlay exists for: a long partition over a transport whose dropped frames
+are permanently lost (ARQ off), healed with **no** subsequent writes.
+Without repair the victim provably never converges; with repair it
+converges within a bounded number of simulated milliseconds, under the
+usual causal-consistency checkers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CausalECCluster,
+    LinkFaults,
+    PartitionPlan,
+    PartitionWindow,
+    PrimeField,
+    RepairConfig,
+    TransportConfig,
+    example1_code,
+)
+from repro.consistency import (
+    check_causal_consistency,
+    check_returns_written_values,
+)
+from repro.core.messages import (
+    DigestMsg,
+    RepairRequest,
+    RepairResponse,
+    WriteRequest,
+)
+from repro.protocol.effects import SendEffect, SetTimerEffect
+from repro.protocol.repair_core import (
+    DIGEST_TIMER,
+    ROUND_TIMER,
+    RepairCore,
+)
+from repro.protocol.server_core import ServerCore
+
+
+def _host(node_id: int = 0):
+    return ServerCore(node_id, example1_code(PrimeField(257)))
+
+
+def _local_write(host, obj: int, raw: int, opid="op1", now: float = 0.0):
+    """Apply one client write at ``host`` (client id 99)."""
+    host.handle_message(
+        99, WriteRequest(opid, obj, host.code.zero_value() + raw), now
+    )
+
+
+def _core(node_id: int = 0, **kw):
+    host = _host(node_id)
+    core = RepairCore(host, RepairConfig(**kw))
+    return host, core
+
+
+# ----------------------------------------------------------------------
+# core unit tests
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RepairConfig(digest_interval=0)
+    with pytest.raises(ValueError):
+        RepairConfig(round_timeout=-1.0)
+
+
+def test_boot_arms_digest_timer_only():
+    _, core = _core()
+    effects = core.boot(0.0)
+    assert [e.timer_id for e in effects if isinstance(e, SetTimerEffect)] == [
+        DIGEST_TIMER
+    ]
+    # no sends at boot: peers may not be reachable yet
+    assert not [e for e in effects if isinstance(e, SendEffect)]
+
+
+def test_digest_timer_gossips_to_all_peers_and_rearms():
+    _, core = _core(digest_interval=100.0)
+    core.boot(0.0)
+    effects = core.handle_timer(DIGEST_TIMER, 100.0)
+    sends = [e for e in effects if isinstance(e, SendEffect)]
+    assert sorted(e.dst for e in sends) == [1, 2, 3, 4]
+    assert all(isinstance(e.msg, DigestMsg) for e in sends)
+    # all-zero state: nothing worth advertising beyond the clock
+    assert all(e.msg.tags == {} for e in sends)
+    assert any(
+        isinstance(e, SetTimerEffect) and e.timer_id == DIGEST_TIMER
+        for e in effects
+    )
+    assert core.stats.digests_sent == 4
+
+
+def test_stale_digest_opens_a_pull_round():
+    peer_host = _host(1)
+    _local_write(peer_host, 0, 1)
+    _, core = _core(0)
+    core.boot(0.0)
+    digest = DigestMsg(1, peer_host.vc, {0: peer_host.L[0].highest_tag}, 0.0)
+    effects = core.handle_message(1, digest, 1.0)
+    reqs = [e for e in effects if isinstance(e, SendEffect)]
+    assert sorted(e.dst for e in reqs) == [1, 2, 3, 4]
+    assert all(isinstance(e.msg, RepairRequest) for e in reqs)
+    assert core._round_open
+    assert core.stats.rounds_started == 1
+    # a second, identical digest does not open a second round
+    effects = core.handle_message(1, digest, 2.0)
+    assert not [e for e in effects if isinstance(e, SendEffect)]
+
+
+def test_in_sync_peers_never_open_rounds():
+    host, core = _core(0)
+    core.boot(0.0)
+    digest = DigestMsg(1, host.vc, {}, 0.0)
+    effects = core.handle_message(1, digest, 1.0)
+    assert not core._round_open
+    assert not [e for e in effects if isinstance(e, SendEffect)]
+
+
+def test_request_served_waitfree_with_plain_entries():
+    # server 1 applied a write locally; a behind requester pulls it
+    host = _host(1)
+    _local_write(host, 0, 7)
+    core = RepairCore(host, RepairConfig())
+    core.boot(0.0)
+    requester = _host(0)
+    req = RepairRequest(0, {}, requester.vc)
+    effects = core.handle_message(0, req, 1.0)
+    resps = [
+        e for e in effects
+        if isinstance(e, SendEffect) and isinstance(e.msg, RepairResponse)
+    ]
+    assert len(resps) == 1 and resps[0].dst == 0
+    resp = resps[0].msg
+    assert 0 in resp.entries
+    tag, value = resp.entries[0]
+    assert tag == host.L[0].highest_tag
+    assert resp.symbol.shape == host.M.value.shape
+    assert core.stats.requests_served == 1
+    assert resp.size_bits > 0
+
+
+def test_response_installs_and_completes_round():
+    ahead = _host(1)
+    _local_write(ahead, 0, 7)
+    behind, core = _core(0)
+    core.boot(0.0)
+    tags = {0: ahead.L[0].highest_tag}
+    core.handle_message(1, DigestMsg(1, ahead.vc, tags, 0.0), 1.0)
+    assert core._round_open
+    resp = RepairResponse(
+        sender=1,
+        tags=tags,
+        vc=ahead.vc,
+        entries={0: (ahead.L[0].highest_tag, ahead.L[0].highest_value())},
+        dels={},
+        symbol=ahead.M.value.copy(),
+        tagvec=dict(ahead.M.tagvec),
+    )
+    core.handle_message(1, resp, 2.0)
+    assert core.stats.entries_installed == 1
+    assert behind.repair_known_tag(0) == ahead.L[0].highest_tag
+    # deficit gone: round closed, clock adopted, no retry pending
+    assert not core._round_open
+    assert core.stats.rounds_completed == 1
+    assert ahead.vc.leq(behind.vc)
+
+
+def test_round_timeout_retries_while_deficit_persists():
+    ahead = _host(1)
+    _local_write(ahead, 0, 3)
+    _, core = _core(0, round_timeout=400.0)
+    core.boot(0.0)
+    tags = {0: ahead.L[0].highest_tag}
+    core.handle_message(1, DigestMsg(1, ahead.vc, tags, 0.0), 1.0)
+    assert core.stats.rounds_started == 1
+    # all responses lost; the round timer fires and re-requests
+    effects = core.handle_timer(ROUND_TIMER, 401.0)
+    assert core.stats.rounds_started == 2
+    assert [
+        e.dst for e in effects
+        if isinstance(e, SendEffect) and isinstance(e.msg, RepairRequest)
+    ] == [1, 2, 3, 4]
+
+
+def test_on_peer_alive_sends_digest_to_that_peer_only():
+    _, core = _core()
+    core.boot(0.0)
+    effects = core.on_peer_alive(3, 5.0)
+    sends = [e for e in effects if isinstance(e, SendEffect)]
+    assert [e.dst for e in sends] == [3]
+    assert isinstance(sends[0].msg, DigestMsg)
+
+
+# ----------------------------------------------------------------------
+# sim integration: bounded post-partition convergence
+
+
+def _partition_cluster(repair: RepairConfig | None, seed: int = 7):
+    """Example 1 cluster where server 5 is cut off for [1s, 5s].
+
+    ARQ is explicitly off, so frames dropped by the partition are
+    *permanently* lost -- convergence cannot come from retransmission,
+    only from new writes (there are none after the heal) or from repair.
+    """
+    code = example1_code(PrimeField(257))
+    victim, others = 4, [0, 1, 2, 3]
+    faults = LinkFaults(
+        partitions=PartitionPlan(
+            [PartitionWindow.isolate(1000.0, 5000.0, [victim], others)]
+        )
+    )
+    cluster = CausalECCluster(
+        code,
+        seed=seed,
+        link_faults=faults,
+        transport=TransportConfig(mode="off"),
+        repair=repair,
+    )
+    return cluster, victim
+
+
+def _run_partition_schedule(cluster):
+    c0 = cluster.add_client(server=0)
+    cluster.execute(c0.write(0, cluster.value(1)))
+    cluster.run(for_time=900.0)  # settles before the partition opens
+    cluster.run(for_time=1200.0)  # inside the window now
+    cluster.execute(c0.write(0, cluster.value(9)))
+    cluster.execute(c0.write(1, cluster.value(5)))
+    cluster.run(for_time=2900.0)  # to the heal at t=5000 -- and stop writing
+    return c0
+
+
+def test_partition_without_repair_never_converges():
+    cluster, victim = _partition_cluster(repair=None)
+    _run_partition_schedule(cluster)
+    cluster.run(for_time=60_000.0)
+    cluster.settle()
+    # the victim missed the partition-era writes and nothing will ever
+    # resend them; the survivors' GC is stuck waiting for its dels
+    reader = cluster.add_client(server=victim)
+    op = cluster.execute(reader.read(0))
+    assert op.value.tolist() == [1], "victim unexpectedly saw the new write"
+    assert cluster.total_transient_entries() > 0
+
+
+def test_partition_with_repair_converges_bounded():
+    cluster, victim = _partition_cluster(
+        repair=RepairConfig(digest_interval=100.0, round_timeout=400.0)
+    )
+    _run_partition_schedule(cluster)
+    # bounded convergence: a few digest intervals + one pull round after
+    # the heal -- far less than the no-repair run's failed 60 s soak
+    cluster.run(for_time=3000.0)
+    cluster.settle()
+    reader = cluster.add_client(server=victim)
+    assert cluster.execute(reader.read(0)).value.tolist() == [9]
+    assert cluster.execute(reader.read(1)).value.tolist() == [5]
+    # repaired dels unblocked GC on both sides: transient state drains
+    assert cluster.total_transient_entries() == 0
+    stats = cluster.repair_stats()
+    assert stats["rounds_completed"] >= 1
+    assert stats["entries_installed"] >= 1
+    assert stats["bits_shipped"] > 0
+    cluster.assert_no_reencoding_errors()
+    zero = cluster.code.zero_value()
+    check_causal_consistency(cluster.history, zero)
+    check_returns_written_values(cluster.history, zero)
+
+
+def test_repair_idle_when_cluster_in_sync():
+    """Non-interference: a healthy cluster opens zero repair rounds."""
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)), seed=3, repair=RepairConfig()
+    )
+    c0 = cluster.add_client(server=0)
+    for v in (1, 2, 3):
+        cluster.execute(c0.write(0, cluster.value(v)))
+    cluster.run(for_time=5000.0)
+    cluster.settle()
+    stats = cluster.repair_stats()
+    assert stats["rounds_started"] == 0
+    assert stats["digests_sent"] > 0
+    cluster.assert_no_reencoding_errors()
+
+
+def test_repair_recovers_crashed_server_without_durability():
+    """A restarted server with no durable store loses everything; repair
+    rebuilds its symbol from its peers (proactive re-encoding)."""
+    cluster = CausalECCluster(
+        example1_code(PrimeField(257)),
+        seed=11,
+        repair=RepairConfig(digest_interval=100.0),
+    )
+    c0 = cluster.add_client(server=0)
+    cluster.execute(c0.write(0, cluster.value(6)))
+    cluster.execute(c0.write(2, cluster.value(8)))
+    cluster.run(for_time=2000.0)
+    victim = 4
+    cluster.halt_server(victim)
+    cluster.run(for_time=500.0)
+    cluster.restart_server(victim)  # restarts from initial (empty) state
+    cluster.run(for_time=5000.0)
+    cluster.settle()
+    reader = cluster.add_client(server=victim)
+    assert cluster.execute(reader.read(0)).value.tolist() == [6]
+    assert cluster.execute(reader.read(2)).value.tolist() == [8]
+    cluster.assert_no_reencoding_errors()

@@ -21,8 +21,11 @@ from repro.core.cluster import CausalECCluster
 from repro.core.messages import (
     App,
     Del,
+    DigestMsg,
     ReadRequest,
     ReadReturn,
+    RepairRequest,
+    RepairResponse,
     ValInq,
     ValResp,
     ValRespEncoded,
@@ -97,6 +100,36 @@ messages = st.one_of(
         ),
         sizes,
     ),
+    st.builds(
+        _with_size,
+        st.builds(
+            DigestMsg, st.integers(0, 5), vector_clocks, tagvecs,
+            st.floats(0, 1e9, allow_nan=False),
+        ),
+        sizes,
+    ),
+    st.builds(
+        _with_size,
+        st.builds(RepairRequest, st.integers(0, 5), tagvecs, vector_clocks),
+        sizes,
+    ),
+    st.builds(
+        _with_size,
+        st.builds(
+            RepairResponse,
+            st.integers(0, 5),
+            tagvecs,
+            vector_clocks,
+            st.dictionaries(objs, st.tuples(tags, values), max_size=3),
+            st.dictionaries(
+                objs, st.dictionaries(st.integers(0, 5), tags, max_size=3),
+                max_size=3,
+            ),
+            values,
+            tagvecs,
+        ),
+        sizes,
+    ),
 )
 
 
@@ -110,6 +143,12 @@ def _fields_equal(a, b) -> bool:
         )
     if isinstance(a, dict) and isinstance(b, dict):
         return set(a) == set(b) and all(_fields_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(_fields_equal(x, y) for x, y in zip(a, b))
+        )
     return type(a) is type(b) and a == b
 
 
@@ -202,6 +241,31 @@ def test_version_mismatch_rejected():
     frame[4] ^= 0xFF
     with pytest.raises(wire.WireError, match="version"):
         wire.decode_frame(bytes(frame))
+
+
+def test_v2_frame_rejected():
+    """A frame stamped with the previous codec version must not decode."""
+    frame = bytearray(wire.encode_frame(ReadRequest(("c", 1), 0)))
+    assert wire.WIRE_VERSION == 3
+    frame[4] = 2
+    with pytest.raises(wire.WireError, match="version"):
+        wire.decode_frame(bytes(frame))
+
+
+def test_v2_era_body_still_decodes():
+    """v2 -> v3 only *added* class ids 11-13: the body encoding of every
+    pre-existing message is unchanged, pinned here byte-for-byte so a
+    change that silently breaks old checkpoints fails this test."""
+    msg = App(2, np.array([7, 0, 3], dtype=np.int64), Tag(VectorClock((1, 0, 2)), 4))
+    msg.size_bits = 96.0
+    body = wire.encode(msg)
+    assert body.hex() == (
+        "0f00050300000000000000020c06000000033c69380800000001030000000000"
+        "000003000000180700000000000000000000000000000003000000000000000e"
+        "0d00000003000000000000000100000000000000000000000000000002030000"
+        "000000000004054058000000000000"
+    ), "pre-existing message encoding changed: v2-era bodies would break"
+    assert_message_equal(wire.decode(body), msg)
 
 
 def test_truncated_data_rejected():
