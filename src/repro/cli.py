@@ -7,6 +7,8 @@ Commands:
 * ``ycsb``    -- the Sec. 4.2 YCSB storage analysis at paper scale.
 * ``design``  -- run the cross-object code designer on the AWS topology.
 * ``bench``   -- a quick throughput/latency run of CausalEC under load.
+* ``bench-macro`` -- open-loop throughput/latency sweep on the live
+  cluster, emitting ``BENCH_macro.json``.
 * ``cluster`` -- boot a live asyncio TCP cluster on localhost sockets.
 * ``serve``   -- run one CausalEC server as a standalone TCP process.
 """
@@ -159,6 +161,56 @@ def _cli_code(name: str):
     from repro.ec.codes import example1_code, six_dc_code
 
     return six_dc_code() if name == "six-dc" else example1_code()
+
+
+def cmd_bench_macro(args: argparse.Namespace) -> int:
+    """Open-loop macro benchmark against the live asyncio cluster."""
+    import json
+    from pathlib import Path
+
+    from repro.ec.codes import example1_code, six_dc_code
+    from repro.ec.field import PrimeField
+    from repro.runtime.asyncio_rt import install_uvloop
+    from repro.workloads.live_open_loop import run_macro_sweep
+
+    if args.uvloop and install_uvloop():
+        print("using uvloop")
+    make = six_dc_code if args.code == "six-dc" else example1_code
+    code = make(PrimeField(257), value_len=args.value_len)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    payload = run_macro_sweep(
+        code=code,
+        rates=rates,
+        duration=args.duration,
+        read_ratio=args.read_ratio,
+        seed=args.seed,
+        compare_unbatched=not args.no_compare,
+    )
+    rows = [
+        [
+            f"{r['rate']:g}",
+            "on" if r["batch"] else "off",
+            r["offered"],
+            r["completed"],
+            f"{r['ops_per_s']:.1f}",
+            f"{r['p50_ms']:.2f}" if r["p50_ms"] is not None else "-",
+            f"{r['p99_ms']:.2f}" if r["p99_ms"] is not None else "-",
+            f"{r['p999_ms']:.2f}" if r["p999_ms"] is not None else "-",
+            f"{r['frames_per_op']:.1f}",
+            f"{r['flushes_per_op']:.1f}",
+        ]
+        for r in payload["results"]
+    ]
+    _print_table(
+        ["rate", "batch", "offered", "done", "ops/s", "p50ms", "p99ms",
+         "p999ms", "frames/op", "flushes/op"],
+        rows,
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
@@ -422,6 +474,27 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-latency", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "bench-macro",
+        help="open-loop ops/s + latency sweep on the live cluster",
+    )
+    p.add_argument("--code", default="example1", choices=["example1", "six-dc"])
+    p.add_argument(
+        "--rates", default="60,120",
+        help="comma-separated cluster-wide arrival rates (ops/s)",
+    )
+    p.add_argument("--duration", type=float, default=1.5,
+                   help="seconds of arrivals per rate")
+    p.add_argument("--read-ratio", type=float, default=0.5)
+    p.add_argument("--value-len", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-compare", action="store_true",
+                   help="skip the unbatched comparison lane")
+    p.add_argument("--uvloop", action="store_true",
+                   help="use uvloop when installed")
+    p.add_argument("--out", default="BENCH_macro.json")
+    p.set_defaults(fn=cmd_bench_macro)
 
     p = sub.add_parser(
         "cluster", help="boot a live asyncio TCP cluster on localhost"

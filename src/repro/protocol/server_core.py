@@ -685,37 +685,55 @@ class ServerCore(ProtocolCore):
                     self.readl.remove(entry.opid)
 
     def _encoding(self) -> None:
-        """Encoding: fold newer history-list versions into M."""
+        """Encoding: fold newer history-list versions into M.
+
+        All advanceable objects found in one pass are folded into the
+        codeword with a **single** batched
+        :meth:`~repro.ec.code.LinearCode.reencode_many` call (one field
+        matmul instead of one per object; the per-object deltas commute,
+        so the result is bit-identical to chaining per-object ``reencode``
+        steps).  Del notices and internal reads are then emitted in object
+        order against the fully-updated codeword, exactly the effects the
+        per-object loop produced.
+        """
         progress = True
         while progress:
             progress = False
+            updates: list[tuple] = []
+            advanced: dict[int, object] = {}  # x -> new tag, insertion = sorted
+            blocked: list[int] = []
             for x in sorted(self.objects):
-                progress |= self._encode_stored_object(x)
+                hist = self.L[x]
+                highest = hist.highest_tag
+                if not (len(hist) and highest > self.M.tagvec[x]):
+                    continue
+                current = self._lookup(x, self.M.tagvec[x])
+                if current is None:
+                    blocked.append(x)
+                    continue
+                updates.append((x, current, hist.get(highest)))
+                advanced[x] = highest
+            if updates:
+                self.M.value = self.code.reencode_many(
+                    self.node_id, self.M.value, updates
+                )
+                progress = True
+            for x, highest in advanced.items():
+                self.M.tagvec[x] = highest
+                self.stats.reencodings += 1
+                self.DelL[x].add(highest, self.node_id)
+                self._send_del_storing(x, highest)
+            for x in blocked:
+                # the encoded version left the history list: issue an
+                # internal read to recover it
+                if not self.readl.localhost_entry_for(
+                    x, self.M.tagvec[x], LOCALHOST
+                ):
+                    self.stats.internal_reads += 1
+                    self._register_read(LOCALHOST, self._next_opid(), x)
             for x in range(self.code.K):
                 if x not in self.objects:
                     progress |= self._advance_unstored_tag(x)
-
-    def _encode_stored_object(self, x: int) -> bool:
-        hist = self.L[x]
-        highest = hist.highest_tag
-        if not (len(hist) and highest > self.M.tagvec[x]):
-            return False
-        current = self._lookup(x, self.M.tagvec[x])
-        if current is not None:
-            new_value = hist.get(highest)
-            self.M.value = self.code.reencode(
-                self.node_id, self.M.value, x, current, new_value
-            )
-            self.M.tagvec[x] = highest
-            self.stats.reencodings += 1
-            self.DelL[x].add(highest, self.node_id)
-            self._send_del_storing(x, highest)
-            return True
-        # the encoded version left the history list: issue an internal read
-        if not self.readl.localhost_entry_for(x, self.M.tagvec[x], LOCALHOST):
-            self.stats.internal_reads += 1
-            self._register_read(LOCALHOST, self._next_opid(), x)
-        return False
 
     def _advance_unstored_tag(self, x: int) -> bool:
         """Bookkeeping for X not in X_s (Alg. 3 lines 26-32)."""

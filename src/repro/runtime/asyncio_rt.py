@@ -40,6 +40,7 @@ incarnation).
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import struct
 import tempfile
@@ -82,7 +83,24 @@ __all__ = [
     "AsyncioServer",
     "AsyncioClient",
     "AsyncioCluster",
+    "install_uvloop",
 ]
+
+log = logging.getLogger(__name__)
+
+
+def install_uvloop() -> bool:
+    """Swap in uvloop's event-loop policy when the package is available.
+
+    Purely optional: the runtime works identically on the stock loop, just
+    slower.  Returns whether uvloop was installed.
+    """
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
 
 #: seconds between reconnect attempts for peer channels and clients
 RECONNECT_DELAY = 0.02
@@ -165,6 +183,18 @@ class _PeerChannel:
     ``unacked`` and are retransmitted by :meth:`_retransmit_loop`,
     duplicates and reorderings are absorbed by the receiver's watermark --
     so chaos costs latency, never correctness.
+
+    Batched flush (``server.batch``, the default): frames surviving chaos
+    land in a per-channel ``_pending`` list instead of going straight to
+    the socket; a flusher task wakes once per event-loop tick, concatenates
+    everything pending into a **single** ``writer.write`` and then applies
+    ``drain()``-based backpressure.  While the transport sits over its
+    high-water mark, *data* frames stop being enqueued entirely -- they are
+    already held by ``unacked`` -- and the flusher replays the skipped tail
+    after the drain completes (the receiver's watermark absorbs any
+    overlap).  Gossip frames are best-effort and are simply shed under
+    pressure.  FIFO order is preserved: ``_pending`` is flushed in append
+    order by the only writer task.
     """
 
     def __init__(self, server: "AsyncioServer", peer_id: int):
@@ -179,7 +209,18 @@ class _PeerChannel:
         self.writer: asyncio.StreamWriter | None = None
         self.task: asyncio.Task | None = None
         self._rexmit_task: asyncio.Task | None = None
+        self._flush_task: asyncio.Task | None = None
         self._stopped = False
+        #: frames awaiting the coalesced per-tick flush (batch mode)
+        self._pending: list[tuple] = []
+        self._flush_wakeup = asyncio.Event()
+        #: transport over its high-water mark; a drain() is in flight
+        self._paused = False
+        #: lowest data seq skipped while paused, replayed after the drain
+        self._stall_from: int | None = None
+        #: seq -> loop time of the latest transmission attempt; the
+        #: retransmit loop only re-sends frames older than the interval
+        self._last_tx: dict[int, float] = {}
 
     def send(self, msg) -> None:
         self.seq += 1
@@ -191,7 +232,7 @@ class _PeerChannel:
         fate = self._fate()
         if fate is None or fate.deliver:
             delay = 0.0 if fate is None else fate.delay_ms
-            self._write_later(("g", msg), delay)
+            self._enqueue_later(("g", msg), delay)
 
     def _fate(self):
         chaos = self.server.chaos
@@ -201,25 +242,48 @@ class _PeerChannel:
 
     def _transmit(self, seq: int, msg) -> None:
         """One transmission attempt for a sequenced data frame."""
+        # stamp every attempt, dropped ones included: the age gate measures
+        # time since we last *tried*, not since the frame last got through
+        self._last_tx[seq] = asyncio.get_running_loop().time()
         fate = self._fate()
         frame = ("d", seq, msg)
         if fate is None:
-            self._write_frame(frame)
+            self._enqueue(frame)
             return
         if fate.drop:
             return
-        self._write_later(frame, fate.delay_ms)
+        self._enqueue_later(frame, fate.delay_ms)
         if fate.dup:
             # the copy lands a beat later, off the FIFO path
-            self._write_later(frame, fate.delay_ms + 1.0)
+            self._enqueue_later(frame, fate.delay_ms + 1.0)
 
-    def _write_later(self, frame, delay_ms: float) -> None:
+    def _enqueue_later(self, frame, delay_ms: float) -> None:
         if delay_ms <= 0:
-            self._write_frame(frame)
+            self._enqueue(frame)
         else:
             asyncio.get_running_loop().call_later(
-                delay_ms / 1000.0, self._write_frame, frame
+                delay_ms / 1000.0, self._enqueue, frame
             )
+
+    def _enqueue(self, frame) -> None:
+        if self.writer is None:
+            # disconnected: data frames stay in unacked and are replayed
+            # on reconnect; gossip is best-effort and simply lost
+            return
+        if not self.server.batch:
+            self._write_frame(frame)
+            return
+        if self._paused:
+            # backpressure: the transport is over its high-water mark.
+            # Data frames are safe in unacked -- remember the lowest seq
+            # we skipped so the flusher can replay the tail after drain
+            if frame[0] == "d" and (
+                self._stall_from is None or frame[1] < self._stall_from
+            ):
+                self._stall_from = frame[1]
+            return
+        self._pending.append(frame)
+        self._flush_wakeup.set()
 
     def _write_frame(self, frame) -> None:
         if self.writer is not None:
@@ -227,9 +291,73 @@ class _PeerChannel:
                 self.writer.write(wire.encode_frame(frame))
             except _CONN_ERRORS:  # pragma: no cover - racing disconnect
                 self.writer = None
+                return
+            self.server.frames_sent += 1
+            self.server.flushes += 1
+
+    async def _flush_loop(self) -> None:
+        """Coalesce pending frames into one write per event-loop tick.
+
+        ``_flush_wakeup`` is set by ``_enqueue``; since this task only runs
+        between ticks, every frame produced by one burst of deliveries
+        (e.g. all App/Del broadcasts triggered by a batch of client
+        requests) lands in a single ``writer.write`` of concatenated
+        frames -- one syscall, one TCP segment train, instead of one per
+        frame.
+        """
+        while not self._stopped:
+            await self._flush_wakeup.wait()
+            self._flush_wakeup.clear()
+            writer, frames = self.writer, self._pending
+            if not frames:
+                continue
+            self._pending = []
+            if writer is None:
+                continue  # data frames replay on reconnect; gossip is lost
+            try:
+                writer.write(wire.encode_frames(frames))
+            except _CONN_ERRORS:  # pragma: no cover - racing disconnect
+                self.writer = None
+                continue
+            self.server.frames_sent += len(frames)
+            self.server.flushes += 1
+            await self._maybe_drain(writer)
+
+    async def _maybe_drain(self, writer: asyncio.StreamWriter) -> None:
+        """Apply backpressure when the transport is over its high water.
+
+        Pausing flips ``_paused`` so ``_enqueue`` stops feeding the socket
+        (a slow peer must not grow our buffers without bound -- neither the
+        transport's nor ``_pending``); once the peer drains us below the
+        low-water mark, the unacked tail from the first skipped seq is
+        re-transmitted.  Correctness is untouched: skipped frames live in
+        ``unacked`` until acked, and the receiver's watermark deduplicates
+        any overlap between pre-pause writes and the replay.
+        """
+        transport = writer.transport
+        if transport is None or transport.is_closing():
+            return
+        _low, high = transport.get_write_buffer_limits()
+        if transport.get_write_buffer_size() <= high:
+            return
+        self._paused = True
+        try:
+            await writer.drain()
+        except _CONN_ERRORS:  # pragma: no cover - peer vanished mid-drain
+            self.writer = None
+            return
+        finally:
+            self._paused = False
+        if self._stall_from is not None and self.writer is writer:
+            stalled, self._stall_from = self._stall_from, None
+            for seq, msg in list(self.unacked):
+                if seq >= stalled:
+                    self._transmit(seq, msg)
 
     def start(self) -> None:
         self.task = asyncio.ensure_future(self._run())
+        if self.server.batch:
+            self._flush_task = asyncio.ensure_future(self._flush_loop())
         if self.server.chaos is not None:
             self._rexmit_task = asyncio.ensure_future(self._retransmit_loop())
 
@@ -242,6 +370,12 @@ class _PeerChannel:
                 writer.write(
                     wire.encode_frame(("hp", self.server.node_id, self.acked))
                 )
+                self.server.frames_sent += 1
+                self.server.flushes += 1
+                # frames queued for the dead connection are stale; the
+                # replay below re-sends everything that still matters
+                self._pending.clear()
+                self._stall_from = None
                 self.writer = writer
                 for seq, msg in list(self.unacked):  # replay the unacked tail
                     self._transmit(seq, msg)
@@ -260,7 +394,7 @@ class _PeerChannel:
                 await asyncio.sleep(RECONNECT_DELAY)
 
     async def _retransmit_loop(self) -> None:
-        """Re-send the unacked tail while chaos may be eating frames.
+        """Re-send *stale* unacked frames while chaos may be eating frames.
 
         Plain TCP needs no retransmission timer (replay-on-reconnect covers
         connection loss), but an injector drops individual frames on a live
@@ -270,14 +404,31 @@ class _PeerChannel:
         while not self._stopped:
             await asyncio.sleep(RETRANSMIT_INTERVAL)
             if self.writer is not None:
-                for seq, msg in list(self.unacked):
-                    self._transmit(seq, msg)
+                self._retransmit_pass(asyncio.get_running_loop().time())
+
+    def _retransmit_pass(self, now: float) -> int:
+        """Retransmit unacked frames whose last attempt has aged out.
+
+        Age gating matters: without it every pass re-sent the *entire*
+        unacked tail -- frames transmitted microseconds ago included -- and
+        each re-send re-rolled the chaos fate, so ``dup`` fates multiplied
+        copies of frames the receiver had already absorbed.  Returns the
+        number of frames re-sent.
+        """
+        sent = 0
+        for seq, msg in list(self.unacked):
+            last = self._last_tx.get(seq, float("-inf"))
+            if now - last >= RETRANSMIT_INTERVAL:
+                self._transmit(seq, msg)
+                sent += 1
+        return sent
 
     def _on_ack(self, upto: int) -> None:
         if upto > self.acked:
             self.acked = upto
         while self.unacked and self.unacked[0][0] <= upto:
-            self.unacked.popleft()
+            seq, _ = self.unacked.popleft()
+            self._last_tx.pop(seq, None)
 
     def reset(self) -> None:
         """Abruptly drop the established connection (it redials + replays)."""
@@ -288,15 +439,26 @@ class _PeerChannel:
 
     async def stop(self) -> None:
         self._stopped = True
-        for task in (self.task, self._rexmit_task):
-            if task is not None:
-                task.cancel()
-                try:
-                    await task
-                except (asyncio.CancelledError, Exception):
-                    pass
+        self._flush_wakeup.set()  # unblock the flusher so cancel lands fast
+        for task in (self.task, self._rexmit_task, self._flush_task):
+            if task is None:
+                continue
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                # cancellation is expected; anything else (a wire-codec
+                # bug, a programming error in the loops) must surface
+                log.exception(
+                    "peer channel %d->%d task failed during stop",
+                    self.server.node_id,
+                    self.peer_id,
+                )
         self.task = None
         self._rexmit_task = None
+        self._flush_task = None
         if self.writer is not None:
             self.writer.close()
             self.writer = None
@@ -363,6 +525,7 @@ class AsyncioServer:
         detector: FailureDetectorConfig | None = None,
         audit_addr: tuple[str, int] | None = None,
         repair: RepairConfig | None = None,
+        batch: bool = True,
     ):
         self.core = core
         self.node_id = core.node_id
@@ -371,6 +534,14 @@ class AsyncioServer:
         self.host = host
         self.port = port
         self.chaos = chaos
+        #: coalesce outbound frames (and acks) per event-loop tick;
+        #: ``False`` restores one write + one ack per frame, kept as the
+        #: comparison lane for the macro benchmark
+        self.batch = batch
+        #: wire frames put on a socket / single writer.write calls issued;
+        #: ``frames_sent / flushes`` is the measured batching factor
+        self.frames_sent = 0
+        self.flushes = 0
         self.audit_addr = audit_addr
         if audit_addr is not None:
             # the audit stream mirrors decision-log entries; auditing a
@@ -469,8 +640,12 @@ class AsyncioServer:
             self._audit_task.cancel()
             try:
                 await self._audit_task
-            except (asyncio.CancelledError, Exception):
+            except asyncio.CancelledError:
                 pass
+            except Exception:
+                log.exception(
+                    "server %d audit stream failed during kill", self.node_id
+                )
             self._audit_task = None
         for ch in self._channels.values():
             await ch.stop()
@@ -575,6 +750,28 @@ class AsyncioServer:
             if pending:
                 for seq in [s for s in pending if s <= base]:
                     del pending[seq]
+
+        ack_scheduled = False
+
+        def _flush_ack() -> None:
+            # one cumulative ack per burst of frames: readexactly serves a
+            # whole buffered batch without yielding, so this call_soon
+            # callback runs once the burst is fully delivered *and
+            # persisted* (the persist in _deliver is synchronous) and acks
+            # its final watermark
+            nonlocal ack_scheduled
+            ack_scheduled = False
+            if self._epoch != epoch or self.halted:
+                return
+            try:
+                writer.write(
+                    wire.encode_frame(("a", self._recv_last.get(src, 0)))
+                )
+            except _CONN_ERRORS:  # pragma: no cover - racing disconnect
+                return
+            self.frames_sent += 1
+            self.flushes += 1
+
         while True:
             payload = await read_frame(reader)
             if self._epoch != epoch or self.halted:
@@ -615,7 +812,13 @@ class AsyncioServer:
                     self.activity += 1
                     self._deliver(src, m)
             # cumulative ack, sent only after the persist above hit disk
-            writer.write(wire.encode_frame(("a", last)))
+            if not self.batch:
+                writer.write(wire.encode_frame(("a", last)))
+                self.frames_sent += 1
+                self.flushes += 1
+            elif not ack_scheduled:
+                ack_scheduled = True
+                self._loop.call_soon(_flush_ack)
 
     def _deliver(self, src: int, msg) -> None:
         """Route one in-order data frame to the right core."""
@@ -716,7 +919,9 @@ class AsyncioServer:
                 try:
                     writer.write(wire.encode_frame(("m", msg)))
                 except _CONN_ERRORS:  # pragma: no cover - racing disconnect
-                    pass
+                    return
+                self.frames_sent += 1
+                self.flushes += 1
             # else: client gone; its retry policy re-requests
 
     def _on_timer(self, timer_id: tuple, epoch: int) -> None:
@@ -829,6 +1034,8 @@ class AsyncioClient:
         self._loop: asyncio.AbstractEventLoop | None = None
         #: (old, new, opid) home-server switches, oldest first
         self.switch_log: list[tuple[int, int, object]] = []
+        #: request frames written (hello excluded); feeds frames-per-op
+        self.frames_sent = 0
 
     def _now(self) -> float:
         return _now_ms(self._loop)
@@ -897,8 +1104,10 @@ class AsyncioClient:
             self._task.cancel()
             try:
                 await self._task
-            except (asyncio.CancelledError, Exception):
+            except asyncio.CancelledError:
                 pass
+            except Exception:
+                log.exception("client %d dial loop failed during close", self.node_id)
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
@@ -931,6 +1140,8 @@ class AsyncioClient:
                         self._writer.write(wire.encode_frame(("m", e.msg)))
                     except _CONN_ERRORS:  # pragma: no cover
                         pass
+                    else:
+                        self.frames_sent += 1
                 # else: disconnected; the retry timer re-sends
             elif cls is SetTimerEffect:
                 handle = self._loop.call_later(
@@ -993,6 +1204,7 @@ class AsyncioCluster:
         detector: FailureDetectorConfig | None = None,
         audit_addr: tuple[str, int] | None = None,
         repair: RepairConfig | None = None,
+        batch: bool = True,
     ):
         self.code = code
         self.num_servers = code.N
@@ -1000,6 +1212,7 @@ class AsyncioCluster:
         self.retry = retry
         self.chaos = chaos
         self.repair = repair
+        self.batch = batch
         self.history = History()
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         if store_dir is None:
@@ -1015,6 +1228,7 @@ class AsyncioCluster:
                 detector=detector,
                 audit_addr=audit_addr,
                 repair=repair,
+                batch=batch,
             )
             for i in range(code.N)
         ]
@@ -1036,6 +1250,19 @@ class AsyncioCluster:
             s.set_peers(addresses)
         for s in self.servers:
             s.connect_peers()
+
+    def frame_stats(self) -> dict[str, int]:
+        """Aggregate wire-frame counters across servers and clients.
+
+        ``frames_sent`` counts frames put on a socket, ``flushes`` counts
+        ``writer.write`` calls; with batching on, frames/flushes > 1.
+        """
+        frames = sum(s.frames_sent for s in self.servers)
+        flushes = sum(s.flushes for s in self.servers)
+        for c in self.clients:
+            frames += c.frames_sent
+            flushes += c.frames_sent  # clients write one frame at a time
+        return {"frames_sent": frames, "flushes": flushes}
 
     def repair_stats(self) -> dict[str, float]:
         """Aggregate anti-entropy counters across servers (zeros if off)."""

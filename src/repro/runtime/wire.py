@@ -31,12 +31,27 @@ A *frame* is ``u32 length || version byte || encoded value``.  The length
 covers everything after the length word.  :data:`WIRE_VERSION` is bumped on
 any incompatible change; decoders reject frames from a different version
 instead of misparsing them.
+
+Copies
+------
+The codec is on the live runtime's per-message hot path, so both directions
+avoid full-body copies:
+
+* :func:`encode_frame` (and the batched :func:`encode_frames`) assemble the
+  length word, version byte and encoded fields in one ``b"".join`` -- the
+  body is never concatenated twice;
+* decoding walks a :class:`memoryview` over the input, so container and
+  string traversal never slices fresh ``bytes``; ndarray payloads are
+  returned as **read-only zero-copy views** over the frame buffer
+  (``np.frombuffer``).  Every consumer of decoded values treats them as
+  immutable (the field kernels are pure and return new arrays); callers
+  that do need to mutate must ``.copy()`` explicitly.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -74,6 +89,7 @@ __all__ = [
     "encode",
     "decode",
     "encode_frame",
+    "encode_frames",
     "decode_frame",
     "decode_body",
     "register",
@@ -194,7 +210,7 @@ register(40, AuditOp, ("server", "seq", "kind", "obj", "tag", "opid", "time"))
 # ---------------------------------------------------------------------------
 # encoding
 
-def _encode_into(out: list[bytes], obj: Any) -> None:
+def _encode_into(out: list[bytes | memoryview], obj: Any) -> None:
     if obj is None:
         out.append(bytes([_T_NONE]))
     elif obj is True:
@@ -235,11 +251,14 @@ def _encode_into(out: list[bytes], obj: Any) -> None:
         out.extend(items)
     elif isinstance(obj, np.ndarray):
         arr = np.ascontiguousarray(obj)
-        raw = arr.tobytes()
+        # a flat byte view, not tobytes(): the only copy of the payload
+        # happens in the final join
+        raw = memoryview(arr).cast("B")
         out.append(bytes([_T_NDARRAY]))
         _encode_into(out, arr.dtype.str)
         _encode_into(out, arr.shape)
-        out.append(_U32.pack(len(raw)) + raw)
+        out.append(_U32.pack(raw.nbytes))
+        out.append(raw)
     elif isinstance(obj, VectorClock):
         out.append(bytes([_T_VC]) + _U32.pack(len(obj.components)))
         for c in obj.components:
@@ -269,13 +288,15 @@ def encode(obj: Any) -> bytes:
 # decoding
 
 class _Reader:
+    """Cursor over a :class:`memoryview`: ``take`` slices views, not bytes."""
+
     __slots__ = ("data", "pos")
 
-    def __init__(self, data: bytes):
-        self.data = data
+    def __init__(self, data: bytes | bytearray | memoryview):
+        self.data = data if isinstance(data, memoryview) else memoryview(data)
         self.pos = 0
 
-    def take(self, n: int) -> bytes:
+    def take(self, n: int) -> memoryview:
         end = self.pos + n
         if end > len(self.data):
             raise WireError("truncated wire data")
@@ -302,9 +323,9 @@ def _decode_from(r: _Reader) -> Any:
     if tag == _T_FLOAT:
         return _F64.unpack(r.take(8))[0]
     if tag == _T_STR:
-        return r.take(r.u32()).decode("utf-8")
+        return str(r.take(r.u32()), "utf-8")
     if tag == _T_BYTES:
-        return r.take(r.u32())
+        return bytes(r.take(r.u32()))
     if tag == _T_TUPLE:
         return tuple(_decode_from(r) for _ in range(r.u32()))
     if tag == _T_LIST:
@@ -322,7 +343,10 @@ def _decode_from(r: _Reader) -> Any:
         dtype = _decode_from(r)
         shape = _decode_from(r)
         raw = r.take(r.u32())
-        return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape).copy()
+        # zero-copy: a read-only view over the frame buffer.  Safe because
+        # decoded values are treated as immutable everywhere (the field
+        # kernels are pure); callers that must mutate copy explicitly.
+        return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
     if tag == _T_VC:
         n = r.u32()
         return VectorClock(tuple(_I64.unpack(r.take(8))[0] for _ in range(n)))
@@ -344,44 +368,78 @@ def _decode_from(r: _Reader) -> Any:
     raise WireError(f"unknown wire type tag 0x{tag:02x}")
 
 
-def decode(data: bytes) -> Any:
-    """Decode one value previously produced by :func:`encode`."""
+def decode(data: bytes | bytearray | memoryview) -> Any:
+    """Decode one value previously produced by :func:`encode`.
+
+    ndarray payloads come back as read-only zero-copy views over ``data``
+    (which they keep alive); everything else is materialized.
+    """
     r = _Reader(data)
     obj = _decode_from(r)
-    if r.pos != len(data):
-        raise WireError(f"{len(data) - r.pos} trailing bytes after value")
+    if r.pos != len(r.data):
+        raise WireError(f"{len(r.data) - r.pos} trailing bytes after value")
     return obj
 
 
 # ---------------------------------------------------------------------------
 # frames
 
+_VERSION_BYTE = bytes([WIRE_VERSION])
+
+
+def _frame_into(out: list[bytes | memoryview], obj: Any) -> None:
+    """Append one frame's chunks (length word included) to ``out``."""
+    mark = len(out)
+    out.append(_VERSION_BYTE)
+    _encode_into(out, obj)
+    length = sum(len(part) for part in out[mark:])
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    out.insert(mark, _U32.pack(length))
+
+
 def encode_frame(obj: Any) -> bytes:
-    """``u32 length || version || encode(obj)`` -- ready to write to a socket."""
-    body = bytes([WIRE_VERSION]) + encode(obj)
-    if len(body) > MAX_FRAME_BYTES:
-        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
-    return _U32.pack(len(body)) + body
+    """``u32 length || version || encode(obj)`` -- ready to write to a socket.
+
+    Assembled with a single join: the body bytes are laid down exactly
+    once, never re-concatenated for the header.
+    """
+    out: list[bytes | memoryview] = []
+    _frame_into(out, obj)
+    return b"".join(out)
 
 
-def decode_body(body: bytes) -> Any:
+def encode_frames(objs: Iterable[Any]) -> bytes:
+    """Concatenate many frames into one buffer for a single socket write.
+
+    Byte-identical to ``b"".join(encode_frame(o) for o in objs)`` but with
+    one allocation for the whole batch -- the per-tick flush path of the
+    live runtime.
+    """
+    out: list[bytes | memoryview] = []
+    for obj in objs:
+        _frame_into(out, obj)
+    return b"".join(out)
+
+
+def decode_body(body: bytes | bytearray | memoryview) -> Any:
     """Decode a frame body (everything after the length word)."""
-    if not body:
+    if not len(body):
         raise WireError("empty frame body")
     if body[0] != WIRE_VERSION:
         raise WireError(
             f"wire version mismatch: got {body[0]}, expected {WIRE_VERSION}"
         )
-    return decode(body[1:])
+    return decode(memoryview(body)[1:])
 
 
-def decode_frame(data: bytes) -> Any:
+def decode_frame(data: bytes | bytearray | memoryview) -> Any:
     """Decode one complete frame (length word included)."""
     if len(data) < 4:
         raise WireError("truncated frame header")
-    (length,) = _U32.unpack(data[:4])
+    (length,) = _U32.unpack(memoryview(data)[:4])
     if length > MAX_FRAME_BYTES:
         raise WireError(f"frame length {length} exceeds MAX_FRAME_BYTES")
     if len(data) != 4 + length:
         raise WireError(f"frame length {length} != {len(data) - 4} body bytes")
-    return decode_body(data[4:])
+    return decode_body(memoryview(data)[4:])

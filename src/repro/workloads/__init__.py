@@ -1,6 +1,11 @@
 """Workload generation: key distributions and load drivers."""
 
 from .driver import ClosedLoopDriver, WorkloadConfig
+from .live_open_loop import (
+    LiveOpenLoopConfig,
+    LiveOpenLoopDriver,
+    run_macro_sweep,
+)
 from .open_loop import OpenLoopConfig, OpenLoopDriver
 from .ycsb import (
     YCSB_PRESETS,
@@ -26,6 +31,9 @@ __all__ = [
     "WorkloadConfig",
     "OpenLoopDriver",
     "OpenLoopConfig",
+    "LiveOpenLoopDriver",
+    "LiveOpenLoopConfig",
+    "run_macro_sweep",
     "KeyGenerator",
     "UniformGenerator",
     "ZipfianGenerator",

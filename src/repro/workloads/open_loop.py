@@ -59,6 +59,12 @@ class OpenLoopDriver:
         self._value_counter = itertools.count(1)
         self._make_value = make_value or self._default_value
         self.dropped = 0  # arrivals that found no free client
+        #: per-site gap streams seeded by (seed, site): each site's arrival
+        #: times are a pure function of the config, independent of how the
+        #: draws interleave across sites
+        self._gap_rngs: dict[int, np.random.Generator] = {}
+        #: (absolute time, site) for every fired arrival, oldest first
+        self.arrival_log: list[tuple[float, int]] = []
 
     def _default_value(self, counter: int) -> np.ndarray:
         return encode_unique_value(self.cluster, counter)
@@ -66,18 +72,36 @@ class OpenLoopDriver:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Schedule all Poisson arrivals up front (they are independent)."""
-        mean_gap = 1000.0 / self.config.rate_per_site  # ms between arrivals
+        """Arm one arrival per site; each arrival schedules its successor.
+
+        Lazy scheduling keeps the event heap at O(sites) entries instead
+        of pre-materializing every arrival -- O(rate x duration) events,
+        six million heap entries for 100k ops/s x 60 s, before the first
+        operation even ran.  The arrival *times* are unchanged for a given
+        seed: gaps come from per-site streams seeded by ``(seed, site)``,
+        so drawing them on demand yields the same sequence as drawing them
+        all up front.
+        """
+        base = self.cluster.scheduler.now
         for site in self.sites:
-            t = 0.0
-            while True:
-                t += float(self.rng.exponential(mean_gap))
-                if t > self.config.duration:
-                    break
-                self.cluster.scheduler.at(
-                    self.cluster.scheduler.now + t,
-                    lambda site=site: self._arrival(site),
-                )
+            self._gap_rngs[site] = np.random.default_rng(
+                (self.config.seed, site)
+            )
+            self._schedule_next(site, base, 0.0)
+
+    def _schedule_next(self, site: int, base: float, t: float) -> None:
+        mean_gap = 1000.0 / self.config.rate_per_site  # ms between arrivals
+        t += float(self._gap_rngs[site].exponential(mean_gap))
+        if t > self.config.duration:
+            return
+        self.cluster.scheduler.at(
+            base + t, lambda: self._fire(site, base, t)
+        )
+
+    def _fire(self, site: int, base: float, t: float) -> None:
+        self._schedule_next(site, base, t)
+        self.arrival_log.append((base + t, site))
+        self._arrival(site)
 
     def run(self, extra_time: float = 5_000.0) -> None:
         """start() and run until arrivals end plus ``extra_time`` drain."""

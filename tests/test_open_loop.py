@@ -109,3 +109,66 @@ def test_write_rate_controls_history_occupancy():
 
     low, high = occupancy(20.0), occupancy(80.0)
     assert high > 2.0 * low
+
+
+def test_lazy_scheduling_keeps_heap_at_o_sites():
+    """start() must arm one event per site, not one per arrival.
+
+    The old driver pre-materialized every Poisson arrival as a scheduler
+    entry (O(rate x duration) heap entries before the run began -- six
+    million events for 100k ops/s x 60 s); now each arrival schedules its
+    successor lazily.
+    """
+    cluster = make_cluster(seed=9)
+    driver = OpenLoopDriver(
+        cluster, num_objects=3,
+        config=OpenLoopConfig(rate_per_site=5_000.0, duration=2_000.0, seed=9),
+    )
+    before = len(cluster.scheduler._heap)
+    driver.start()
+    # ~10k arrivals per site are pending, but only one event per site
+    # (plus whatever the cluster itself had armed) is on the heap
+    assert len(cluster.scheduler._heap) - before <= cluster.num_servers
+
+
+def test_lazy_arrivals_match_eager_materialization():
+    """The seeded arrival sequence is pinned: drawing gaps lazily yields
+    exactly the times an up-front materialization of the same per-site
+    streams produces."""
+    seed, rate, duration = 4, 300.0, 1_500.0
+    cluster = make_cluster(seed=seed)
+    cfg = OpenLoopConfig(rate_per_site=rate, duration=duration, seed=seed)
+    driver = OpenLoopDriver(cluster, num_objects=3, config=cfg)
+
+    # eager reference: materialize every site's arrival times up front
+    # from the same (seed, site) streams
+    expected = []
+    for site in driver.sites:
+        rng = np.random.default_rng((seed, site))
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1000.0 / rate))
+            if t > duration:
+                break
+            expected.append((t, site))
+    expected.sort()
+
+    driver.run()
+    got = sorted(driver.arrival_log)
+    assert len(got) == len(expected)
+    assert all(
+        g[1] == e[1] and g[0] == pytest.approx(e[0]) for g, e in zip(got, expected)
+    )
+
+
+def test_arrival_log_is_reproducible_across_runs():
+    def arrivals(seed):
+        cluster = make_cluster(seed=seed)
+        driver = OpenLoopDriver(
+            cluster, num_objects=3,
+            config=OpenLoopConfig(rate_per_site=150.0, duration=800.0, seed=5),
+        )
+        driver.run()
+        return driver.arrival_log
+
+    assert arrivals(5) == arrivals(5)

@@ -230,7 +230,48 @@ def test_ndarray_dtype_and_shape_roundtrip():
         back = wire.decode(wire.encode(arr))
         assert back.dtype == arr.dtype and back.shape == arr.shape
         assert np.array_equal(back, arr)
-        assert back.flags.writeable
+        # decoded arrays are read-only zero-copy views over the input
+        # buffer (the field kernels are pure, so nothing mutates them);
+        # mutation requires an explicit copy
+        assert not back.flags.writeable
+        assert back.copy().flags.writeable
+
+
+def test_ndarray_decode_is_zero_copy():
+    arr = np.arange(64, dtype=np.int64)
+    data = wire.encode(arr)
+    back = wire.decode(data)
+    assert back.base is not None  # a view, not a fresh allocation
+    with pytest.raises((ValueError, RuntimeError)):
+        back[0] = 99
+
+
+def test_decode_accepts_memoryview():
+    msg = App(1, np.arange(6, dtype=np.int64), Tag(VectorClock((2, 1)), 0))
+    msg.size_bits = 48.0
+    data = wire.encode(msg)
+    assert_message_equal(wire.decode(memoryview(data)), msg)
+    assert_message_equal(
+        wire.decode_frame(memoryview(wire.encode_frame(msg))), msg
+    )
+
+
+def test_encode_frames_matches_per_frame_encoding():
+    msgs = [
+        ("d", 1, App(0, np.arange(4), Tag(VectorClock((1, 0)), 3))),
+        ("a", 7),
+        ("g", ReadRequest(("c", 1), 0)),
+    ]
+    batch = wire.encode_frames(msgs)
+    assert batch == b"".join(wire.encode_frame(m) for m in msgs)
+    # the batch splits back into frames at the length boundaries
+    pos, seen = 0, []
+    while pos < len(batch):
+        (length,) = struct.unpack(">I", batch[pos : pos + 4])
+        seen.append(wire.decode_frame(batch[pos : pos + 4 + length]))
+        pos += 4 + length
+    assert len(seen) == len(msgs)
+    assert seen[1] == ("a", 7)
 
 
 # ---------------------------------------------------------------------------
