@@ -12,8 +12,10 @@ the batched path must put measurably fewer frames on the wire per
 completed operation.
 
 The JSON lands at ``$MACRO_BENCH_JSON`` when set (CI uploads it as an
-artifact), else ``benchmarks/.bench_out/BENCH_macro.json``; the
-``repro bench-macro`` CLI runs the same sweep standalone.
+artifact), else ``benchmarks/.bench_out/BENCH_macro.json``; runs are
+**appended** (stamped with git SHA + UTC timestamp) so the file
+accumulates a history across runs; the ``repro bench-macro`` CLI runs
+the same sweep standalone.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import pytest
 
 from bench_utils import fmt, print_table
 from repro.workloads.live_open_loop import run_macro_sweep
+from repro.workloads.records import RUNS_SCHEMA, append_bench_record
 
 RATES = (60.0, 120.0)
 DURATION = 1.2  # seconds of arrivals per lane
@@ -93,6 +96,9 @@ def test_emit_bench_macro_json(payload, capsys):
         if target
         else Path(__file__).parent / ".bench_out" / "BENCH_macro.json"
     )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    assert json.loads(path.read_text())["schema"] == "repro-macro-bench/v1"
+    append_bench_record(path, payload)
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == RUNS_SCHEMA
+    run = doc["runs"][-1]
+    assert run["schema"] == "repro-macro-bench/v1"
+    assert "git_sha" in run and "recorded_at" in run

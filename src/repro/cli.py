@@ -8,7 +8,10 @@ Commands:
 * ``design``  -- run the cross-object code designer on the AWS topology.
 * ``bench``   -- a quick throughput/latency run of CausalEC under load.
 * ``bench-macro`` -- open-loop throughput/latency sweep on the live
-  cluster, emitting ``BENCH_macro.json``.
+  cluster (``--shards N`` for the sharded lane), appending run records
+  to ``BENCH_macro.json``.
+* ``reshard`` -- live resharding demo: add a shard under traffic with
+  the online causal auditor attached.
 * ``cluster`` -- boot a live asyncio TCP cluster on localhost sockets.
 * ``serve``   -- run one CausalEC server as a standalone TCP process.
 """
@@ -165,31 +168,45 @@ def _cli_code(name: str):
 
 def cmd_bench_macro(args: argparse.Namespace) -> int:
     """Open-loop macro benchmark against the live asyncio cluster."""
-    import json
     from pathlib import Path
 
     from repro.ec.codes import example1_code, six_dc_code
     from repro.ec.field import PrimeField
     from repro.runtime.asyncio_rt import install_uvloop
     from repro.workloads.live_open_loop import run_macro_sweep
+    from repro.workloads.records import append_bench_record
+    from repro.workloads.sharded_open_loop import run_sharded_sweep
 
     if args.uvloop and install_uvloop():
         print("using uvloop")
-    make = six_dc_code if args.code == "six-dc" else example1_code
-    code = make(PrimeField(257), value_len=args.value_len)
     rates = tuple(float(r) for r in args.rates.split(","))
-    payload = run_macro_sweep(
-        code=code,
-        rates=rates,
-        duration=args.duration,
-        read_ratio=args.read_ratio,
-        seed=args.seed,
-        compare_unbatched=not args.no_compare,
-    )
+    if args.shards:
+        payload = run_sharded_sweep(
+            num_shards=args.shards,
+            num_keys=args.keys,
+            rates=rates,
+            duration=args.duration,
+            read_ratio=args.read_ratio,
+            seed=args.seed,
+            value_len=args.value_len,
+        )
+    else:
+        make = six_dc_code if args.code == "six-dc" else example1_code
+        code = make(PrimeField(257), value_len=args.value_len)
+        payload = run_macro_sweep(
+            code=code,
+            rates=rates,
+            duration=args.duration,
+            read_ratio=args.read_ratio,
+            seed=args.seed,
+            compare_unbatched=not args.no_compare,
+        )
     rows = [
         [
             f"{r['rate']:g}",
-            "on" if r["batch"] else "off",
+            str(r["shards"]) if args.shards else (
+                "on" if r["batch"] else "off"
+            ),
             r["offered"],
             r["completed"],
             f"{r['ops_per_s']:.1f}",
@@ -202,15 +219,78 @@ def cmd_bench_macro(args: argparse.Namespace) -> int:
         for r in payload["results"]
     ]
     _print_table(
-        ["rate", "batch", "offered", "done", "ops/s", "p50ms", "p99ms",
-         "p999ms", "frames/op", "flushes/op"],
+        ["rate", "shards" if args.shards else "batch", "offered", "done",
+         "ops/s", "p50ms", "p99ms", "p999ms", "frames/op", "flushes/op"],
         rows,
     )
     out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {out}")
+    doc = append_bench_record(out, payload)
+    print(f"appended run {len(doc['runs'])} to {out}")
     return 0
+
+
+def cmd_reshard(args: argparse.Namespace) -> int:
+    """Live resharding demo: add a shard under traffic, audit the history."""
+    import asyncio
+
+    from repro.core.server import ServerConfig
+    from repro.protocol.client_core import RetryPolicy
+    from repro.runtime.sharded_rt import ShardedAsyncioCluster
+    from repro.workloads.live_open_loop import LiveOpenLoopConfig
+    from repro.workloads.sharded_open_loop import ShardedOpenLoopDriver
+
+    keys = [f"key{i:03d}" for i in range(args.keys)]
+
+    async def run() -> int:
+        store = ShardedAsyncioCluster(
+            keys,
+            num_shards=args.shards,
+            slots_per_shard=args.keys,  # capacity for any ring imbalance
+            value_len=args.value_len,
+            config=ServerConfig(gc_interval=args.gc_interval),
+            retry=RetryPolicy(timeout=250.0, max_retries=6),
+            audit=True,
+        )
+        await store.start()
+        print(f"booted {args.shards} shards x {store.num_servers} servers; "
+              f"{args.keys} keys on ring epoch {store.router.view_version}")
+        driver = ShardedOpenLoopDriver(
+            store,
+            keys,
+            LiveOpenLoopConfig(
+                rate_per_site=args.rate / store.num_servers,
+                duration=args.duration,
+                seed=args.seed,
+            ),
+        )
+
+        async def reshard_mid_run():
+            await asyncio.sleep(args.duration / 3)
+            print(f"adding shard {args.shards} mid-traffic ...")
+            return await store.add_shard(args.shards)
+
+        result, (change, stats) = await asyncio.gather(
+            driver.run(), reshard_mid_run()
+        )
+        await store.quiesce()
+        violations = store.finalize_audit()
+        await store.shutdown()
+        print(f"view v{stats['version']}: {stats['moves']} keys moved "
+              f"({len(stats['migrated'])} migrated, "
+              f"{len(stats['skipped'])} never written)")
+        for mv in change.moves:
+            print(f"  {mv.key}: shard {mv.src_shard} -> {mv.dst_shard} "
+                  f"(gen {mv.gen})")
+        print(f"traffic: {result['completed']}/{result['offered']} ops, "
+              f"{result['failed']} failed, {result['dropped']} dropped")
+        print(f"online auditor: "
+              f"{store.auditor.checker.records_ingested} records, "
+              f"{len(violations)} violation(s)")
+        for v in violations:
+            print(f"  auditor violation: {v.kind}: {v.detail}")
+        return 1 if violations else 0
+
+    return asyncio.run(run())
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
@@ -493,8 +573,31 @@ def main(argv: list[str] | None = None) -> int:
                    help="skip the unbatched comparison lane")
     p.add_argument("--uvloop", action="store_true",
                    help="use uvloop when installed")
-    p.add_argument("--out", default="BENCH_macro.json")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run the sharded lane: N consistent-hash shards, "
+                        "each its own coding group (0 = unsharded)")
+    p.add_argument("--keys", type=int, default=8,
+                   help="number of keys in the sharded lane's keyspace")
+    p.add_argument("--out", default="BENCH_macro.json",
+                   help="append the run record to this JSON file")
     p.set_defaults(fn=cmd_bench_macro)
+
+    p = sub.add_parser(
+        "reshard",
+        help="live resharding demo: add a shard under open-loop traffic "
+             "with the online causal auditor attached",
+    )
+    p.add_argument("--shards", type=int, default=2,
+                   help="initial shard count (one more is added mid-run)")
+    p.add_argument("--keys", type=int, default=10)
+    p.add_argument("--rate", type=float, default=80.0,
+                   help="cluster-wide arrival rate (ops/s)")
+    p.add_argument("--duration", type=float, default=1.5,
+                   help="seconds of arrivals (the view change fires at 1/3)")
+    p.add_argument("--value-len", type=int, default=8)
+    p.add_argument("--gc-interval", type=float, default=50.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_reshard)
 
     p = sub.add_parser(
         "cluster", help="boot a live asyncio TCP cluster on localhost"

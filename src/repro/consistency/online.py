@@ -47,6 +47,22 @@ position (that much is certain) but is excluded from reads-from edges and
 read checks, and the causal order is rebuilt without it.  Writes get no
 such amnesty -- their dedup is per-server and per-session, so two tags for
 one write opid is a real double apply.
+
+**Cross-shard histories.**  A sharded deployment runs one CausalEC group
+per shard, each with its own vector clock, so tags are only meaningful
+*within* a shard: records carry a ``shard`` id and tag identity becomes
+``(shard, tag)`` (otherwise two shards minting the same clock components
+would collide as a false DuplicateTag, and a read could appear to read
+from another shard's write).  Objects, by contrast, are *global* keys --
+a key that migrates between shards keeps its identity, and its records
+carry a migration ``gen``eration that bumps on every move.  Arbitration
+across a migration compares ``(gen, tag)`` lexicographically: the
+migrated copy is installed under the destination shard's (unrelated,
+possibly smaller) clock, and the generation prefix is what makes it
+supersede every pre-move version without false StaleRead reports --
+while staying exact for same-generation comparisons.  Session order is
+cross-shard for free: a ShardedSession's per-shard clients share one
+client id and opid counter.
 """
 
 from __future__ import annotations
@@ -72,6 +88,11 @@ class AuditOp:
     log's tag key ``(vector-clock components, writing client id)``; the
     zero timestamp denotes the initial value.  ``opid`` is the operation id
     ``(client id, per-client counter)``, or ``None`` for apply records.
+
+    ``shard`` scopes the tag (each shard's CausalEC group has its own
+    clock); ``gen`` is the object's migration generation at record time
+    (0 until a view change moves the key).  Both default to 0 so
+    unsharded deployments are unchanged.
     """
 
     server: int
@@ -81,6 +102,8 @@ class AuditOp:
     tag: tuple
     opid: tuple | None = None
     time: float = 0.0
+    shard: int = 0
+    gen: int = 0
 
 
 @dataclass
@@ -115,6 +138,8 @@ class _Node:
     obj: int
     tag: tuple
     opid: tuple | None  # None for writes known only from apply records
+    shard: int = 0
+    gen: int = 0
     ambiguous: bool = False
     sources: list = field(default_factory=list)  # (server, seq) evidence
 
@@ -135,6 +160,7 @@ class IncrementalCausalChecker:
         self._reported: set[tuple] = set()
         self._seen: set[tuple[int, int]] = set()  # (server, seq)
         self._nodes: list[_Node] = []
+        # tag identity is (shard, tag): clocks are per-shard
         self._writes_by_tag: dict[tuple, int] = {}
         self._writes_by_opid: dict[tuple, int] = {}
         self._reads_by_opid: dict[tuple, int] = {}
@@ -169,7 +195,8 @@ class IncrementalCausalChecker:
         return self.violations[before:]
 
     def _ingest_write(self, op: AuditOp) -> None:
-        idx = self._writes_by_tag.get(op.tag)
+        tkey = (op.shard, op.tag)
+        idx = self._writes_by_tag.get(tkey)
         if idx is not None:
             node = self._nodes[idx]
             node.sources.append((op.server, op.seq))
@@ -198,14 +225,16 @@ class IncrementalCausalChecker:
                 (op.opid,),
             )
             return
-        idx = self._new_node(_Node("write", op.obj, op.tag, op.opid))
+        idx = self._new_node(
+            _Node("write", op.obj, op.tag, op.opid, shard=op.shard, gen=op.gen)
+        )
         self._nodes[idx].sources.append((op.server, op.seq))
-        self._writes_by_tag[op.tag] = idx
+        self._writes_by_tag[tkey] = idx
         self._writes_by_obj[op.obj].append(idx)
         if op.opid is not None:
             self._register_write_opid(idx, op)
         # resolve reads that were waiting for this writer
-        for r in self._pending_reads.pop(op.tag, ()):
+        for r in self._pending_reads.pop(tkey, ()):
             self._add_edge(idx, r, "reads-from")
 
     def _register_write_opid(self, idx: int, op: AuditOp) -> None:
@@ -224,7 +253,9 @@ class IncrementalCausalChecker:
                 node.ambiguous = True
                 self._rebuild()
             return
-        idx = self._new_node(_Node("read", op.obj, op.tag, op.opid))
+        idx = self._new_node(
+            _Node("read", op.obj, op.tag, op.opid, shard=op.shard, gen=op.gen)
+        )
         self._nodes[idx].sources.append((op.server, op.seq))
         self._reads_by_opid[op.opid] = idx
         self._reads_by_obj[op.obj].append(idx)
@@ -235,11 +266,12 @@ class IncrementalCausalChecker:
         node = self._nodes[idx]
         if node.ambiguous or _is_zero(node.tag):
             return
-        w = self._writes_by_tag.get(node.tag)
+        tkey = (node.shard, node.tag)
+        w = self._writes_by_tag.get(tkey)
         if w is not None:
             self._add_edge(w, idx, "reads-from")
         else:
-            self._pending_reads[node.tag].append(idx)
+            self._pending_reads[tkey].append(idx)
 
     def _session_insert(self, opid: tuple, idx: int) -> None:
         client, counter = opid
@@ -333,7 +365,11 @@ class IncrementalCausalChecker:
                 if node.ambiguous:
                     continue
                 initial = _is_zero(node.tag)
-                returned = None if initial else _order_key(node.tag)
+                # arbitration order across migrations: generation first,
+                # then the per-shard tag order (see module docstring)
+                returned = (
+                    None if initial else (node.gen, *_order_key(node.tag))
+                )
                 for w in writes:
                     if not self._closure[w, r]:
                         continue
@@ -346,7 +382,7 @@ class IncrementalCausalChecker:
                             f"causally precedes it",
                             (wnode.opid, node.opid),
                         )
-                    elif _order_key(wnode.tag) > returned:
+                    elif (wnode.gen, *_order_key(wnode.tag)) > returned:
                         self._report(
                             "StaleRead",
                             f"read {node.opid!r} returned tag {node.tag!r} "
@@ -363,7 +399,7 @@ class IncrementalCausalChecker:
         for idx, node in enumerate(self._nodes):
             if node.kind != "read" or node.ambiguous or _is_zero(node.tag):
                 continue
-            if node.tag not in self._writes_by_tag:
+            if (node.shard, node.tag) not in self._writes_by_tag:
                 self._report(
                     "ThinAirRead",
                     f"read {node.opid!r} returned tag {node.tag!r} on "

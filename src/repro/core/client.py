@@ -37,9 +37,21 @@ class Client(EffectNode, ClientCore):
         server_id: int,
         history: History | None = None,
         retry: RetryPolicy | None = None,
+        failover: list[int] | None = None,
+        failover_writes: bool = False,
+        opid_counter=None,
     ):
         Node.__init__(self, node_id, scheduler, network)
-        ClientCore.__init__(self, node_id, server_id, history, retry)
+        ClientCore.__init__(
+            self,
+            node_id,
+            server_id,
+            history,
+            retry,
+            failover=failover,
+            failover_writes=failover_writes,
+            opid_counter=opid_counter,
+        )
         self._timers: dict[tuple, object] = {}
 
     def write(self, obj: int, value: np.ndarray) -> Operation:
@@ -51,5 +63,11 @@ class Client(EffectNode, ClientCore):
     def read(self, obj: int) -> Operation:
         """Invoke read(X); returns the operation record (async)."""
         op, effects = self.start_read(obj, self.scheduler.now)
+        self.interpret(effects)
+        return op
+
+    def migrate(self, obj: int, value: np.ndarray, gen: int) -> Operation:
+        """Install a migrated value (view-change coordinators only)."""
+        op, effects = self.start_migrate(obj, value, gen, self.scheduler.now)
         self.interpret(effects)
         return op

@@ -86,20 +86,49 @@ class Cluster:
     # topology
 
     def add_client(
-        self, server: int = 0, retry: RetryPolicy | None = None
+        self,
+        server: int = 0,
+        retry: RetryPolicy | None = None,
+        failover: bool = False,
+        failover_writes: bool = False,
+        node_id: int | None = None,
+        opid_counter=None,
     ) -> Client:
-        """Create a client attached to ``server`` (a member of C_server)."""
+        """Create a client attached to ``server`` (a member of C_server).
+
+        ``failover=True`` gives the client every other server (ring order
+        after its home) as failover candidates.  ``node_id`` /
+        ``opid_counter`` let a sharded session give its per-shard clients
+        one shared identity (see :mod:`repro.sharding.sim_store`); ids
+        must be unique within this cluster's network and >= the server
+        count.
+        """
         if not 0 <= server < self.num_servers:
             raise ValueError(f"no such server {server}")
+        if node_id is None:
+            node_id = self._next_node_id
+            self._next_node_id += 1
+        elif node_id < self.num_servers:
+            raise ValueError(f"client id {node_id} collides with a server id")
+        else:
+            self._next_node_id = max(self._next_node_id, node_id + 1)
+        candidates = None
+        if failover:
+            candidates = [
+                (server + k) % self.num_servers
+                for k in range(1, self.num_servers)
+            ]
         client = Client(
-            self._next_node_id,
+            node_id,
             self.scheduler,
             self.network,
             server_id=server,
             history=self.history,
             retry=retry if retry is not None else self.retry,
+            failover=candidates,
+            failover_writes=failover_writes,
+            opid_counter=opid_counter,
         )
-        self._next_node_id += 1
         self.clients.append(client)
         return client
 

@@ -37,6 +37,9 @@ __all__ = [
     "DigestMsg",
     "RepairRequest",
     "RepairResponse",
+    "MigrateInstall",
+    "ViewInstall",
+    "ViewInstallAck",
 ]
 
 
@@ -79,6 +82,9 @@ class WriteRequest(_Message):
     # request -- this is what keeps session guarantees (monotone reads,
     # read-your-writes) intact when a client fails over to another server.
     session_ts: Any = field(default=None, init=False)
+    # ring epoch the issuing session last observed (sharded deployments);
+    # servers adopt it monotonically.  None on unsharded clusters.
+    view: int | None = field(default=None, init=False)
 
 
 @dataclass
@@ -102,6 +108,8 @@ class ReadRequest(_Message):
     obj: int
     # session floor (see WriteRequest.session_ts)
     session_ts: Any = field(default=None, init=False)
+    # ring epoch (see WriteRequest.view)
+    view: int | None = field(default=None, init=False)
 
 
 @dataclass
@@ -214,6 +222,49 @@ class RepairResponse(_Message):
     dels: dict[int, dict[int, Tag]]
     symbol: np.ndarray
     tagvec: dict[int, Tag]
+
+
+@dataclass
+class MigrateInstall(WriteRequest):
+    """Migration coordinator -> destination home server: install a moved
+    key's latest value as a fresh write.
+
+    A subclass of :class:`WriteRequest` so every server-side write path
+    (session-floor parking, opid dedup, tag minting, App broadcast,
+    durable checkpointing) applies unchanged; only the decision-log kind
+    differs (``migrate`` instead of ``write``) so the online auditor can
+    see resharding traffic.  ``gen`` is the key's generation *after* the
+    move -- the auditor orders tags by ``(generation, tag)`` so the
+    installed copy supersedes every pre-move version even though the
+    destination shard's vector clock is unrelated to the source's.
+    """
+
+    kind = "migrate"
+    gen: int = 0
+
+
+@dataclass
+class ViewInstall(_Message):
+    """Coordinator -> server: adopt ring epoch ``version``.
+
+    View installation is monotone gossip, not a barrier: servers also
+    adopt newer epochs piggybacked on request ``view`` fields, so a
+    server that missed the broadcast (crashed during the view change)
+    converges on its first request.  Correctness of the cutover rests on
+    the migration watermark floors, not on epoch agreement.
+    """
+
+    kind = "view_install"
+    version: int
+
+
+@dataclass
+class ViewInstallAck(_Message):
+    """Server -> coordinator: epoch adopted; ``ts`` is the server's clock."""
+
+    kind = "view_install_ack"
+    version: int
+    ts: Any = field(default=None, init=False)
 
 
 @dataclass

@@ -132,6 +132,7 @@ _DURABLE_ATTRS = (
     "_del_sent_storing",
     "_del_sent_all",
     "_client_sessions",
+    "view",
 )
 
 
@@ -176,6 +177,8 @@ def restore_server_state(
             f"not {server.node_id}"
         )
     for name in _DURABLE_ATTRS:
+        if name not in checkpoint.state:
+            continue  # checkpoint from an older attr set: keep the default
         setattr(server, name, copy.deepcopy(checkpoint.state[name]))
     # read-timeout timers died with the old incarnation
     server._read_timeouts = {}

@@ -25,6 +25,7 @@ from ..core.server import ServerConfig
 from ..ec.code import LinearCode
 from ..ec.codes import reed_solomon_code
 from ..ec.field import PrimeField
+from ..sharding.router import ShardRouter
 from ..sim.network import LatencyModel
 from ..sim.scheduler import Scheduler
 from .codec import ValueCodec
@@ -113,6 +114,9 @@ class GroupedCausalKVStore:
             self.group_keys.append(group)
             for obj, key in enumerate(group):
                 self._locator[key] = (g, obj)
+        self.keys = keys
+        self.group_size = group_size
+        self.router = ShardRouter.from_placement(self._locator)
 
     # ------------------------------------------------------------------
 
@@ -121,10 +125,37 @@ class GroupedCausalKVStore:
         return len(self.clusters)
 
     def locate(self, key: str) -> tuple[int, int]:
+        """``(group, object)`` for a key, via the shard router.
+
+        Static grouping is now just an epoch-0 router placement (see
+        :class:`~repro.sharding.router.ShardRouter.from_placement`), so a
+        grouped store can be promoted to a resharding one.
+        """
         try:
-            return self._locator[key]
+            return self.router.locate(key)
         except KeyError:
             raise KeyError(f"unknown key {key!r}")
+
+    def legacy_locate(self, key: str) -> tuple[int, int]:
+        """Deprecated: the original index-arithmetic placement.
+
+        Kept only as a compatibility shim for callers that relied on the
+        ``(index // group_size, index % group_size)`` rule; it matches
+        :meth:`locate` at epoch 0 and diverges after any view change.
+        """
+        import warnings
+
+        warnings.warn(
+            "legacy_locate() is deprecated; use locate(), which delegates "
+            "to the shard router",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            idx = self.keys.index(key)
+        except ValueError:
+            raise KeyError(f"unknown key {key!r}")
+        return (idx // self.group_size, idx % self.group_size)
 
     def session(self, site: int = 0) -> GroupedSession:
         return GroupedSession(self, site)
@@ -208,4 +239,7 @@ def hybrid_store(
         )
         add_group(group, code, g)
         g += 1
+    store.keys = hot_keys + cold_keys
+    store.group_size = k
+    store.router = ShardRouter.from_placement(store._locator)
     return store

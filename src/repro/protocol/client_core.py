@@ -49,7 +49,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..consistency.history import History, Operation
-from ..core.messages import ReadRequest, ReadReturn, WriteAck, WriteRequest
+from ..core.messages import (
+    MigrateInstall,
+    ReadRequest,
+    ReadReturn,
+    WriteAck,
+    WriteRequest,
+)
 from .effects import (
     CancelTimerEffect,
     HomeServerSwitchEffect,
@@ -133,6 +139,7 @@ class ClientCore(ProtocolCore):
         retry: RetryPolicy | None = None,
         failover: list[int] | None = None,
         failover_writes: bool = False,
+        opid_counter=None,
     ):
         self.node_id = node_id
         self.server_id = server_id
@@ -145,7 +152,16 @@ class ClientCore(ProtocolCore):
         #: with each request so a failed-over-to server can defer serving
         #: until its own clock covers everything this session has seen.
         self.session_ts = None
-        self._op_counter = itertools.count()
+        #: ring epoch stamped on outgoing requests (sharded deployments);
+        #: a ShardedSession keeps it at the router's current view.
+        self.view_version: int | None = None
+        # A ShardedSession spans several per-shard cores that together form
+        # ONE logical session: they share a single opid counter (and node
+        # id) so the audit trail sees one session with a global op order.
+        self._op_counter = (
+            opid_counter if opid_counter is not None else itertools.count()
+        )
+        self._migrate_gen: int | None = None
         self._pending: Operation | None = None
         self._attempts = 0
         self._retry_timer_id: tuple | None = None
@@ -160,6 +176,7 @@ class ClientCore(ProtocolCore):
     def start_write(self, obj: int, value: np.ndarray, now: float):
         """Invoke write(X, v); returns ``(op, effects)``."""
         self._begin(now)
+        self._migrate_gen = None
         op = self._invoke("write", obj, value)
         self._transmit_request()
         return op, self._end()
@@ -167,7 +184,18 @@ class ClientCore(ProtocolCore):
     def start_read(self, obj: int, now: float):
         """Invoke read(X); returns ``(op, effects)``."""
         self._begin(now)
+        self._migrate_gen = None
         op = self._invoke("read", obj, None)
+        self._transmit_request()
+        return op, self._end()
+
+    def start_migrate(self, obj: int, value: np.ndarray, gen: int, now: float):
+        """Invoke a migration install: a write that the destination logs
+        with kind ``migrate`` and generation ``gen``.  Used only by view-
+        change coordinators; retransmits rebuild the same message type."""
+        self._begin(now)
+        self._migrate_gen = gen
+        op = self._invoke("write", obj, value)
         self._transmit_request()
         return op, self._end()
 
@@ -195,10 +223,16 @@ class ClientCore(ProtocolCore):
     def _request_message(self):
         op = self._pending
         if op.kind == "write":
-            msg = WriteRequest(op.opid, op.obj, op.value)
+            if self._migrate_gen is not None:
+                msg = MigrateInstall(
+                    op.opid, op.obj, op.value, gen=self._migrate_gen
+                )
+            else:
+                msg = WriteRequest(op.opid, op.obj, op.value)
         else:
             msg = ReadRequest(op.opid, op.obj)
         msg.session_ts = self.session_ts
+        msg.view = self.view_version
         msg.size_bits = 0.0
         return msg
 

@@ -46,11 +46,14 @@ from ..core.messages import (
     App,
     CostModel,
     Del,
+    MigrateInstall,
     ReadRequest,
     ReadReturn,
     ValInq,
     ValResp,
     ValRespEncoded,
+    ViewInstall,
+    ViewInstallAck,
     WriteAck,
     WriteRequest,
 )
@@ -193,6 +196,10 @@ class ServerCore(ProtocolCore):
         #: Volatile on purpose: a crash drops them and the client's retry
         #: re-delivers.
         self._parked: list[tuple[int, object]] = []
+        #: ring epoch (sharded deployments): highest view version adopted
+        #: via ViewInstall or piggybacked on a request.  Durable -- a
+        #: restarted server resumes in the epoch it last acknowledged.
+        self.view = 0
 
     # ------------------------------------------------------------------
     # helpers
@@ -250,6 +257,8 @@ class ServerCore(ProtocolCore):
             self._on_val_resp(src, msg)
         elif isinstance(msg, ValRespEncoded):
             self._on_val_resp_encoded(src, msg)
+        elif isinstance(msg, ViewInstall):
+            self._on_view_install(src, msg)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message {msg!r}")
         self._internal_actions()
@@ -324,6 +333,7 @@ class ServerCore(ProtocolCore):
         self._client_sessions = {}
         self._read_timeouts = {}
         self._parked = []
+        self.view = 0
 
     # ------------------------------------------------------------------
     # anti-entropy (the repair overlay's window into protocol state)
@@ -383,6 +393,7 @@ class ServerCore(ProtocolCore):
     # Algorithm 1: client messages
 
     def _on_write(self, client: int, msg: WriteRequest) -> None:
+        self._adopt_view(msg)
         cached = self._client_sessions.get(client)
         if cached is not None and cached[0] == msg.opid:
             # retried request whose effect is already applied: re-ack only
@@ -395,7 +406,8 @@ class ServerCore(ProtocolCore):
         self.vc = self.vc.increment(self.node_id)
         tag = Tag(self.vc, client)
         self.L[msg.obj].add(tag, msg.value)
-        self._log("write", msg.obj, _tag_key(tag), msg.opid, client)
+        kind = "migrate" if isinstance(msg, MigrateInstall) else "write"
+        self._log(kind, msg.obj, _tag_key(tag), msg.opid, client)
         if self.config.record_visibility:
             self.visibility_log.append((self.now, msg.obj, tag))
         ack = WriteAck(msg.opid)
@@ -411,6 +423,7 @@ class ServerCore(ProtocolCore):
                 self._respond_read(entry, msg.value, tag)
 
     def _on_read(self, client: int, msg: ReadRequest) -> None:
+        self._adopt_view(msg)
         if self.readl.get(msg.opid) is not None:
             # retried request already pending: inquiries are in flight
             self.stats.duplicate_requests += 1
@@ -432,6 +445,27 @@ class ServerCore(ProtocolCore):
             return
         self.stats.remote_reads += 1
         self._register_read(client, msg.opid, obj)
+
+    def _adopt_view(self, msg) -> None:
+        """Monotonically adopt a newer ring epoch piggybacked on a request
+        (covers servers that missed the ViewInstall broadcast, e.g. ones
+        crashed during the view change)."""
+        v = getattr(msg, "view", None)
+        if v is not None and v > self.view:
+            self.view = v
+
+    def _on_view_install(self, src: int, msg: ViewInstall) -> None:
+        """Adopt ring epoch ``version`` and ack with this clock.
+
+        Installation is idempotent and monotone; the coordinator
+        broadcasts it to every server of every shard before migrating the
+        first key, so by cutover the whole fleet agrees on the epoch."""
+        if msg.version > self.view:
+            self.view = msg.version
+            self._log("view-install", msg.version)
+        ack = ViewInstallAck(msg.version)
+        ack.ts = self.vc
+        self._emit_reply(src, self._sized(ack, 0, 1))
 
     def _park_if_behind(self, client: int, msg) -> bool:
         """Defer a request whose session floor this clock does not cover.

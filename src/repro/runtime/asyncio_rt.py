@@ -577,6 +577,16 @@ class AsyncioServer:
         self.on_detector_transition = None
         self._audit_log: list[AuditOp] = []
         self._audit_task: asyncio.Task | None = None
+        #: audit identity (sharded clusters): ``audit_node`` must be
+        #: globally unique across shards (seq dedup at the auditor is per
+        #: server id); ``audit_shard`` scopes this group's tags;
+        #: ``audit_key_map``/``audit_gen`` translate codeword slots into
+        #: global keys and migration generations.  Defaults leave
+        #: unsharded clusters byte-identical on the audit stream.
+        self.audit_node = self.node_id
+        self.audit_shard = 0
+        self.audit_key_map: dict[int, object] | None = None
+        self.audit_gen: dict[int, int] = {}
         #: serializes kill/restart.  Both suspend at await points, and a
         #: supervisor (polling ``halted``) can schedule a restart while a
         #: kill coroutine is still tearing down -- unserialized, the kill's
@@ -952,7 +962,8 @@ class AsyncioServer:
     def _append_audit(self, entry: tuple) -> None:
         """Mirror one decision-log entry as a wire-ready audit record."""
         kind = entry[0]
-        if kind == "write":
+        if kind in ("write", "migrate"):
+            # a migration install is a write by the coordinator session
             _, obj, tag, opid, _client = entry
             rec_kind = "write"
         elif kind == "apply":
@@ -968,15 +979,23 @@ class AsyncioServer:
             opid, rec_kind = None, "apply"
         else:
             return  # gc-del and friends carry no audit information
+        if self.audit_key_map is not None:
+            slot = obj
+            obj = self.audit_key_map.get(slot, obj)
+            gen = self.audit_gen.get(slot, 0)
+        else:
+            gen = 0
         self._audit_log.append(
             AuditOp(
-                server=self.node_id,
+                server=self.audit_node,
                 seq=len(self._audit_log) + 1,
                 kind=rec_kind,
                 obj=obj,
                 tag=tag,
                 opid=opid,
                 time=self.now(),
+                shard=self.audit_shard,
+                gen=gen,
             )
         )
 
@@ -986,7 +1005,7 @@ class AsyncioServer:
             writer = None
             try:
                 reader, writer = await asyncio.open_connection(*self.audit_addr)
-                writer.write(wire.encode_frame(("ha", self.node_id)))
+                writer.write(wire.encode_frame(("ha", self.audit_node)))
                 sent = 0
                 while True:
                     while sent < len(self._audit_log):
@@ -1122,6 +1141,11 @@ class AsyncioClient:
     async def read(self, obj: int) -> Operation:
         """Invoke read(X) and await its completion (or fast failure)."""
         op, effects = self.core.start_read(obj, self._now())
+        return await self._settle(op, effects)
+
+    async def migrate(self, obj: int, value, gen: int) -> Operation:
+        """Install a migrated value (view-change coordinators only)."""
+        op, effects = self.core.start_migrate(obj, value, gen, self._now())
         return await self._settle(op, effects)
 
     async def _settle(self, op: Operation, effects) -> Operation:
@@ -1286,6 +1310,8 @@ class AsyncioCluster:
         retry: RetryPolicy | None = None,
         failover: bool = False,
         failover_writes: bool = False,
+        node_id: int | None = None,
+        opid_counter=None,
     ) -> AsyncioClient:
         """Attach a client homed at ``server``.
 
@@ -1293,10 +1319,17 @@ class AsyncioCluster:
         failover candidate (in ring order after its home) and the address
         map to redial them; see :class:`~repro.protocol.client_core
         .ClientCore` for the read-only failover contract.
+
+        ``node_id``/``opid_counter`` let a :class:`~repro.runtime
+        .sharded_rt.ShardedSession` give its per-shard clients one shared
+        session identity (ids must be >= the server count).
         """
         if not 0 <= server < self.num_servers:
             raise ValueError(f"no such server {server}")
-        node_id = self.num_servers + len(self.clients)
+        if node_id is None:
+            node_id = self.num_servers + len(self.clients)
+        elif node_id < self.num_servers:
+            raise ValueError(f"client id {node_id} collides with a server id")
         candidates = None
         if failover:
             candidates = [
@@ -1310,6 +1343,7 @@ class AsyncioCluster:
             retry=retry if retry is not None else self.retry,
             failover=candidates,
             failover_writes=failover_writes,
+            opid_counter=opid_counter,
         )
         srv = self.servers[server]
         addresses = {s.node_id: (s.host, s.port) for s in self.servers}

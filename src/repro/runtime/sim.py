@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from ..protocol.effects import (
     CancelTimerEffect,
+    HomeServerSwitchEffect,
     LogEffect,
     OpSettledEffect,
     PersistEffect,
@@ -78,6 +79,13 @@ class EffectNode(Node):
                     self.on_complete(e.op)
             elif cls is LogEffect:
                 self.__dict__.setdefault("decision_log", []).append(e.entry)
+            elif cls is HomeServerSwitchEffect:
+                # failover bookkeeping: the simulated network routes by
+                # node id, so there is no connection to re-dial; record
+                # the switch for tests that assert on it
+                self.__dict__.setdefault("switch_log", []).append(
+                    (e.old, e.new, e.opid)
+                )
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown effect {e!r}")
 

@@ -61,6 +61,7 @@ from ..core.messages import (
     Del,
     DigestMsg,
     Heartbeat,
+    MigrateInstall,
     ReadRequest,
     ReadReturn,
     RepairRequest,
@@ -68,6 +69,8 @@ from ..core.messages import (
     ValInq,
     ValResp,
     ValRespEncoded,
+    ViewInstall,
+    ViewInstallAck,
     WriteAck,
     WriteRequest,
 )
@@ -102,7 +105,11 @@ __all__ = [
 #: ids 11-13).  The value encoding and all pre-existing class ids are
 #: unchanged -- v2-era *bodies* still decode -- but a v2 node cannot
 #: decode the new ids, so frames reject the old version byte.
-WIRE_VERSION = 3
+#: v4 (sharding): client requests carry a ring-epoch ``view`` field,
+#: migration frames (MigrateInstall/ViewInstall/ViewInstallAck, ids
+#: 14-16), and AuditOp gains ``shard``/``gen`` so the online auditor can
+#: check causal consistency on cross-shard histories.
+WIRE_VERSION = 4
 
 #: Frames larger than this are rejected before allocation (corrupt length
 #: words must not trigger multi-gigabyte reads).
@@ -170,9 +177,13 @@ def registered_classes() -> dict[int, type]:
 
 # protocol messages (ids 1-15).  ``size_bits`` rides along so the receiving
 # side sees the same cost accounting the sender assigned.
-register(1, WriteRequest, ("opid", "obj", "value", "session_ts", "size_bits"))
+register(
+    1, WriteRequest, ("opid", "obj", "value", "session_ts", "view", "size_bits")
+)
 register(2, WriteAck, ("opid", "ts", "tag", "size_bits"))
-register(3, ReadRequest, ("opid", "obj", "session_ts", "size_bits"))
+register(
+    3, ReadRequest, ("opid", "obj", "session_ts", "view", "size_bits")
+)
 register(4, ReadReturn, ("opid", "value", "ts", "value_tag", "size_bits"))
 register(5, App, ("obj", "value", "tag", "size_bits"))
 register(6, Del, ("obj", "tag", "origin", "fanout", "size_bits"))
@@ -191,6 +202,13 @@ register(
     RepairResponse,
     ("sender", "tags", "vc", "entries", "dels", "symbol", "tagvec", "size_bits"),
 )
+register(
+    14,
+    MigrateInstall,
+    ("opid", "obj", "value", "gen", "session_ts", "view", "size_bits"),
+)
+register(15, ViewInstall, ("version", "size_bits"))
+register(16, ViewInstallAck, ("version", "ts", "size_bits"))
 
 # durable server state (ids 20-31): everything a ServerCheckpoint holds, so
 # the file-backed durable store never needs pickle.
@@ -204,7 +222,11 @@ register(26, Codeword, ("value", "tagvec"))
 register(27, ServerCheckpoint, ("server_id", "time", "state", "transport"))
 
 # observability (ids 40-49): records streamed to the online auditor.
-register(40, AuditOp, ("server", "seq", "kind", "obj", "tag", "opid", "time"))
+register(
+    40,
+    AuditOp,
+    ("server", "seq", "kind", "obj", "tag", "opid", "time", "shard", "gen"),
+)
 
 
 # ---------------------------------------------------------------------------

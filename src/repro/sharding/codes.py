@@ -1,0 +1,35 @@
+"""Default per-shard code choice.
+
+A shard's CausalEC group spans ``slots_per_shard`` objects (one codeword
+slot per key it can host).  A systematic Reed-Solomon code needs at
+least K servers, so when a shard's slot capacity exceeds its server
+count the default falls back to full replication -- every guarantee is
+uniform either way, only the storage cost differs (the same trade the
+paper's Sec. 4.2 grouping analysis makes).
+"""
+
+from __future__ import annotations
+
+from ..ec.code import LinearCode
+from ..ec.codes import reed_solomon_code, replication_code
+
+__all__ = ["default_shard_code"]
+
+
+def default_shard_code(
+    num_servers: int, num_objects: int, value_len: int
+) -> LinearCode:
+    """RS(N, K) when K <= N, full replication otherwise."""
+    if num_objects <= num_servers:
+        return reed_solomon_code(
+            None,
+            num_servers=num_servers,
+            num_objects=num_objects,
+            value_len=value_len,
+        )
+    return replication_code(
+        None,
+        num_servers=num_servers,
+        num_objects=num_objects,
+        value_len=value_len,
+    )

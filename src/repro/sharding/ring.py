@@ -1,0 +1,95 @@
+"""Consistent-hash ring with virtual nodes.
+
+Each shard contributes ``vnodes`` points on a 64-bit ring; a key is
+owned by the shard whose point follows the key's hash clockwise.  Two
+properties matter for the sharded store:
+
+* **balance** -- with enough virtual nodes (>= 128) every shard owns a
+  near-equal arc of the ring, so keys spread evenly;
+* **minimal movement** -- adding a shard steals only the keys whose
+  successor point now belongs to the new shard (~K/S of them), and
+  removing a shard reassigns only that shard's keys.  No other key
+  changes owner, which is what keeps view changes cheap.
+
+Hashes come from :mod:`hashlib` (blake2b), **not** Python's ``hash()``,
+so placements are stable across processes and immune to
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable
+
+__all__ = ["HashRing"]
+
+
+def _h64(data: bytes) -> int:
+    """A stable 64-bit hash (blake2b), independent of PYTHONHASHSEED."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing over shard ids with ``vnodes`` virtual nodes."""
+
+    def __init__(self, shards: Iterable[int] = (), vnodes: int = 128):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._shards: set[int] = set()
+        self._points: list[tuple[int, int]] = []  # sorted (hash, shard)
+        for s in shards:
+            self.add_shard(s)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def __contains__(self, shard: int) -> bool:
+        return shard in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def copy(self) -> "HashRing":
+        """An independent ring with the same shards (for planning)."""
+        return HashRing(self._shards, vnodes=self.vnodes)
+
+    # ------------------------------------------------------------------
+
+    def add_shard(self, shard: int) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard} already on the ring")
+        self._shards.add(shard)
+        pts = [
+            (_h64(f"s:{shard}:{v}".encode()), shard)
+            for v in range(self.vnodes)
+        ]
+        self._points = sorted(self._points + pts)
+
+    def remove_shard(self, shard: int) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard} not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.discard(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    # ------------------------------------------------------------------
+
+    def key_point(self, key) -> int:
+        return _h64(f"k:{key}".encode())
+
+    def lookup(self, key) -> int:
+        """The shard owning ``key``: first point at/after its hash."""
+        if not self._points:
+            raise ValueError("empty ring")
+        i = bisect_right(self._points, (self.key_point(key), -1))
+        if i == len(self._points):
+            i = 0  # wrap around
+        return self._points[i][1]

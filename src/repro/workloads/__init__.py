@@ -7,6 +7,8 @@ from .live_open_loop import (
     run_macro_sweep,
 )
 from .open_loop import OpenLoopConfig, OpenLoopDriver
+from .records import append_bench_record
+from .sharded_open_loop import ShardedOpenLoopDriver, run_sharded_sweep
 from .ycsb import (
     YCSB_PRESETS,
     LatestGenerator,
@@ -34,6 +36,9 @@ __all__ = [
     "LiveOpenLoopDriver",
     "LiveOpenLoopConfig",
     "run_macro_sweep",
+    "ShardedOpenLoopDriver",
+    "run_sharded_sweep",
+    "append_bench_record",
     "KeyGenerator",
     "UniformGenerator",
     "ZipfianGenerator",

@@ -1,0 +1,70 @@
+"""Append-only benchmark record files.
+
+``BENCH_macro.json`` used to be overwritten on every run, destroying the
+history CI had accumulated.  :func:`append_bench_record` instead keeps an
+accumulating document::
+
+    {"schema": "repro-macro-bench-runs/v1",
+     "runs": [ {<sweep payload>, "git_sha": ..., "recorded_at": ...}, ... ]}
+
+Each appended run is stamped with the current git commit (``None`` when
+not running inside a git checkout) and a UTC timestamp.  A pre-existing
+legacy file holding a single ``repro-macro-bench/v1`` payload is wrapped
+as the first run, so old artifacts upgrade in place.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["RUNS_SCHEMA", "append_bench_record"]
+
+#: schema tag of the accumulating multi-run document
+RUNS_SCHEMA = "repro-macro-bench-runs/v1"
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def append_bench_record(path: str | Path, payload: dict) -> dict:
+    """Append one run record to ``path``; returns the full document.
+
+    The payload is stamped with ``git_sha`` and ``recorded_at`` (UTC ISO
+    8601) unless it already carries them.  Unreadable or foreign files
+    are replaced by a fresh document rather than crashing the benchmark.
+    """
+    path = Path(path)
+    record = dict(payload)
+    record.setdefault("git_sha", _git_sha())
+    record.setdefault(
+        "recorded_at", datetime.now(timezone.utc).isoformat()
+    )
+    doc = {"schema": RUNS_SCHEMA, "runs": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = None
+        if isinstance(existing, dict) and existing.get("schema") == RUNS_SCHEMA:
+            doc = existing
+            doc.setdefault("runs", [])
+        elif isinstance(existing, dict) and "schema" in existing:
+            # legacy single-run payload: keep it as the first run
+            doc["runs"].append(existing)
+    doc["runs"].append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc

@@ -1,0 +1,208 @@
+"""Open-loop workload driver for the live *sharded* runtime.
+
+The sharded sibling of :class:`~repro.workloads.live_open_loop
+.LiveOpenLoopDriver`: the same Poisson arrival model per site (gaps drawn
+from a per-site stream seeded by ``(seed, site)``), but operations target
+string keys through pooled :class:`~repro.runtime.sharded_rt
+.ShardedSession` objects, so every arrival exercises the shard router --
+and, while a view change is in flight, the migration write fence.
+
+:func:`run_sharded_sweep` is the ``--shards`` lane of ``repro
+bench-macro``: same payload shape as :func:`~repro.workloads
+.live_open_loop.run_macro_sweep` (one result row per arrival rate) with a
+``shards`` field on the payload and each row.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from .live_open_loop import MACRO_BENCH_SCHEMA, LiveOpenLoopConfig
+
+__all__ = ["ShardedOpenLoopDriver", "run_sharded_sweep"]
+
+
+class ShardedOpenLoopDriver:
+    """Poisson arrivals per site against a sharded store; pooled sessions."""
+
+    def __init__(self, store, keys, config: LiveOpenLoopConfig | None = None,
+                 sites: list[int] | None = None):
+        self.store = store
+        self.keys = list(keys)
+        self.config = config or LiveOpenLoopConfig()
+        self.sites = sites if sites is not None else list(
+            range(store.num_servers)
+        )
+        self.offered = 0
+        self.dropped = 0  # arrivals that found no free session
+        self.failed = 0  # operations that settled unsuccessfully
+        self.latencies_ms: list[float] = []
+        self._free: dict[int, list] = {s: [] for s in self.sites}
+        self._pool_size: dict[int, int] = {s: 0 for s in self.sites}
+        self._op_tasks: list[asyncio.Task] = []
+
+    async def run(self) -> dict:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        await asyncio.gather(
+            *(self._site_loop(site, start) for site in self.sites)
+        )
+        if self._op_tasks:
+            await asyncio.gather(*self._op_tasks)
+        return self.summary(loop.time() - start)
+
+    async def _site_loop(self, site: int, start: float) -> None:
+        cfg = self.config
+        rng = np.random.default_rng((cfg.seed, site))
+        mean_gap = 1.0 / cfg.rate_per_site
+        loop = asyncio.get_running_loop()
+        t = 0.0
+        while True:
+            t += float(rng.exponential(mean_gap))
+            if t > cfg.duration:
+                return
+            delay = start + t - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            self.offered += 1
+            session, create = self._acquire(site)
+            if session is None and not create:
+                self.dropped += 1
+                continue
+            key = self.keys[int(rng.integers(len(self.keys)))]
+            is_read = bool(rng.random() < cfg.read_ratio)
+            value = None if is_read else int(rng.integers(1, 100))
+            self._op_tasks.append(asyncio.ensure_future(
+                self._do_op(site, session, key, is_read, value)
+            ))
+
+    def _acquire(self, site: int):
+        free = self._free[site]
+        if free:
+            return free.pop(), False
+        if self._pool_size[site] < self.config.max_clients_per_site:
+            self._pool_size[site] += 1  # reserved before the await in _do_op
+            return None, True
+        return None, False
+
+    async def _do_op(self, site, session, key, is_read: bool, value):
+        loop = asyncio.get_running_loop()
+        if session is None:
+            session = self.store.session(site=site)
+        t0 = loop.time()
+        try:
+            if is_read:
+                await session.get(key)
+            else:
+                await session.put(key, value)
+        except Exception:
+            self.failed += 1
+            return
+        finally:
+            self._free[site].append(session)
+        self.latencies_ms.append((loop.time() - t0) * 1000.0)
+
+    def summary(self, elapsed_s: float) -> dict:
+        lats = np.asarray(self.latencies_ms, dtype=float)
+        completed = len(lats)
+        pct = (
+            {
+                "p50_ms": float(np.percentile(lats, 50)),
+                "p99_ms": float(np.percentile(lats, 99)),
+                "p999_ms": float(np.percentile(lats, 99.9)),
+            }
+            if completed
+            else {"p50_ms": None, "p99_ms": None, "p999_ms": None}
+        )
+        return {
+            "offered": self.offered,
+            "completed": completed,
+            "failed": self.failed,
+            "dropped": self.dropped,
+            "elapsed_s": elapsed_s,
+            "ops_per_s": completed / elapsed_s if elapsed_s > 0 else 0.0,
+            **pct,
+        }
+
+
+async def _run_sharded_lane(rate: float, *, keys, num_shards: int,
+                            duration: float, read_ratio: float, seed: int,
+                            value_len: int, gc_interval: float) -> dict:
+    from ..core.server import ServerConfig
+    from ..protocol.client_core import RetryPolicy
+    from ..runtime.sharded_rt import ShardedAsyncioCluster
+
+    store = ShardedAsyncioCluster(
+        keys,
+        num_shards=num_shards,
+        slots_per_shard=len(keys),  # capacity for any ring imbalance
+        value_len=value_len,
+        config=ServerConfig(gc_interval=gc_interval),
+        retry=RetryPolicy(timeout=250.0, max_retries=6),
+    )
+    await store.start()
+    try:
+        driver = ShardedOpenLoopDriver(
+            store,
+            keys,
+            LiveOpenLoopConfig(
+                rate_per_site=rate / store.num_servers,
+                duration=duration,
+                read_ratio=read_ratio,
+                seed=seed,
+            ),
+        )
+        result = await driver.run()
+        await store.quiesce()
+        stats = store.frame_stats()
+    finally:
+        await store.shutdown()
+    done = max(result["completed"], 1)
+    return {
+        "rate": rate,
+        "shards": num_shards,
+        "batch": True,
+        **result,
+        **stats,
+        "frames_per_op": stats["frames_sent"] / done,
+        "flushes_per_op": stats["flushes"] / done,
+    }
+
+
+def run_sharded_sweep(
+    num_shards: int = 2,
+    num_keys: int = 8,
+    rates: tuple[float, ...] = (100.0, 200.0),
+    duration: float = 1.5,
+    read_ratio: float = 0.5,
+    seed: int = 0,
+    value_len: int = 16,
+    gc_interval: float = 50.0,
+) -> dict:
+    """Drive a fresh sharded store at each rate; return the macro payload."""
+    import time
+
+    keys = [f"key{i:03d}" for i in range(num_keys)]
+    results = [
+        asyncio.run(_run_sharded_lane(
+            rate, keys=keys, num_shards=num_shards,
+            duration=duration, read_ratio=read_ratio, seed=seed,
+            value_len=value_len, gc_interval=gc_interval,
+        ))
+        for rate in rates
+    ]
+    return {
+        "schema": MACRO_BENCH_SCHEMA,
+        "unix_time": time.time(),
+        "code": f"rs-sharded-x{num_shards}",
+        "value_len": value_len,
+        "servers": 5 * num_shards,
+        "shards": num_shards,
+        "keys": num_keys,
+        "duration_s": duration,
+        "read_ratio": read_ratio,
+        "seed": seed,
+        "results": results,
+    }

