@@ -13,6 +13,9 @@ Commands:
 * ``reshard`` -- live resharding demo: add a shard under traffic with
   the online causal auditor attached.
 * ``cluster`` -- boot a live asyncio TCP cluster on localhost sockets.
+* ``chaos``   -- seeded chaos soaks against the live asyncio runtime.
+* ``scrub``   -- seeded corruption chaos (frame damage, codeword rot,
+  checkpoint rot) under the bit-rot scrubber, in the simulator.
 * ``serve``   -- run one CausalEC server as a standalone TCP process.
 """
 
@@ -179,6 +182,10 @@ def cmd_bench_macro(args: argparse.Namespace) -> int:
 
     if args.uvloop and install_uvloop():
         print("using uvloop")
+    if args.crc_compare and args.shards:
+        print("error: --crc-compare and --shards are mutually exclusive",
+              file=sys.stderr)
+        return 2
     rates = tuple(float(r) for r in args.rates.split(","))
     if args.shards:
         payload = run_sharded_sweep(
@@ -190,6 +197,41 @@ def cmd_bench_macro(args: argparse.Namespace) -> int:
             seed=args.seed,
             value_len=args.value_len,
         )
+    elif args.crc_compare:
+        from repro.runtime import wire
+
+        make = six_dc_code if args.code == "six-dc" else example1_code
+        code = make(PrimeField(257), value_len=args.value_len)
+        sweeps = {}
+        try:
+            for crc_on in (True, False):
+                wire.set_crc_enabled(crc_on)
+                sweeps[crc_on] = run_macro_sweep(
+                    code=code,
+                    rates=rates,
+                    duration=args.duration,
+                    read_ratio=args.read_ratio,
+                    seed=args.seed,
+                    compare_unbatched=False,
+                )
+        finally:
+            wire.set_crc_enabled(True)
+        for crc_on, sweep in sweeps.items():
+            for r in sweep["results"]:
+                r["crc"] = crc_on
+        on_rows = sweeps[True]["results"]
+        off_rows = sweeps[False]["results"]
+        best_on = max(r["ops_per_s"] for r in on_rows)
+        best_off = max(r["ops_per_s"] for r in off_rows)
+        payload = sweeps[True]
+        payload["results"] = on_rows + off_rows
+        payload["crc_compare"] = {
+            "crc_on_ops_per_s": best_on,
+            "crc_off_ops_per_s": best_off,
+            "overhead_pct": (
+                100.0 * (best_off - best_on) / best_off if best_off else 0.0
+            ),
+        }
     else:
         make = six_dc_code if args.code == "six-dc" else example1_code
         code = make(PrimeField(257), value_len=args.value_len)
@@ -201,12 +243,18 @@ def cmd_bench_macro(args: argparse.Namespace) -> int:
             seed=args.seed,
             compare_unbatched=not args.no_compare,
         )
+
+    def _lane(r: dict) -> str:
+        if args.shards:
+            return str(r["shards"])
+        if "crc" in r:
+            return "crc-on" if r["crc"] else "crc-off"
+        return "on" if r["batch"] else "off"
+
     rows = [
         [
             f"{r['rate']:g}",
-            str(r["shards"]) if args.shards else (
-                "on" if r["batch"] else "off"
-            ),
+            _lane(r),
             r["offered"],
             r["completed"],
             f"{r['ops_per_s']:.1f}",
@@ -219,10 +267,18 @@ def cmd_bench_macro(args: argparse.Namespace) -> int:
         for r in payload["results"]
     ]
     _print_table(
-        ["rate", "shards" if args.shards else "batch", "offered", "done",
+        ["rate",
+         "shards" if args.shards else (
+             "crc" if args.crc_compare else "batch"),
+         "offered", "done",
          "ops/s", "p50ms", "p99ms", "p999ms", "frames/op", "flushes/op"],
         rows,
     )
+    if args.crc_compare:
+        cc = payload["crc_compare"]
+        print(f"frame CRC overhead: {cc['crc_on_ops_per_s']:.1f} ops/s on "
+              f"vs {cc['crc_off_ops_per_s']:.1f} ops/s off "
+              f"({cc['overhead_pct']:+.1f}%)")
     out = Path(args.out)
     doc = append_bench_record(out, payload)
     print(f"appended run {len(doc['runs'])} to {out}")
@@ -303,6 +359,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.protocol.client_core import RetryPolicy
     from repro.protocol.failure_detector import FailureDetectorConfig
     from repro.protocol.repair_core import RepairConfig
+    from repro.protocol.scrub_core import ScrubConfig
     from repro.protocol.server_core import ServerConfig
     from repro.runtime.asyncio_rt import AsyncioCluster
     from repro.runtime.auditor import OnlineAuditor
@@ -318,10 +375,10 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             auditor = OnlineAuditor()
             await auditor.start()
         chaos = None
-        if args.drop > 0 or args.dup > 0:
+        if args.drop > 0 or args.dup > 0 or args.corrupt > 0:
             chaos = LiveFaultInjector(
                 LinkFaults(drop_prob=args.drop, dup_prob=args.dup,
-                           seed=args.seed),
+                           corrupt_prob=args.corrupt, seed=args.seed),
                 jitter_ms=args.jitter,
             )
         cluster = AsyncioCluster(
@@ -334,6 +391,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             repair=(
                 RepairConfig(digest_interval=args.repair_interval)
                 if args.repair
+                else None
+            ),
+            scrub=(
+                ScrubConfig(interval=args.scrub_interval)
+                if args.scrub_interval
                 else None
             ),
         )
@@ -415,7 +477,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         print(f"durable persists: {sum(cluster.store.persist_counts.values())}")
         if chaos is not None:
             print(f"chaos: {chaos.dropped} dropped, {chaos.duplicated} "
-                  f"duplicated, {chaos.delayed} delayed frames")
+                  f"duplicated, {chaos.delayed} delayed, "
+                  f"{chaos.corrupted} corrupted frames")
         if args.detector:
             suspects = sum(
                 1 for _, _, k in cluster.detector_transitions if k == "suspect"
@@ -428,6 +491,17 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             print(f"repair: {int(rs.get('rounds_completed', 0))} round(s), "
                   f"{int(rs.get('entries_installed', 0))} install(s), "
                   f"{int(rs.get('bits_shipped', 0)) // 8} bytes shipped")
+        if args.scrub_interval:
+            ss = cluster.scrub_stats()
+            print(f"scrub: {int(ss.get('rounds', 0))} round(s), "
+                  f"{int(ss.get('symbols_verified', 0))} symbol(s) and "
+                  f"{int(ss.get('checkpoints_verified', 0))} checkpoint(s) "
+                  f"verified, "
+                  f"{int(ss.get('integrity_quarantines', 0))} quarantine(s), "
+                  f"{int(ss.get('healed', 0))} healed, "
+                  f"{int(ss.get('frames_corrupt', 0))} CRC rejection(s), "
+                  f"{int(ss.get('checkpoint_reports', 0))} checkpoint "
+                  f"report(s)")
         if supervisor is not None:
             print(f"supervisor: {sum(supervisor.restarts.values())} "
                   f"restart(s)")
@@ -468,6 +542,31 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             failures += 1
             for path in result.artifacts:
                 print(f"  artifact: {path}")
+    return 1 if failures else 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Seeded corruption chaos under the bit-rot scrubber (simulated)."""
+    from repro.protocol.repair_core import RepairConfig
+    from repro.sim.chaos import ChaosConfig, run_chaos
+
+    code = _cli_code(args.code)
+    cfg = ChaosConfig(
+        ops_per_client=args.ops,
+        corrupt_prob_max=args.corrupt,
+        codeword_rots=args.codeword_rots,
+        checkpoint_rots=args.checkpoint_rots,
+        torn_writes=args.torn_writes,
+        scrub_interval=args.scrub_interval,
+    )
+    failures = 0
+    for seed in args.seeds:
+        # checkpoint damage needs the repair overlay: the victim restarts
+        # empty and only anti-entropy can re-derive its state from peers
+        result = run_chaos(code, seed, cfg, repair=RepairConfig())
+        print(result.summary())
+        if not result.ok:
+            failures += 1
     return 1 if failures else 0
 
 
@@ -578,6 +677,9 @@ def main(argv: list[str] | None = None) -> int:
                         "each its own coding group (0 = unsharded)")
     p.add_argument("--keys", type=int, default=8,
                    help="number of keys in the sharded lane's keyspace")
+    p.add_argument("--crc-compare", action="store_true",
+                   help="run every rate twice, frame CRC on vs off, and "
+                        "record the throughput overhead")
     p.add_argument("--out", default="BENCH_macro.json",
                    help="append the run record to this JSON file")
     p.set_defaults(fn=cmd_bench_macro)
@@ -634,6 +736,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="per-frame duplication probability")
     p.add_argument("--jitter", type=float, default=0.0,
                    help="max per-frame extra delay in ms (reordering)")
+    p.add_argument("--corrupt", type=float, default=0.0,
+                   help="per-frame in-flight bit-flip probability (the "
+                        "frame CRC rejects damaged frames; ARQ retransmits)")
+    p.add_argument("--scrub-interval", type=float, default=0.0,
+                   help="run the bit-rot scrubber at this interval in ms "
+                        "(0 = off); pairs well with --repair so "
+                        "quarantined symbols heal")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_cluster)
 
@@ -653,6 +762,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--artifacts", default=None, metavar="DIR",
                    help="write auditor/supervisor dumps here on failure")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "scrub",
+        help="seeded corruption chaos under the bit-rot scrubber "
+             "(simulated: frame damage, codeword rot, checkpoint rot)",
+    )
+    p.add_argument("--code", default="example1", choices=["example1", "six-dc"])
+    p.add_argument("--seeds", type=lambda s: [int(x) for x in s.split(",")],
+                   default=[7, 11],
+                   help="comma-separated seeds, one soak each")
+    p.add_argument("--ops", type=int, default=12,
+                   help="operations per client")
+    p.add_argument("--corrupt", type=float, default=0.1,
+                   help="in-flight frame corruption probability ceiling")
+    p.add_argument("--codeword-rots", type=int, default=2,
+                   help="seeded in-memory codeword bit flips")
+    p.add_argument("--checkpoint-rots", type=int, default=1,
+                   help="checkpoint files damaged inside crash windows")
+    p.add_argument("--torn-writes", type=int, default=1,
+                   help="checkpoint files truncated inside crash windows")
+    p.add_argument("--scrub-interval", type=float, default=50.0,
+                   help="scrub round interval in simulated ms")
+    p.set_defaults(fn=cmd_scrub)
 
     p = sub.add_parser(
         "serve", help="run one CausalEC server as a standalone TCP process"

@@ -220,6 +220,7 @@ class CausalECCluster(Cluster):
         retry: RetryPolicy | None = None,
         durable=False,
         repair=None,
+        scrub=None,
     ):
         super().__init__(
             code.N,
@@ -233,9 +234,16 @@ class CausalECCluster(Cluster):
         self.code = code
         self.config = config or ServerConfig()
         self.repair = repair
+        self.scrub = scrub
         self.servers = [
             CausalECServer(
-                i, self.scheduler, self.network, code, self.config, repair=repair
+                i,
+                self.scheduler,
+                self.network,
+                code,
+                self.config,
+                repair=repair,
+                scrub=scrub,
             )
             for i in range(code.N)
         ]
@@ -271,6 +279,28 @@ class CausalECCluster(Cluster):
                 continue
             for k, v in vars(s.repair.stats).items():
                 totals[k] = totals.get(k, 0) + v
+        return totals
+
+    def scrub_stats(self) -> dict[str, float]:
+        """Aggregate scrub counters across servers (zeros if off), plus
+        ``corrupt_dropped`` (link-level frames the network dropped as
+        detected-corrupt) and ``checkpoint_reports`` (durable-store
+        detections)."""
+        totals: dict[str, float] = {}
+        for s in self.servers:
+            if s.scrub is None:
+                continue
+            for k, v in vars(s.scrub.stats).items():
+                totals[k] = totals.get(k, 0) + v
+        lf = self.network.faults
+        totals["corrupt_dropped"] = 0 if lf is None else lf.corrupted
+        # guard-path detections (read/val-inq/encoding) are on the core's
+        # stats, not the scrub overlay's -- surface both
+        totals["integrity_quarantines"] = sum(
+            s.stats.integrity_quarantines for s in self.servers
+        )
+        if self.durable is not None:
+            totals["checkpoint_reports"] = self.durable.corrupt_detected()
         return totals
 
     def assert_no_reencoding_errors(self) -> None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..core.messages import DigestMsg, RepairRequest, RepairResponse
 from ..ec.code import LinearCode
 from ..protocol.repair_core import RepairConfig, RepairCore
+from ..protocol.scrub_core import ScrubConfig, ScrubCore
 from ..protocol.server_core import ServerConfig, ServerCore, ServerStats
 from ..runtime.sim import EffectNode
 from ..sim.network import Network
@@ -40,7 +41,11 @@ class CausalECServer(EffectNode, ServerCore):
     ``repair`` attaches the anti-entropy overlay
     (:class:`~repro.protocol.repair_core.RepairCore`): its ``("rep", ...)``
     timers and digest/repair messages are multiplexed here onto the same
-    timer table and message stream the protocol core uses.
+    timer table and message stream the protocol core uses.  ``scrub``
+    likewise attaches the bit-rot scrubber
+    (:class:`~repro.protocol.scrub_core.ScrubCore`, ``("scrub", ...)``
+    timers); each round additionally re-checks this server's durable
+    checkpoint slot and heals detected rot by re-persisting from memory.
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class CausalECServer(EffectNode, ServerCore):
         code: LinearCode,
         config: ServerConfig | None = None,
         repair: RepairConfig | None = None,
+        scrub: ScrubConfig | None = None,
     ):
         Node.__init__(self, node_id, scheduler, network)
         ServerCore.__init__(self, node_id, code, config)
@@ -60,9 +66,12 @@ class CausalECServer(EffectNode, ServerCore):
         self._timers: dict[tuple, object] = {}
         self.decision_log: list[tuple] = []
         self.repair = None if repair is None else RepairCore(self, repair)
+        self.scrub = None if scrub is None else ScrubCore(self, scrub)
         self.interpret(self.boot(self.scheduler.now))
         if self.repair is not None:
             self.interpret(self.repair.boot(self.scheduler.now))
+        if self.scrub is not None:
+            self.interpret(self.scrub.boot(self.scheduler.now))
 
     # ------------------------------------------------------------------
     # repair-overlay multiplexing
@@ -79,7 +88,29 @@ class CausalECServer(EffectNode, ServerCore):
             if self.repair is None:  # pragma: no cover - defensive
                 return []
             return self.repair.handle_timer(timer_id, now)
+        if timer_id[0] == "scrub":
+            if self.scrub is None:  # pragma: no cover - defensive
+                return []
+            effects = self.scrub.handle_timer(timer_id, now)
+            self._scrub_disk()
+            return effects
         return ServerCore.handle_timer(self, timer_id, now)
+
+    def _scrub_disk(self) -> None:
+        """Disk-side scrub: re-verify this server's checkpoint slot and
+        heal detected rot by re-persisting from live memory."""
+        if self.durable is None or self.halted:
+            return
+        ok = self.durable.verify(self.node_id)
+        if ok is None:
+            return
+        stats = self.scrub.stats
+        if ok:
+            stats.checkpoints_verified += 1
+            return
+        stats.checkpoints_corrupt += 1
+        self._persist()
+        stats.checkpoints_rewritten += 1
 
     # ------------------------------------------------------------------
     # durability and crash-recovery
@@ -138,3 +169,5 @@ class CausalECServer(EffectNode, ServerCore):
         if self.repair is not None:
             # the overlay's round state is volatile: reboot it fresh
             self.interpret(self.repair.boot(self.scheduler.now))
+        if self.scrub is not None:
+            self.interpret(self.scrub.boot(self.scheduler.now))

@@ -33,6 +33,7 @@ __all__ = [
     "snapshot_cluster",
     "format_snapshot",
     "ServerCheckpoint",
+    "CorruptCheckpoint",
     "DurableStore",
     "capture_server_state",
     "restore_server_state",
@@ -146,6 +147,22 @@ class ServerCheckpoint:
     transport: dict[str, Any] | None = None
 
 
+@dataclass
+class CorruptCheckpoint:
+    """Typed report of a checkpoint that failed integrity verification.
+
+    Stores surface this instead of raising: a corrupt or truncated
+    checkpoint is treated as *no* checkpoint (the server restarts empty
+    and anti-entropy repair re-derives its state from peers), and the
+    report preserves what was detected for operators, scrub stats, and
+    chaos-soak assertions.
+    """
+
+    server_id: int
+    path: str | None
+    reason: str
+
+
 def capture_server_state(server, transport=None) -> ServerCheckpoint:
     """Deep-copy a server's recoverable state into a checkpoint.
 
@@ -182,6 +199,8 @@ def restore_server_state(
         setattr(server, name, copy.deepcopy(checkpoint.state[name]))
     # read-timeout timers died with the old incarnation
     server._read_timeouts = {}
+    # the integrity seal covers the *restored* codeword, not the boot-time one
+    server.reseal_codeword()
     if transport is not None and checkpoint.transport is not None:
         transport.restore_node(server.node_id, checkpoint.transport)
 
@@ -194,20 +213,74 @@ class DurableStore:
     the server's checkpoint, :meth:`load` returns the latest one (or
     ``None`` before the first persist).  ``persist_counts`` supports tests
     and benchmarks that reason about persistence frequency.
+
+    Bit rot is modelled at *detection* level: :meth:`corrupt` marks a
+    slot's checkpoint as damaged, and a subsequent :meth:`load` then
+    behaves exactly like the live :class:`~repro.runtime.asyncio_rt
+    .FileDurableStore` facing a digest mismatch -- it records a typed
+    :class:`CorruptCheckpoint` and returns ``None`` (a fresh persist
+    replaces the damaged slot and clears the mark).
     """
 
     _checkpoints: dict[int, ServerCheckpoint] = field(default_factory=dict)
     persist_counts: dict[int, int] = field(default_factory=dict)
+    _corrupt: set[int] = field(default_factory=set)
+    #: every corruption detected by :meth:`load`, oldest first
+    corruption_reports: list[CorruptCheckpoint] = field(default_factory=list)
 
     def persist(self, checkpoint: ServerCheckpoint) -> None:
         self._checkpoints[checkpoint.server_id] = checkpoint
+        self._corrupt.discard(checkpoint.server_id)
         self.persist_counts[checkpoint.server_id] = (
             self.persist_counts.get(checkpoint.server_id, 0) + 1
         )
 
     def load(self, server_id: int) -> ServerCheckpoint | None:
+        if server_id in self._corrupt:
+            self.corruption_reports.append(
+                CorruptCheckpoint(server_id, None, "simulated bit rot")
+            )
+            return None
         return self._checkpoints.get(server_id)
+
+    def verify(self, server_id: int) -> bool | None:
+        """Disk-scrub hook: re-check a slot without surfacing its data.
+
+        Returns ``None`` when the slot is empty, ``True`` when intact,
+        ``False`` (recording a typed report) when marked rotted -- the
+        same contract as the live store's ``verify_file``.
+        """
+        if server_id not in self._checkpoints:
+            return None
+        if server_id in self._corrupt:
+            self.corruption_reports.append(
+                CorruptCheckpoint(server_id, None, "simulated bit rot")
+            )
+            return False
+        return True
+
+    def corrupt(self, server_id: int) -> bool:
+        """Damage server ``server_id``'s checkpoint (detected on load).
+
+        Returns whether there was a checkpoint to damage.
+        """
+        if server_id not in self._checkpoints:
+            return False
+        self._corrupt.add(server_id)
+        return True
+
+    def is_corrupt(self, server_id: int) -> bool:
+        return server_id in self._corrupt
+
+    def corrupt_detected(self, server_id: int | None = None) -> int:
+        """How many corrupt checkpoints :meth:`load` has reported."""
+        if server_id is None:
+            return len(self.corruption_reports)
+        return sum(
+            1 for r in self.corruption_reports if r.server_id == server_id
+        )
 
     def wipe(self, server_id: int) -> None:
         """Simulate disk loss for one server (tests)."""
         self._checkpoints.pop(server_id, None)
+        self._corrupt.discard(server_id)

@@ -61,15 +61,22 @@ class ValueCodec:
         return out
 
     def decode(self, value: np.ndarray) -> bytes:
-        value = np.asarray(value)
+        try:
+            value = np.asarray(value)
+        except (ValueError, TypeError) as exc:
+            raise CodecError(f"undecodable value: {exc}") from exc
         if value.shape != (self.value_len,):
             raise CodecError(
                 f"expected a length-{self.value_len} vector, got {value.shape}"
             )
+        if not np.issubdtype(value.dtype, np.number):
+            raise CodecError(f"non-numeric value dtype {value.dtype}")
         length = int(value[0]) * 256 + int(value[1])
-        if length > self.capacity:
+        if not 0 <= length <= self.capacity:
             raise CodecError(f"corrupt header: length {length}")
         payload = value[_HEADER : _HEADER + length]
-        if payload.size and int(payload.max()) > 255:
+        if payload.size and (
+            int(payload.min()) < 0 or int(payload.max()) > 255
+        ):
             raise CodecError("corrupt payload: element exceeds byte range")
         return bytes(payload.astype(np.uint8))

@@ -1,0 +1,149 @@
+"""Background bit-rot scrubbing as a sans-I/O protocol core.
+
+Erasure-coded storage concentrates risk: one rotted codeword symbol
+silently poisons *every* object whose recovery sets include that server,
+and nothing in the foreground protocol ever re-reads a symbol it is not
+asked for -- latent corruption survives until the worst possible moment
+(a decode that needs exactly the damaged server).  Production stores
+(ZFS, Ceph, HDFS) answer with periodic *scrub*: re-verify checksums over
+data at rest, on a timer, and repair what fails.  :class:`ScrubCore` is
+that service for CausalEC.
+
+The overlay runs next to a :class:`~repro.protocol.server_core.ServerCore`
+(the *host*), in the style of :class:`~repro.protocol.repair_core
+.RepairCore`:
+
+1. **Verify** -- every ``interval`` ms the core asks the host to check
+   its codeword integrity seal (a BLAKE2b digest over the symbol and its
+   tag vector, renewed only at legitimate mutation points).
+2. **Quarantine** -- on a mismatch the host resets the symbol to the
+   zero codeword with a zero tag vector: a *detected erasure* instead of
+   silent corruption.  Nothing downstream ever decodes from the rotted
+   bytes -- read and inquiry handlers check the same seal on entry.
+3. **Heal** -- the zero tag vector makes every version the history list
+   still holds fold back in via the host's own Encoding action (invoked
+   in the same step), and versions already garbage-collected lower the
+   host's advertised repair knowledge, so the repair overlay's next
+   digest diff opens a pull round against the peers.  The scrub core
+   tracks which quarantined objects have regained their pre-rot tags and
+   reports them as ``healed``.
+
+Disk-level scrub (re-verifying checkpoint digests at rest) is I/O and
+therefore lives in the runtimes; they account it through this core's
+:class:`ScrubStats` (``checkpoints_*`` counters) so one stats object
+describes the whole integrity story per server.
+
+Non-interference: scrub never blocks a foreground handler, never mints
+tags, and a clean symbol costs one digest per interval.  Timers are
+namespaced under ``("scrub", ...)`` so runtimes can multiplex them with
+the host's, the failure detector's, and the repair overlay's on one
+timer table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tags import Tag
+from .effects import ProtocolCore, SetTimerEffect
+from .server_core import ServerCore
+
+__all__ = ["ScrubConfig", "ScrubStats", "ScrubCore", "SCRUB_TIMER"]
+
+SCRUB_TIMER = ("scrub", "round")
+
+
+@dataclass
+class ScrubConfig:
+    """Scrub-overlay tunables (milliseconds, like every core clock).
+
+    ``interval`` paces the rounds; worst-case latent-corruption dwell time
+    is one interval.  Scrubbing is cheap (one BLAKE2b digest over the
+    stored symbol per round), so intervals well below the repair overlay's
+    digest gossip are reasonable.
+    """
+
+    interval: float = 250.0
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+
+
+@dataclass
+class ScrubStats:
+    """Counters for one server's scrub overlay."""
+
+    rounds: int = 0
+    symbols_verified: int = 0
+    corrupt_detected: int = 0
+    quarantined: int = 0  # objects zeroed out of the codeword by quarantine
+    healed: int = 0  # quarantined objects whose tags recovered
+    # disk-side scrub, accounted by the runtime that owns the store
+    checkpoints_verified: int = 0
+    checkpoints_corrupt: int = 0
+    checkpoints_rewritten: int = 0
+
+
+class ScrubCore(ProtocolCore):
+    """Per-server bit-rot scrubber around a :class:`ServerCore` host."""
+
+    def __init__(self, host: ServerCore, config: ScrubConfig | None = None):
+        self.host = host
+        self.config = config or ScrubConfig()
+        self.stats = ScrubStats()
+        self.now = 0.0
+        self._zero = host._zero
+        #: pre-quarantine tags still awaiting recovery, per object
+        self._pending_heal: dict[int, Tag] = {}
+
+    # ------------------------------------------------------------------
+    # runtime-facing contract
+
+    def boot(self, now: float) -> list:
+        """(Re)start the overlay for a fresh incarnation."""
+        self._begin(now)
+        self._pending_heal = {}
+        self._emit(SetTimerEffect(SCRUB_TIMER, self.config.interval))
+        return self._end()
+
+    def handle_timer(self, timer_id: tuple, now: float) -> list:
+        self._begin(now)
+        if timer_id != SCRUB_TIMER:  # pragma: no cover - defensive
+            raise ValueError(f"unknown scrub timer {timer_id!r}")
+        self._round()
+        self._emit(SetTimerEffect(SCRUB_TIMER, self.config.interval))
+        return self._end()
+
+    # ------------------------------------------------------------------
+    # one scrub round
+
+    def _round(self) -> None:
+        host = self.host
+        self.stats.rounds += 1
+        self._settle_heals()
+        # snapshot the tags *before* verification: these are what a
+        # quarantine erases and what healing must win back
+        before = {
+            x: t for x, t in host.M.tagvec.items() if t != self._zero
+        }
+        clean, effects = host.scrub_codeword(self.now)
+        self.stats.symbols_verified += 1
+        if not clean:
+            self.stats.corrupt_detected += 1
+            self.stats.quarantined += len(before)
+            for x, t in before.items():
+                pending = self._pending_heal.get(x)
+                if pending is None or t > pending:
+                    self._pending_heal[x] = t
+        for e in effects:
+            self._emit(e)
+        if not clean:
+            self._settle_heals()  # Encoding may have refolded immediately
+
+    def _settle_heals(self) -> None:
+        host = self.host
+        for x, tag in list(self._pending_heal.items()):
+            if host.M.tagvec[x] >= tag:
+                self.stats.healed += 1
+                del self._pending_heal[x]

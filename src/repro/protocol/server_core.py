@@ -37,6 +37,7 @@ broadcast.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np
@@ -132,6 +133,13 @@ class ServerStats:
     parked_requests: int = 0
     restarts: int = 0
     persists: int = 0
+    #: codeword-seal mismatches that led to a quarantine (bit rot detected
+    #: by a scrub round or by a guard on a path about to use the symbol)
+    integrity_quarantines: int = 0
+    #: read responses discarded because the responder answered from a
+    #: crash-recovered state behind the requested cut (not a protocol
+    #: error: anti-entropy will catch the responder up)
+    stale_read_responses: int = 0
 
 
 def _tag_key(tag: Tag) -> tuple:
@@ -200,6 +208,106 @@ class ServerCore(ProtocolCore):
         #: via ViewInstall or piggybacked on a request.  Durable -- a
         #: restarted server resumes in the epoch it last acknowledged.
         self.view = 0
+        self.reseal_codeword()
+
+    # ------------------------------------------------------------------
+    # codeword integrity seal (bit-rot detection)
+
+    #: class-level defaults so cores forked by structural copy (the model
+    #: checker bypasses ``__init__``) and pre-seal checkpoints stay valid:
+    #: an absent seal means "unsealed", which verifies trivially
+    _m_seal: bytes | None = None
+    _seal_checked = True
+
+    def _codeword_digest(self) -> bytes:
+        """blake2b over the stored symbol bytes and its tag vector."""
+        h = hashlib.blake2b(digest_size=16)
+        arr = np.ascontiguousarray(self.M.value)
+        if arr.size:  # zero-size views cannot be cast
+            h.update(memoryview(arr).cast("B"))
+        h.update(
+            repr(
+                sorted(
+                    (x, t.ts.components, t.client_id)
+                    for x, t in self.M.tagvec.items()
+                )
+            ).encode()
+        )
+        return h.digest()
+
+    def reseal_codeword(self) -> None:
+        """Recompute the integrity seal after a *legitimate* mutation of M.
+
+        Called only where the protocol itself rewrites the codeword
+        (init, crash-wipe, checkpoint restore, the Encoding action,
+        quarantine); anything that changes M without resealing -- bit rot
+        above all -- fails :meth:`verify_codeword` at the next guard or
+        scrub round.
+        """
+        self._m_seal = self._codeword_digest()
+
+    def verify_codeword(self) -> bool:
+        """Does the stored codeword still match its seal?"""
+        seal = getattr(self, "_m_seal", None)
+        return seal is None or seal == self._codeword_digest()
+
+    def _guard_codeword(self) -> None:
+        """Verify the seal before the symbol is used or mutated.
+
+        At most one verification per handled event (``_begin`` resets the
+        latch).  On mismatch the symbol is quarantined *before* it can be
+        served to a reader, folded over, or resealed -- corruption is
+        never laundered into valid-looking state.
+        """
+        if self._seal_checked:
+            return
+        self._seal_checked = True
+        if not self.verify_codeword():
+            self._quarantine_corrupt()
+
+    def _quarantine_corrupt(self) -> dict[int, Tag]:
+        """Discard a corrupt codeword: detected rot is a storage crash.
+
+        Zeroing only the symbol would not be safe: the vector clock would
+        keep claiming writes whose folded data just vanished, so any read
+        served from the remaining local state would be a causal regression
+        (the response ``ts`` dominates writes the reply does not reflect),
+        and the read path's re-encode machinery cannot rebuild versions at
+        the GC watermark -- their plain values are gone from every history
+        list, and only the repair overlay's recovery-set symbol pooling
+        can re-derive them.  Quarantine therefore wipes volatile state
+        entirely, landing on the well-tested crash-without-durability
+        path: the server rejoins from the initial state, session floors
+        park clients that know more (no session ever regresses), and
+        anti-entropy re-installs the lost writes and re-encodes the
+        symbol from any live recovery set of peers.
+        """
+        old = dict(self.M.tagvec)
+        self.stats.integrity_quarantines += 1
+        self.wipe_volatile()
+        self._log(
+            "scrub-quarantine",
+            sorted(
+                (x, _tag_key(t)) for x, t in old.items() if t != self._zero
+            ),
+        )
+        return old
+
+    def corrupt_codeword(self, seed: int = 0, flips: int = 1) -> None:
+        """Chaos helper: flip seeded bits in the stored symbol (bit rot).
+
+        The damage is a pure function of ``(seed, node_id, flips)`` so
+        fault schedules replay identically.
+        """
+        arr = np.array(self.M.value, copy=True)
+        raw = arr.view(np.uint8).reshape(-1)
+        if not raw.size:
+            return
+        rng = np.random.default_rng((seed, 0x5C4B, self.node_id))
+        for _ in range(flips):
+            pos = int(rng.integers(0, raw.size))
+            raw[pos] ^= np.uint8(1 << int(rng.integers(0, 8)))
+        self.M.value = arr
 
     # ------------------------------------------------------------------
     # helpers
@@ -234,6 +342,11 @@ class ServerCore(ProtocolCore):
     # ------------------------------------------------------------------
     # runtime-facing contract
 
+    def _begin(self, now: float) -> None:
+        super()._begin(now)
+        # one codeword-seal verification per handled event, on demand
+        self._seal_checked = False
+
     def boot(self, now: float = 0.0) -> list:
         """Effects to perform when the server process starts fresh."""
         self._begin(now)
@@ -248,7 +361,15 @@ class ServerCore(ProtocolCore):
         elif isinstance(msg, ReadRequest):
             self._on_read(src, msg)
         elif isinstance(msg, App):
-            self.inqueue.add(InQueueEntry(src, msg.obj, msg.value, msg.tag))
+            # Covered entries (``ts[src] <= vc[src]``) can never satisfy the
+            # applicability predicate again -- vc components are monotone --
+            # so queueing them would hold transient state above zero forever.
+            # Algorithm 3 assumes exactly-once channels; here a restart that
+            # lost its ARQ dedup state (e.g. a corrupt checkpoint) makes
+            # peers re-deliver old ``app`` messages after anti-entropy has
+            # already merged a clock past them.
+            if msg.tag.ts[src] > self.vc[src]:
+                self.inqueue.add(InQueueEntry(src, msg.obj, msg.value, msg.tag))
         elif isinstance(msg, Del):
             self._on_del(src, msg)
         elif isinstance(msg, ValInq):
@@ -334,6 +455,7 @@ class ServerCore(ProtocolCore):
         self._read_timeouts = {}
         self._parked = []
         self.view = 0
+        self.reseal_codeword()
 
     # ------------------------------------------------------------------
     # anti-entropy (the repair overlay's window into protocol state)
@@ -389,6 +511,25 @@ class ServerCore(ProtocolCore):
         self._emit(PersistEffect())
         return self._end()
 
+    def scrub_codeword(self, now: float) -> tuple[bool, list]:
+        """One scrub pass over the stored symbol (the scrub overlay's
+        window into protocol state, like :meth:`absorb_repair` is the
+        repair overlay's).
+
+        Verifies the integrity seal; on mismatch quarantines the symbol
+        and immediately runs the internal actions so every version the
+        history list still holds is refolded in the same step.  Returns
+        ``(was_clean, effects)``.
+        """
+        self._begin(now)
+        self._seal_checked = True
+        clean = self.verify_codeword()
+        if not clean:
+            self._quarantine_corrupt()
+            self._internal_actions()
+            self._emit(PersistEffect())
+        return clean, self._end()
+
     # ------------------------------------------------------------------
     # Algorithm 1: client messages
 
@@ -423,6 +564,7 @@ class ServerCore(ProtocolCore):
                 self._respond_read(entry, msg.value, tag)
 
     def _on_read(self, client: int, msg: ReadRequest) -> None:
+        self._guard_codeword()  # never decode a reply from a rotted symbol
         self._adopt_view(msg)
         if self.readl.get(msg.opid) is not None:
             # retried request already pending: inquiries are in flight
@@ -603,6 +745,7 @@ class ServerCore(ProtocolCore):
     # Algorithm 2: server messages
 
     def _on_val_inq(self, src: int, msg: ValInq) -> None:
+        self._guard_codeword()  # never re-encode a response from rotted state
         wanted = msg.wanted_tagvec
         value = self._lookup(msg.obj, wanted[msg.obj])
         if value is not None:
@@ -659,11 +802,25 @@ class ServerCore(ProtocolCore):
                 continue
             # swap the sender's encoded version of x for the requested one
             current = self._lookup(x, msg.tagvec[x])
+            target = self._lookup(x, requested[x])
+            if (current is None or target is None) and (
+                msg.tagvec[x] < requested[x]
+            ):
+                # the responder answered from a crash-recovered state
+                # *behind* the requested cut (wipe, quarantine, corrupt
+                # checkpoint) and the plain values needed to re-align its
+                # symbol are long folded away.  Lemmas D.1/D.2 only cover
+                # crash-free runs; this is a stale response, not a
+                # protocol error -- drop the symbol and let the remaining
+                # responders (or the repaired peer, on retry) serve the
+                # read.
+                self.stats.stale_read_responses += 1
+                self._log("read-stale-resp", src, x)
+                return
             if current is None:
                 self.stats.error1_events += 1  # Lemma D.1 says: unreachable
                 ok = False
                 break
-            target = self._lookup(x, requested[x])
             if target is None:
                 self.stats.error2_events += 1  # Lemma D.2 says: unreachable
                 ok = False
@@ -729,7 +886,13 @@ class ServerCore(ProtocolCore):
         steps).  Del notices and internal reads are then emitted in object
         order against the fully-updated codeword, exactly the effects the
         per-object loop produced.
+
+        The integrity seal is checked *before* mutating M (so a rotted
+        symbol is quarantined rather than laundered into a fresh seal)
+        and renewed once at the end when anything changed.
         """
+        self._guard_codeword()
+        dirty = False
         progress = True
         while progress:
             progress = False
@@ -752,6 +915,7 @@ class ServerCore(ProtocolCore):
                     self.node_id, self.M.value, updates
                 )
                 progress = True
+                dirty = True
             for x, highest in advanced.items():
                 self.M.tagvec[x] = highest
                 self.stats.reencodings += 1
@@ -767,7 +931,11 @@ class ServerCore(ProtocolCore):
                     self._register_read(LOCALHOST, self._next_opid(), x)
             for x in range(self.code.K):
                 if x not in self.objects:
-                    progress |= self._advance_unstored_tag(x)
+                    if self._advance_unstored_tag(x):
+                        progress = True
+                        dirty = True
+        if dirty:
+            self.reseal_codeword()
 
     def _advance_unstored_tag(self, x: int) -> bool:
         """Bookkeeping for X not in X_s (Alg. 3 lines 26-32)."""
@@ -844,9 +1012,13 @@ class ServerCore(ProtocolCore):
                 self.tmax[x] = common
             watermark = self.tmax[x]
             mtag = self.M.tagvec[x]
-            protected = {
-                e.tagvec[x] for e in self.readl.entries() if e.tagvec[x] < mtag
-            }
+            # every tag a pending read requested stays resolvable, even at
+            # the codeword cut: a responder that crash-recovered to an
+            # earlier state (wipe, quarantine, corrupt checkpoint) answers
+            # with a tagvec *behind* the request, and the case-(iii) swap
+            # in _on_val_resp_encoded then needs this server's plain value
+            # for its own requested tag -- which only the history list has
+            protected = {e.tagvec[x] for e in self.readl.entries()}
             hist = self.L[x]
             if (
                 watermark == mtag

@@ -40,6 +40,7 @@ incarnation).
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import logging
 import os
 import struct
@@ -53,6 +54,7 @@ from ..consistency.history import History, Operation
 from ..consistency.online import AuditOp
 from ..core.messages import DigestMsg, Heartbeat, RepairRequest, RepairResponse
 from ..core.snapshot import (
+    CorruptCheckpoint,
     ServerCheckpoint,
     capture_server_state,
     restore_server_state,
@@ -73,6 +75,7 @@ from ..protocol.effects import (
 )
 from ..protocol.failure_detector import FailureDetectorConfig, FailureDetectorCore
 from ..protocol.repair_core import RepairConfig, RepairCore
+from ..protocol.scrub_core import ScrubConfig, ScrubCore
 from ..protocol.server_core import ServerConfig, ServerCore
 from ..sim.faults import FaultPlan
 from . import wire
@@ -122,7 +125,13 @@ _CONN_ERRORS = (
 
 
 async def read_frame(reader: asyncio.StreamReader):
-    """Read one length-prefixed wire frame from a stream."""
+    """Read one length-prefixed wire frame from a stream.
+
+    Raises :class:`~repro.runtime.wire.FrameCorrupt` on a CRC mismatch
+    *after* consuming the frame's bytes, so the stream stays framed and the
+    caller can simply skip the frame (it behaves like a drop: ARQ
+    retransmission supplies a clean copy).
+    """
     (length,) = struct.unpack(">I", await reader.readexactly(4))
     if length > wire.MAX_FRAME_BYTES:
         raise wire.WireError(f"frame length {length} exceeds MAX_FRAME_BYTES")
@@ -133,38 +142,207 @@ def _now_ms(loop: asyncio.AbstractEventLoop) -> float:
     return loop.time() * 1000.0
 
 
+#: checkpoint file magic; the trailing digit is the container version
+_CKPT_MAGIC = b"CECKPT01"
+_CKPT_U32 = struct.Struct(">I")
+_CKPT_DIGEST_LEN = 16
+
+
+def _ckpt_digest(data: bytes) -> bytes:
+    return hashlib.blake2b(data, digest_size=_CKPT_DIGEST_LEN).digest()
+
+
 class FileDurableStore:
     """File-backed stable storage: one checkpoint file per server.
 
     The live-runtime counterpart of the simulator's in-memory
     :class:`~repro.core.snapshot.DurableStore`, with the same interface.
     Checkpoints are wire-encoded (never pickled) and replaced atomically
-    (write-to-temp + rename), so a crash mid-persist leaves the previous
-    checkpoint intact.
+    (write-to-temp + fsync + rename + directory fsync), so a crash
+    mid-persist leaves the previous checkpoint intact *and* the rename is
+    itself durable; stale ``*.ckpt.tmp`` from a crash mid-write are swept
+    on boot.
+
+    Integrity: the file is a sectioned container --
+    ``magic || u32 nsections || (u32 len || blake2b-16 || payload)* ||
+    header blake2b-16`` -- with a digest per section (meta / durable state
+    / transport state) plus a header digest over the section directory.
+    :meth:`load` verifies all of them; *any* mismatch or truncation is
+    reported as a typed :class:`~repro.core.snapshot.CorruptCheckpoint`
+    (in ``corruption_reports``) and surfaces as "no checkpoint", so the
+    server restarts empty and lets anti-entropy repair pull its state back
+    from peers instead of crashing on load.
     """
 
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.persist_counts: dict[int, int] = {}
+        #: every corruption/truncation ever detected by :meth:`load`
+        self.corruption_reports: list[CorruptCheckpoint] = []
+        # a crash between tmp-write and rename leaves a stale tmp behind;
+        # it was never the live checkpoint, so sweep it
+        for stale in self.root.glob("*.ckpt.tmp"):
+            stale.unlink(missing_ok=True)
 
     def _path(self, server_id: int) -> Path:
         return self.root / f"server_{server_id}.ckpt"
 
+    @staticmethod
+    def _encode_checkpoint(checkpoint: ServerCheckpoint) -> bytes:
+        sections = (
+            wire.encode((checkpoint.server_id, checkpoint.time)),
+            wire.encode(checkpoint.state),
+            wire.encode(checkpoint.transport),
+        )
+        head = _CKPT_MAGIC + _CKPT_U32.pack(len(sections))
+        parts = [head]
+        directory = [head]
+        for payload in sections:
+            digest = _ckpt_digest(payload)
+            parts += [_CKPT_U32.pack(len(payload)), digest, payload]
+            directory.append(digest)
+        parts.append(_ckpt_digest(b"".join(directory)))
+        return b"".join(parts)
+
+    @staticmethod
+    def _decode_checkpoint(blob: bytes) -> ServerCheckpoint:
+        """Parse + verify; raises ``ValueError`` on any integrity failure."""
+        view = memoryview(blob)
+        if len(view) < len(_CKPT_MAGIC) + 4 + _CKPT_DIGEST_LEN:
+            raise ValueError("truncated checkpoint header")
+        if view[: len(_CKPT_MAGIC)] != _CKPT_MAGIC:
+            raise ValueError("bad checkpoint magic")
+        pos = len(_CKPT_MAGIC)
+        (nsections,) = _CKPT_U32.unpack(view[pos : pos + 4])
+        pos += 4
+        if nsections != 3:
+            raise ValueError(f"unexpected section count {nsections}")
+        payloads, directory = [], [bytes(view[: len(_CKPT_MAGIC) + 4])]
+        for i in range(nsections):
+            if pos + 4 + _CKPT_DIGEST_LEN > len(view):
+                raise ValueError(f"truncated section {i} header")
+            (length,) = _CKPT_U32.unpack(view[pos : pos + 4])
+            pos += 4
+            digest = bytes(view[pos : pos + _CKPT_DIGEST_LEN])
+            pos += _CKPT_DIGEST_LEN
+            if pos + length > len(view):
+                raise ValueError(f"truncated section {i} payload")
+            payload = view[pos : pos + length]
+            pos += length
+            if _ckpt_digest(payload) != digest:
+                raise ValueError(f"section {i} digest mismatch")
+            payloads.append(payload)
+            directory.append(digest)
+        if pos + _CKPT_DIGEST_LEN != len(view):
+            raise ValueError("trailing bytes after checkpoint footer")
+        if _ckpt_digest(b"".join(directory)) != bytes(view[pos:]):
+            raise ValueError("checkpoint header digest mismatch")
+        try:
+            server_id, time = wire.decode(payloads[0])
+            state = wire.decode(payloads[1])
+            transport = wire.decode(payloads[2])
+        except wire.WireError as exc:
+            raise ValueError(f"checkpoint section undecodable: {exc}") from exc
+        return ServerCheckpoint(server_id, time, state, transport)
+
     def persist(self, checkpoint: ServerCheckpoint) -> None:
         path = self._path(checkpoint.server_id)
         tmp = path.with_suffix(".ckpt.tmp")
-        tmp.write_bytes(wire.encode_frame(checkpoint))
+        with open(tmp, "wb") as fh:
+            fh.write(self._encode_checkpoint(checkpoint))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        self._fsync_dir()
         self.persist_counts[checkpoint.server_id] = (
             self.persist_counts.get(checkpoint.server_id, 0) + 1
         )
+
+    def _fsync_dir(self) -> None:
+        # the rename is only durable once the directory entry is; some
+        # platforms refuse O_RDONLY fsync on directories -- best effort
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
 
     def load(self, server_id: int) -> ServerCheckpoint | None:
         path = self._path(server_id)
         if not path.exists():
             return None
-        return wire.decode_frame(path.read_bytes())
+        try:
+            return self._decode_checkpoint(path.read_bytes())
+        except (ValueError, OSError) as exc:
+            self.corruption_reports.append(
+                CorruptCheckpoint(server_id, str(path), str(exc))
+            )
+            return None
+
+    def verify_file(self, server_id: int) -> bool | None:
+        """Re-verify the at-rest checkpoint's digests (disk scrub).
+
+        Returns ``None`` when no checkpoint exists, ``True`` when every
+        digest checks out, ``False`` (recording a typed report) when the
+        file is damaged -- without surfacing the decoded checkpoint, so
+        scrubbing cannot accidentally become a recovery path.
+        """
+        path = self._path(server_id)
+        if not path.exists():
+            return None
+        try:
+            self._decode_checkpoint(path.read_bytes())
+            return True
+        except (ValueError, OSError) as exc:
+            self.corruption_reports.append(
+                CorruptCheckpoint(server_id, str(path), str(exc))
+            )
+            return False
+
+    def corrupt_detected(self, server_id: int | None = None) -> int:
+        """How many corrupt/truncated checkpoints :meth:`load` has seen."""
+        if server_id is None:
+            return len(self.corruption_reports)
+        return sum(
+            1 for r in self.corruption_reports if r.server_id == server_id
+        )
+
+    # -- deterministic damage, for chaos schedules and tests -----------
+
+    def corrupt_file(self, server_id: int, seed: int = 0, flips: int = 1) -> bool:
+        """Flip ``flips`` seeded bits in the stored checkpoint (bit rot).
+
+        Returns whether a file existed to damage.  The flipped offsets are
+        a pure function of ``(seed, server_id, file size)`` so chaos
+        schedules replay identically.
+        """
+        path = self._path(server_id)
+        if not path.exists():
+            return False
+        blob = bytearray(path.read_bytes())
+        if not blob:
+            return False
+        rng = np.random.default_rng((seed, 0xB17F11, server_id, len(blob)))
+        for _ in range(flips):
+            pos = int(rng.integers(0, len(blob)))
+            blob[pos] ^= 1 << int(rng.integers(0, 8))
+        path.write_bytes(bytes(blob))
+        return True
+
+    def truncate_file(self, server_id: int, keep_frac: float = 0.5) -> bool:
+        """Model a torn write: keep only a prefix of the checkpoint file."""
+        path = self._path(server_id)
+        if not path.exists():
+            return False
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * keep_frac)])
+        return True
 
     def wipe(self, server_id: int) -> None:
         """Simulate disk loss for one server (tests)."""
@@ -252,6 +430,16 @@ class _PeerChannel:
             return
         if fate.drop:
             return
+        if fate.corrupt:
+            # deliver the frame *damaged*: seeded bit flips inside the
+            # CRC-covered region.  The receiver's frame CRC rejects it
+            # like a drop and the ARQ retransmits a clean copy.
+            frame = self.server.chaos.damage(
+                wire.encode_frame(frame),
+                self.server.node_id,
+                self.peer_id,
+                fate.k,
+            )
         self._enqueue_later(frame, fate.delay_ms)
         if fate.dup:
             # the copy lands a beat later, off the FIFO path
@@ -288,7 +476,10 @@ class _PeerChannel:
     def _write_frame(self, frame) -> None:
         if self.writer is not None:
             try:
-                self.writer.write(wire.encode_frame(frame))
+                if isinstance(frame, bytes):  # pre-encoded (chaos-damaged)
+                    self.writer.write(frame)
+                else:
+                    self.writer.write(wire.encode_frame(frame))
             except _CONN_ERRORS:  # pragma: no cover - racing disconnect
                 self.writer = None
                 return
@@ -381,7 +572,13 @@ class _PeerChannel:
                     self._transmit(seq, msg)
                 await writer.drain()
                 while True:
-                    payload = await read_frame(reader)
+                    try:
+                        payload = await read_frame(reader)
+                    except wire.FrameCorrupt:
+                        # a rotted ack: skip it, the next cumulative ack
+                        # carries the same information
+                        self.server.frames_corrupt += 1
+                        continue
                     if payload[0] == "a":
                         self._on_ack(payload[1])
             except _CONN_ERRORS:
@@ -525,6 +722,7 @@ class AsyncioServer:
         detector: FailureDetectorConfig | None = None,
         audit_addr: tuple[str, int] | None = None,
         repair: RepairConfig | None = None,
+        scrub: ScrubConfig | None = None,
         batch: bool = True,
     ):
         self.core = core
@@ -542,6 +740,8 @@ class AsyncioServer:
         #: ``frames_sent / flushes`` is the measured batching factor
         self.frames_sent = 0
         self.flushes = 0
+        #: inbound frames rejected by the frame CRC and skipped like drops
+        self.frames_corrupt = 0
         self.audit_addr = audit_addr
         if audit_addr is not None:
             # the audit stream mirrors decision-log entries; auditing a
@@ -570,6 +770,11 @@ class AsyncioServer:
         #: requests/responses the reliable ARQ channels
         self.repair: RepairCore | None = (
             None if repair is None else RepairCore(core, repair)
+        )
+        #: bit-rot scrubber: periodically re-verifies the codeword seal
+        #: and the on-disk checkpoint, quarantining + healing corruption
+        self.scrub: ScrubCore | None = (
+            None if scrub is None else ScrubCore(core, scrub)
         )
         #: (time, peer, "suspect" | "alive") -- this incarnation and earlier
         self.detector_log: list[tuple[float, int, str]] = []
@@ -618,6 +823,8 @@ class AsyncioServer:
         if self.repair is not None:
             # round state is volatile: each incarnation reboots the overlay
             self.interpret(self.repair.boot(self.now()))
+        if self.scrub is not None:
+            self.interpret(self.scrub.boot(self.now()))
         if self.audit_addr is not None:
             self._audit_task = asyncio.ensure_future(self._audit_loop())
 
@@ -783,7 +990,14 @@ class AsyncioServer:
             self.flushes += 1
 
         while True:
-            payload = await read_frame(reader)
+            try:
+                payload = await read_frame(reader)
+            except wire.FrameCorrupt:
+                # bit rot on the wire, caught by the frame CRC: treat it
+                # exactly like a dropped frame -- the sender's ARQ
+                # retransmits data, gossip is best-effort anyway
+                self.frames_corrupt += 1
+                continue
             if self._epoch != epoch or self.halted:
                 return
             if payload[0] == "g":
@@ -840,7 +1054,12 @@ class AsyncioServer:
 
     async def _client_loop(self, src, reader, epoch) -> None:
         while True:
-            payload = await read_frame(reader)
+            try:
+                payload = await read_frame(reader)
+            except wire.FrameCorrupt:
+                # corrupt request: drop it, the client's retry re-sends
+                self.frames_corrupt += 1
+                continue
             if self._epoch != epoch or self.halted:
                 return
             if payload[0] == "m":
@@ -948,6 +1167,11 @@ class AsyncioServer:
             if self.repair is not None:
                 self.interpret(self.repair.handle_timer(timer_id, self.now()))
             return
+        if timer_id[0] == "scrub":
+            if self.scrub is not None:
+                self.interpret(self.scrub.handle_timer(timer_id, self.now()))
+                self._scrub_disk()
+            return
         self.interpret(self.core.handle_timer(timer_id, self.now()))
 
     def _persist(self) -> None:
@@ -955,6 +1179,23 @@ class AsyncioServer:
             return
         self.core.stats.persists += 1
         self.store.persist(capture_server_state(self.core, self._arq_view))
+
+    def _scrub_disk(self) -> None:
+        """Disk-side scrub: re-verify the at-rest checkpoint each round
+        and heal detected rot by re-persisting from live memory (the
+        in-memory core is authoritative while the server is up)."""
+        if self.store is None or self.scrub is None or self.halted:
+            return
+        ok = self.store.verify_file(self.node_id)
+        if ok is None:
+            return
+        stats = self.scrub.stats
+        if ok:
+            stats.checkpoints_verified += 1
+            return
+        stats.checkpoints_corrupt += 1
+        self._persist()
+        stats.checkpoints_rewritten += 1
 
     # ------------------------------------------------------------------
     # audit streaming
@@ -1055,6 +1296,8 @@ class AsyncioClient:
         self.switch_log: list[tuple[int, int, object]] = []
         #: request frames written (hello excluded); feeds frames-per-op
         self.frames_sent = 0
+        #: reply frames rejected by the frame CRC and dropped
+        self.frames_corrupt = 0
 
     def _now(self) -> float:
         return _now_ms(self._loop)
@@ -1090,7 +1333,12 @@ class AsyncioClient:
                 await writer.drain()
                 self._writer = writer
                 while True:
-                    payload = await read_frame(reader)
+                    try:
+                        payload = await read_frame(reader)
+                    except wire.FrameCorrupt:
+                        # corrupt reply: drop it, the retry timer re-asks
+                        self.frames_corrupt += 1
+                        continue
                     if payload[0] == "m":
                         self.interpret(
                             self.core.handle_message(
@@ -1228,6 +1476,7 @@ class AsyncioCluster:
         detector: FailureDetectorConfig | None = None,
         audit_addr: tuple[str, int] | None = None,
         repair: RepairConfig | None = None,
+        scrub: ScrubConfig | None = None,
         batch: bool = True,
     ):
         self.code = code
@@ -1236,6 +1485,7 @@ class AsyncioCluster:
         self.retry = retry
         self.chaos = chaos
         self.repair = repair
+        self.scrub_config = scrub
         self.batch = batch
         self.history = History()
         self._tmpdir: tempfile.TemporaryDirectory | None = None
@@ -1252,6 +1502,7 @@ class AsyncioCluster:
                 detector=detector,
                 audit_addr=audit_addr,
                 repair=repair,
+                scrub=scrub,
                 batch=batch,
             )
             for i in range(code.N)
@@ -1296,6 +1547,31 @@ class AsyncioCluster:
                 continue
             for k, v in vars(s.repair.stats).items():
                 totals[k] = totals.get(k, 0) + v
+        return totals
+
+    def scrub_stats(self) -> dict[str, float]:
+        """Aggregate scrub counters across servers (zeros if off).
+
+        Adds ``frames_corrupt`` (CRC-rejected inbound frames, servers +
+        clients) and ``checkpoint_reports`` (store-level detections,
+        scrub *and* load paths) so one dict answers "was every injected
+        corruption detected somewhere?".
+        """
+        totals: dict[str, float] = {}
+        for s in self.servers:
+            if s.scrub is None:
+                continue
+            for k, v in vars(s.scrub.stats).items():
+                totals[k] = totals.get(k, 0) + v
+        totals["frames_corrupt"] = sum(
+            s.frames_corrupt for s in self.servers
+        ) + sum(c.frames_corrupt for c in self.clients)
+        totals["checkpoint_reports"] = self.store.corrupt_detected()
+        # guard-path detections (read/val-inq/encoding) are on the core's
+        # stats, not the scrub overlay's -- surface both
+        totals["integrity_quarantines"] = sum(
+            s.core.stats.integrity_quarantines for s in self.servers
+        )
         return totals
 
     def _on_detector_transition(self, observer: int, peer: int, kind: str):
@@ -1398,6 +1674,20 @@ class AsyncioCluster:
             _later(at, self.restart_server, server, is_coro=True)
         for at, server in plan.resets:
             _later(at, self.reset_server, server, is_coro=False)
+
+        def _rot_memory(i: int) -> None:
+            if not self.servers[i].halted:
+                self.servers[i].core.corrupt_codeword(seed=plan.rot_seed)
+
+        for at, server in getattr(plan, "rots", ()):
+            _later(at, _rot_memory, server, is_coro=False)
+        def _rot_disk(i: int) -> None:
+            self.store.corrupt_file(i, seed=plan.rot_seed)
+
+        for at, server in getattr(plan, "disk_rots", ()):
+            _later(at, _rot_disk, server, is_coro=False)
+        for at, server in getattr(plan, "torn_writes", ()):
+            _later(at, self.store.truncate_file, server, is_coro=False)
 
     async def quiesce(
         self, idle_rounds: int = 4, poll: float = 0.03, timeout: float = 30.0

@@ -51,15 +51,31 @@ __all__ = ["FrameFate", "LiveFaultInjector"]
 #: salt mixed into every channel lane seed, so injector lanes cannot
 #: collide with any other consumer of the schedule's seed
 LANE_SALT = 0x11FE
+#: salt for the per-frame bit-flip offsets of ``corrupt`` fates
+CORRUPT_SALT = 0xC0DE
+#: first byte of a CRC frame that the frame CRC covers (u32 length,
+#: version, flags, u32 crc come first); flips land at or past this offset
+#: so damage is always a *detectable* body corruption, never a framing
+#: desync of the byte stream
+_CRC_BODY_OFFSET = 10
 
 
 @dataclass(frozen=True)
 class FrameFate:
-    """The injector's verdict for one transmitted frame."""
+    """The injector's verdict for one transmitted frame.
+
+    ``corrupt`` means the frame's encoded bytes are bit-flipped before the
+    socket write: the frame *is* delivered, damaged, and the receiver's
+    frame CRC is what must turn it into a drop.
+    """
 
     drop: bool = False
     dup: bool = False
     delay_ms: float = 0.0
+    corrupt: bool = False
+    #: lane query index of this fate; keys the bit-flip offsets of
+    #: :meth:`LiveFaultInjector.damage` so replays damage the same bytes
+    k: int = -1
 
     @property
     def deliver(self) -> bool:
@@ -108,6 +124,7 @@ class LiveFaultInjector:
         self.severed = 0
         self.delayed = 0
         self.delivered = 0
+        self.corrupted = 0
 
     # ------------------------------------------------------------------
 
@@ -145,9 +162,9 @@ class LiveFaultInjector:
     def fate(self, src: int, dst: int) -> FrameFate:
         """Decide the fate of the next frame on channel ``src -> dst``.
 
-        Exactly three variates are drawn per call (drop, dup, jitter), in
-        that order, whether or not each is used -- the lane stream position
-        is the query index, nothing else.
+        Exactly four variates are drawn per call (drop, dup, jitter,
+        corrupt), in that order, whether or not each is used -- the lane
+        stream position is the query index, nothing else.
         """
         f = self.faults
         if f is None or not self.enabled or not f.enabled or self._t0 is None:
@@ -158,6 +175,7 @@ class LiveFaultInjector:
         r_drop = lane.random()
         r_dup = lane.random()
         r_jit = lane.random()
+        r_rot = lane.random()
 
         now = self.sim_now()
         if f.partitions.severs(now, src, dst):
@@ -174,13 +192,42 @@ class LiveFaultInjector:
             return FrameFate(drop=True)
         dup = active and r_dup < dup_p
         delay = r_jit * self.jitter_ms if active and self.jitter_ms > 0 else 0.0
+        rot = active and r_rot < getattr(f, "corrupt_prob", 0.0)
         if dup:
             self.duplicated += 1
             f.duplicated += 1
         if delay > 0:
             self.delayed += 1
+        if rot:
+            self.corrupted += 1
+            f.corrupted += 1
         self.delivered += 1
         self.trace.append(
-            (src, dst, k, "dup" if dup else ("delay" if delay > 0 else "ok"))
+            (
+                src,
+                dst,
+                k,
+                "corrupt"
+                if rot
+                else ("dup" if dup else ("delay" if delay > 0 else "ok")),
+            )
         )
-        return FrameFate(dup=dup, delay_ms=delay)
+        return FrameFate(dup=dup, delay_ms=delay, corrupt=rot, k=k)
+
+    def damage(self, blob: bytes, src: int, dst: int, k: int) -> bytes:
+        """Bit-flip an encoded frame for a ``corrupt`` fate.
+
+        Flips land strictly inside the CRC-covered region (never the
+        length prefix), so the receiver sees a well-framed but damaged
+        frame -- exactly the failure the frame CRC exists to catch.  The
+        flipped offsets are a pure function of ``(seed, src, dst, k,
+        len(blob))``: replays damage the same bytes.
+        """
+        raw = bytearray(blob)
+        if len(raw) <= _CRC_BODY_OFFSET:  # pragma: no cover - defensive
+            return blob
+        seed = self.faults.seed if self.faults is not None else 0
+        rng = np.random.default_rng((seed, CORRUPT_SALT, src, dst, k, len(raw)))
+        pos = int(rng.integers(_CRC_BODY_OFFSET, len(raw)))
+        raw[pos] ^= 1 << int(rng.integers(0, 8))
+        return bytes(raw)

@@ -42,6 +42,7 @@ from ..consistency.causal import (
 from ..protocol.client_core import RetryPolicy
 from ..protocol.failure_detector import FailureDetectorConfig
 from ..protocol.repair_core import RepairConfig
+from ..protocol.scrub_core import ScrubConfig
 from ..protocol.server_core import ServerConfig
 from ..sim.chaos import ChaosConfig, ChaosSchedule
 from ..sim.faults import FaultPlan
@@ -81,6 +82,10 @@ class LiveChaosResult:
     artifacts: list[str] = field(default_factory=list)
     #: aggregated anti-entropy counters (empty dict when repair is off)
     repair: dict[str, float] = field(default_factory=dict)
+    #: frames bit-flipped in flight by the injector
+    corrupted: int = 0
+    #: aggregated scrub/integrity counters (empty dict when scrub is off)
+    scrub: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else "FAIL"
@@ -109,6 +114,20 @@ class LiveChaosResult:
                     self.repair.get("entries_installed", 0),
                     self.repair.get("symbols_decoded", 0),
                     self.repair.get("bits_shipped", 0) // 8,
+                )
+            )
+        if self.corrupted or self.scrub:
+            lines.append(
+                "  integrity: %d frame(s) bit-flipped (%d rejected by CRC), "
+                "%d quarantine(s) (%d by scrub round), %d healed, "
+                "%d checkpoint report(s)"
+                % (
+                    self.corrupted,
+                    self.scrub.get("frames_corrupt", 0),
+                    self.scrub.get("integrity_quarantines", 0),
+                    self.scrub.get("corrupt_detected", 0),
+                    self.scrub.get("healed", 0),
+                    self.scrub.get("checkpoint_reports", 0),
                 )
             )
         lines.extend(f"  violation: {v}" for v in self.violations)
@@ -150,14 +169,17 @@ async def _client_workload(client, cluster, cfg, seed, index, scale):
     return completed, failed
 
 
-async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair):
+async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair, scrub):
     schedule = ChaosSchedule.generate(seed, code.N, cfg)
+    if scrub is None and cfg.scrub_interval is not None:
+        scrub = ScrubConfig(interval=cfg.scrub_interval * time_scale)
     faults = LinkFaults(
         drop_prob=schedule.drop_prob,
         dup_prob=schedule.dup_prob,
         partitions=PartitionPlan(schedule.partitions),
         seed=(seed * 2 + 1),
         until=cfg.fault_end,
+        corrupt_prob=schedule.corrupt_prob,
     )
     injector = LiveFaultInjector(
         faults, time_scale=time_scale, jitter_ms=jitter_ms
@@ -177,6 +199,7 @@ async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair):
         detector=FailureDetectorConfig(),
         audit_addr=auditor.address,
         repair=repair,
+        scrub=scrub,
     )
     supervisor = Supervisor(
         cluster, RestartPolicy(initial_delay=0.1, max_delay=1.0)
@@ -192,9 +215,12 @@ async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair):
         # kills from the schedule; the supervisor (not the schedule's
         # restart time) brings victims back -- that's the layer under test.
         # One seeded connection reset in mid-window stresses ARQ replay.
-        plan = FaultPlan()
+        plan = FaultPlan(rot_seed=seed)
         for down, _up, victim in schedule.crashes:
             plan.halt(down, victim)
+        plan.rots = list(schedule.rots)
+        plan.disk_rots = list(schedule.disk_rots)
+        plan.torn_writes = list(schedule.torn_writes)
         reset_rng = np.random.default_rng((seed, _RESET_SALT))
         plan.reset_connections(
             float(
@@ -272,6 +298,28 @@ async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair):
                 "no convergence after faults ceased: "
                 + ("; ".join(divergences) or "no final read completed")
             )
+        scrub_totals = cluster.scrub_stats() if scrub is not None else {}
+        if injector.corrupted >= 3 and scrub is not None:
+            # bit-flipped frames must be getting rejected by the CRC.
+            # Individual flipped frames can die with a torn connection
+            # before any receiver sees them, so the check is "rejections
+            # observed", not a per-frame ledger; >= 3 injections makes
+            # zero rejections a real failure, not scheduling noise.
+            if scrub_totals.get("frames_corrupt", 0) == 0:
+                violations.append(
+                    f"silent corruption: {injector.corrupted} frame(s) "
+                    "bit-flipped in flight but no CRC rejection recorded"
+                )
+        if schedule.rots:
+            expected = len({s for _, s in schedule.rots})
+            detected = sum(
+                s.core.stats.integrity_quarantines for s in cluster.servers
+            )
+            if detected < expected:
+                violations.append(
+                    f"silent corruption: {expected} codeword rot(s) "
+                    f"injected but only {detected} quarantine(s) recorded"
+                )
 
         ok = not violations
         if not ok and artifact_dir is not None:
@@ -300,6 +348,8 @@ async def _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair):
             schedule=schedule,
             artifacts=artifacts,
             repair=cluster.repair_stats(),
+            corrupted=injector.corrupted,
+            scrub=scrub_totals,
         )
     finally:
         await supervisor.stop()
@@ -315,6 +365,7 @@ def run_live_chaos(
     jitter_ms: float = 6.0,
     artifact_dir: str | Path | None = None,
     repair: RepairConfig | None = None,
+    scrub: ScrubConfig | None = None,
 ) -> LiveChaosResult:
     """Run one seeded chaos schedule against a live asyncio cluster.
 
@@ -322,12 +373,15 @@ def run_live_chaos(
     simulator's harness takes (schedule times are simulated milliseconds);
     ``time_scale`` maps them onto the real clock.  ``repair`` attaches the
     anti-entropy overlay to every server; its counters land in
-    ``result.repair``.  Returns a :class:`LiveChaosResult`; ``result.ok``
-    means zero auditor violations, clean offline checks, and a converged
-    cluster.
+    ``result.repair``.  ``scrub`` attaches the bit-rot scrubber (defaulted
+    from ``config.scrub_interval``, scaled, when set); with corruption in
+    the schedule the verdict additionally requires every injected rot to
+    have been *detected* (CRC rejections, quarantines).  Returns a
+    :class:`LiveChaosResult`; ``result.ok`` means zero auditor violations,
+    clean offline checks, detected corruption, and a converged cluster.
     """
     cfg = config or ChaosConfig()
     result = asyncio.run(
-        _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair)
+        _run(code, seed, cfg, time_scale, jitter_ms, artifact_dir, repair, scrub)
     )
     return result

@@ -27,10 +27,18 @@ This codec is a small, explicit, recursive tagged-binary format:
 
 Frames
 ------
-A *frame* is ``u32 length || version byte || encoded value``.  The length
-covers everything after the length word.  :data:`WIRE_VERSION` is bumped on
-any incompatible change; decoders reject frames from a different version
-instead of misparsing them.
+A *frame* is ``u32 length || version byte || flags byte || [u32 crc32] ||
+encoded value``.  The length covers everything after the length word.
+:data:`WIRE_VERSION` is bumped on any incompatible change; decoders reject
+frames from a different version instead of misparsing them.
+
+Since v5 every frame carries a CRC32 (IEEE, as ``zlib.crc32``) of the
+encoded value, flagged in bit 0 of the flags byte.  A mismatch raises
+:class:`FrameCorrupt`; receivers treat it exactly like a dropped frame and
+let ARQ retransmission mask it, so on-wire corruption costs latency, never
+correctness.  :func:`set_crc_enabled` clears the flag on *emitted* frames
+(for overhead benchmarking); decoders always accept both forms, checking
+the CRC only when the flag is set.
 
 Copies
 ------
@@ -51,6 +59,7 @@ avoid full-body copies:
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Any, Iterable
 
 import numpy as np
@@ -89,6 +98,7 @@ from ..core.tags import Tag, VectorClock
 __all__ = [
     "WIRE_VERSION",
     "WireError",
+    "FrameCorrupt",
     "encode",
     "decode",
     "encode_frame",
@@ -97,6 +107,8 @@ __all__ = [
     "decode_body",
     "register",
     "registered_classes",
+    "set_crc_enabled",
+    "crc_enabled",
 ]
 
 #: Bumped on any incompatible change to the encoding or the class registry.
@@ -109,7 +121,11 @@ __all__ = [
 #: migration frames (MigrateInstall/ViewInstall/ViewInstallAck, ids
 #: 14-16), and AuditOp gains ``shard``/``gen`` so the online auditor can
 #: check causal consistency on cross-shard histories.
-WIRE_VERSION = 4
+#: v5 (integrity): frames gain a flags byte and, when flag bit 0 is set
+#: (the default), a CRC32 of the encoded value.  The value encoding and
+#: all class ids are unchanged -- v2-era *bodies* still decode -- only
+#: the frame header grew.
+WIRE_VERSION = 5
 
 #: Frames larger than this are rejected before allocation (corrupt length
 #: words must not trigger multi-gigabyte reads).
@@ -118,6 +134,15 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 class WireError(ValueError):
     """Raised on malformed, truncated, or wrong-version wire data."""
+
+
+class FrameCorrupt(WireError):
+    """A frame's CRC32 did not match its body: bit rot in flight.
+
+    Receivers must treat this exactly like a *dropped* frame -- skip it and
+    let ARQ retransmission deliver a clean copy -- never like a protocol
+    error that tears down the connection.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -395,9 +420,28 @@ def decode(data: bytes | bytearray | memoryview) -> Any:
 
     ndarray payloads come back as read-only zero-copy views over ``data``
     (which they keep alive); everything else is materialized.
+
+    Every failure mode of malformed input -- truncation, garbage dtype
+    strings, shape/buffer mismatches, unhashable dict keys, pathological
+    nesting -- surfaces as :class:`WireError`, never a stray
+    ``struct.error``/``TypeError``/``RecursionError``: byte-flipped input
+    is an expected event, not a crash.
     """
     r = _Reader(data)
-    obj = _decode_from(r)
+    try:
+        obj = _decode_from(r)
+    except WireError:
+        raise
+    except (
+        ValueError,
+        TypeError,
+        KeyError,
+        OverflowError,
+        struct.error,
+        UnicodeDecodeError,
+        RecursionError,
+    ) as exc:
+        raise WireError(f"malformed wire data: {exc!r}") from exc
     if r.pos != len(r.data):
         raise WireError(f"{len(r.data) - r.pos} trailing bytes after value")
     return obj
@@ -406,25 +450,57 @@ def decode(data: bytes | bytearray | memoryview) -> Any:
 # ---------------------------------------------------------------------------
 # frames
 
-_VERSION_BYTE = bytes([WIRE_VERSION])
+#: flags byte, bit 0: a u32 CRC32 of the encoded value follows the flags.
+_FLAG_CRC = 0x01
+
+#: ``length || version || flags || crc`` and ``length || version || flags``.
+_HDR_CRC = struct.Struct(">IBBI")
+_HDR_PLAIN = struct.Struct(">IBB")
+
+#: Whether emitted frames carry a CRC.  Decoders always honour the per-frame
+#: flag, so mixed traffic is fine; this exists for the bench-macro overhead
+#: comparison, not as a compatibility knob.
+_crc_enabled = True
+
+
+def set_crc_enabled(enabled: bool) -> None:
+    """Toggle the CRC32 on frames *emitted* by this process."""
+    global _crc_enabled
+    _crc_enabled = bool(enabled)
+
+
+def crc_enabled() -> bool:
+    """Whether emitted frames currently carry a CRC32."""
+    return _crc_enabled
 
 
 def _frame_into(out: list[bytes | memoryview], obj: Any) -> None:
     """Append one frame's chunks (length word included) to ``out``."""
     mark = len(out)
-    out.append(_VERSION_BYTE)
     _encode_into(out, obj)
-    length = sum(len(part) for part in out[mark:])
-    if length > MAX_FRAME_BYTES:
-        raise WireError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
-    out.insert(mark, _U32.pack(length))
+    if _crc_enabled:
+        # incremental CRC over the body chunks: the body is still laid
+        # down exactly once, in the caller's single join
+        body_len = 0
+        crc = 0
+        for part in out[mark:]:
+            body_len += len(part)
+            crc = zlib.crc32(part, crc)
+        header = _HDR_CRC.pack(body_len + 6, WIRE_VERSION, _FLAG_CRC, crc)
+    else:
+        body_len = sum(len(part) for part in out[mark:])
+        header = _HDR_PLAIN.pack(body_len + 2, WIRE_VERSION, 0)
+    if body_len > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES")
+    out.insert(mark, header)
 
 
 def encode_frame(obj: Any) -> bytes:
-    """``u32 length || version || encode(obj)`` -- ready to write to a socket.
+    """``u32 length || version || flags || [crc] || encode(obj)``.
 
-    Assembled with a single join: the body bytes are laid down exactly
-    once, never re-concatenated for the header.
+    Ready to write to a socket, assembled with a single join: the body
+    bytes are laid down exactly once, never re-concatenated for the
+    header or the CRC.
     """
     out: list[bytes | memoryview] = []
     _frame_into(out, obj)
@@ -440,19 +516,41 @@ def encode_frames(objs: Iterable[Any]) -> bytes:
     """
     out: list[bytes | memoryview] = []
     for obj in objs:
-        _frame_into(out, obj)
+        if isinstance(obj, (bytes, bytearray, memoryview)):
+            out.append(obj)  # pre-encoded frame (chaos-damaged bytes)
+        else:
+            _frame_into(out, obj)
     return b"".join(out)
 
 
 def decode_body(body: bytes | bytearray | memoryview) -> Any:
-    """Decode a frame body (everything after the length word)."""
-    if not len(body):
-        raise WireError("empty frame body")
+    """Decode a frame body (everything after the length word).
+
+    Raises :class:`FrameCorrupt` when the frame carries a CRC32 and it
+    does not match -- callers on live sockets should treat that exactly
+    like a dropped frame.
+    """
+    if len(body) < 2:
+        raise WireError("truncated frame body")
     if body[0] != WIRE_VERSION:
         raise WireError(
             f"wire version mismatch: got {body[0]}, expected {WIRE_VERSION}"
         )
-    return decode(memoryview(body)[1:])
+    flags = body[1]
+    if flags & ~_FLAG_CRC:
+        raise WireError(f"unknown frame flags 0x{flags:02x}")
+    payload = memoryview(body)[2:]
+    if flags & _FLAG_CRC:
+        if len(payload) < 4:
+            raise WireError("truncated frame CRC")
+        (want,) = _U32.unpack(payload[:4])
+        payload = payload[4:]
+        got = zlib.crc32(payload)
+        if got != want:
+            raise FrameCorrupt(
+                f"frame CRC mismatch: header {want:#010x}, body {got:#010x}"
+            )
+    return decode(payload)
 
 
 def decode_frame(data: bytes | bytearray | memoryview) -> Any:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.messages import DigestMsg
 from .network import LinkFaults, PartitionPlan, PartitionWindow
 
 __all__ = [
@@ -71,6 +72,18 @@ class ChaosConfig:
     settle_slices: int = 40
     settle_slice_ms: float = 500.0
     check_sessions: bool = True
+    # integrity chaos (all default off, leaving legacy schedules
+    # byte-identical): in-flight frame corruption probability ceiling,
+    # seeded in-memory codeword bit rot (one per distinct non-crashing
+    # server), and checkpoint damage placed inside crash windows -- a
+    # file damaged while its owner runs is silently rewritten by the
+    # next eager persist, so only a down victim's checkpoint stays
+    # damaged long enough for the restart load to detect it
+    corrupt_prob_max: float = 0.0
+    codeword_rots: int = 0
+    checkpoint_rots: int = 0
+    torn_writes: int = 0
+    scrub_interval: float | None = None
 
 
 @dataclass
@@ -83,6 +96,14 @@ class ChaosSchedule:
     partitions: list[PartitionWindow] = field(default_factory=list)
     #: (halt_time, restart_time, server) triples
     crashes: list[tuple[float, float, int]] = field(default_factory=list)
+    #: per-frame in-flight corruption probability (0 = off)
+    corrupt_prob: float = 0.0
+    #: (time, server) in-memory codeword bit-rot events
+    rots: list[tuple[float, int]] = field(default_factory=list)
+    #: (time, server) checkpoint bit-rot events (inside crash windows)
+    disk_rots: list[tuple[float, int]] = field(default_factory=list)
+    #: (time, server) checkpoint torn-write events (inside crash windows)
+    torn_writes: list[tuple[float, int]] = field(default_factory=list)
 
     @classmethod
     def generate(
@@ -113,6 +134,33 @@ class ChaosSchedule:
             down = float(rng.uniform(t0, t0 + 0.6 * span))
             up = min(down + float(rng.uniform(0.1 * span, 0.35 * span)), t1)
             sched.crashes.append((down, up, victim))
+        # integrity chaos: all draws gated on their knobs, so legacy
+        # configs consume the identical rng stream
+        if cfg.corrupt_prob_max > 0:
+            sched.corrupt_prob = float(rng.uniform(0.02, cfg.corrupt_prob_max))
+        if cfg.codeword_rots:
+            victims = {c[2] for c in sched.crashes}
+            pool = [i for i in range(num_servers) if i not in victims]
+            pool = pool or list(range(num_servers))
+            picks = rng.choice(
+                len(pool), size=min(cfg.codeword_rots, len(pool)), replace=False
+            )
+            for p in picks:
+                sched.rots.append(
+                    (float(rng.uniform(t0, t0 + 0.5 * span)), pool[int(p)])
+                )
+        for name, count in (
+            ("disk_rots", cfg.checkpoint_rots),
+            ("torn_writes", cfg.torn_writes),
+        ):
+            for _ in range(count):
+                if not sched.crashes:
+                    break  # nothing is ever down long enough to rot
+                down, up, victim = sched.crashes[
+                    int(rng.integers(0, len(sched.crashes)))
+                ]
+                at = float(rng.uniform(down, up)) if up > down else down
+                getattr(sched, name).append((at, victim))
         return sched
 
 
@@ -134,6 +182,10 @@ class ChaosResult:
     duplicates_suppressed: int
     server_restarts: int
     schedule: ChaosSchedule
+    #: frames lost to detected in-flight corruption
+    corrupted: int = 0
+    #: aggregated scrub counters (empty dict when scrub is off)
+    scrub: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else "FAIL"
@@ -152,12 +204,39 @@ class ChaosResult:
             f"  recovery: {self.server_restarts} server restart(s), "
             f"converged={self.converged}",
         ]
+        if self.corrupted or self.scrub:
+            lines.append(
+                "  integrity: %d frame(s) corrupted in flight, "
+                "%d quarantine(s) (%d by scrub round), %d healed, "
+                "%d checkpoint report(s)"
+                % (
+                    self.corrupted,
+                    self.scrub.get("integrity_quarantines", 0),
+                    self.scrub.get("corrupt_detected", 0),
+                    self.scrub.get("healed", 0),
+                    self.scrub.get("checkpoint_reports", 0),
+                )
+            )
         lines.extend(f"  violation: {v}" for v in self.violations)
         return "\n".join(lines)
 
 
-def run_chaos(code, seed: int, config: ChaosConfig | None = None) -> ChaosResult:
-    """Run one seeded chaos schedule against a CausalEC cluster."""
+def run_chaos(
+    code,
+    seed: int,
+    config: ChaosConfig | None = None,
+    repair=None,
+    scrub=None,
+) -> ChaosResult:
+    """Run one seeded chaos schedule against a CausalEC cluster.
+
+    ``repair`` / ``scrub`` attach the anti-entropy and bit-rot overlays
+    (:class:`~repro.protocol.repair_core.RepairConfig` /
+    :class:`~repro.protocol.scrub_core.ScrubConfig`); ``scrub`` defaults
+    from ``config.scrub_interval`` when set.  Schedules with checkpoint
+    damage need ``repair`` -- a server restarting from a rotted checkpoint
+    comes back empty and only anti-entropy can re-derive its state.
+    """
     # imported here: repro.core imports repro.sim submodules, so importing
     # it at sim-package init time would be circular
     from ..consistency import (
@@ -168,17 +247,22 @@ def run_chaos(code, seed: int, config: ChaosConfig | None = None) -> ChaosResult
     from ..core.client import RetryPolicy
     from ..core.cluster import CausalECCluster
     from ..core.server import ServerConfig
+    from ..protocol.scrub_core import ScrubConfig
     from ..workloads import ClosedLoopDriver, WorkloadConfig
+    from .faults import FaultPlan
     from .network import UniformLatency
 
     cfg = config or ChaosConfig()
     schedule = ChaosSchedule.generate(seed, code.N, cfg)
+    if scrub is None and cfg.scrub_interval is not None:
+        scrub = ScrubConfig(interval=cfg.scrub_interval)
     faults = LinkFaults(
         drop_prob=schedule.drop_prob,
         dup_prob=schedule.dup_prob,
         partitions=PartitionPlan(schedule.partitions),
         seed=(seed * 2 + 1),
         until=cfg.fault_end,
+        corrupt_prob=schedule.corrupt_prob,
     )
     cluster = CausalECCluster(
         code,
@@ -192,10 +276,18 @@ def run_chaos(code, seed: int, config: ChaosConfig | None = None) -> ChaosResult
             max_retries=cfg.retry_max,
         ),
         durable=True,
+        repair=repair,
+        scrub=scrub,
     )
     for down, up, victim in schedule.crashes:
         cluster.scheduler.at(down, lambda v=victim: cluster.halt_server(v))
         cluster.scheduler.at(up, lambda v=victim: cluster.restart_server(v))
+    if schedule.rots or schedule.disk_rots or schedule.torn_writes:
+        rot_plan = FaultPlan(rot_seed=seed)
+        rot_plan.rots = list(schedule.rots)
+        rot_plan.disk_rots = list(schedule.disk_rots)
+        rot_plan.torn_writes = list(schedule.torn_writes)
+        rot_plan.apply(cluster)
 
     driver = ClosedLoopDriver(
         cluster,
@@ -220,7 +312,9 @@ def run_chaos(code, seed: int, config: ChaosConfig | None = None) -> ChaosResult
         fingerprint = (
             cluster.state_fingerprint(),
             len(cluster.history.unsettled()),
-            cluster.transport.in_flight() if cluster.transport else 0,
+            cluster.transport.in_flight(exclude=(DigestMsg,))
+            if cluster.transport
+            else 0,
         )
         if fingerprint == last and _quiescent(cluster):
             converged = True
@@ -248,9 +342,28 @@ def run_chaos(code, seed: int, config: ChaosConfig | None = None) -> ChaosResult
             "no convergence after faults ceased: "
             f"{len(cluster.history.unsettled())} unsettled op(s), "
             f"{cluster.total_transient_entries()} transient entrie(s), "
-            f"{cluster.transport.in_flight() if cluster.transport else 0} "
+            f"{cluster.transport.in_flight(exclude=(DigestMsg,)) if cluster.transport else 0} "
             f"ARQ segment(s) in flight"
         )
+    # every injected silent corruption must have been *detected* somewhere
+    if schedule.rots:
+        expected = len({s for _, s in schedule.rots})
+        detected = sum(s.stats.integrity_quarantines for s in cluster.servers)
+        if detected < expected:
+            violations.append(
+                f"silent corruption: {expected} codeword rot(s) injected "
+                f"but only {detected} quarantine(s) recorded"
+            )
+    if schedule.disk_rots or schedule.torn_writes:
+        expected = len(
+            {s for _, s in schedule.disk_rots + schedule.torn_writes}
+        )
+        detected = cluster.durable.corrupt_detected()
+        if detected < expected:
+            violations.append(
+                f"silent corruption: checkpoints of {expected} server(s) "
+                f"damaged but only {detected} detection(s) recorded"
+            )
 
     history = cluster.history
     return ChaosResult(
@@ -268,6 +381,8 @@ def run_chaos(code, seed: int, config: ChaosConfig | None = None) -> ChaosResult
         duplicates_suppressed=cluster.transport.duplicates_suppressed,
         server_restarts=sum(s.stats.restarts for s in cluster.servers),
         schedule=schedule,
+        corrupted=faults.corrupted,
+        scrub=cluster.scrub_stats() if scrub is not None else {},
     )
 
 
@@ -276,7 +391,13 @@ def _quiescent(cluster) -> bool:
     return (
         not cluster.history.unsettled()
         and cluster.total_transient_entries() == 0
-        and (cluster.transport is None or cluster.transport.in_flight() == 0)
+        # perpetual digest gossip means an ack can legitimately be on the
+        # wire at any instant; it carries no protocol state, so it does
+        # not gate convergence
+        and (
+            cluster.transport is None
+            or cluster.transport.in_flight(exclude=(DigestMsg,)) == 0
+        )
         and not any(s.halted for s in cluster.servers)
     )
 
@@ -285,6 +406,11 @@ def run_chaos_suite(
     code,
     seeds=range(20),
     config: ChaosConfig | None = None,
+    repair=None,
+    scrub=None,
 ) -> list[ChaosResult]:
     """Run many seeded schedules; returns one :class:`ChaosResult` each."""
-    return [run_chaos(code, seed, config) for seed in seeds]
+    return [
+        run_chaos(code, seed, config, repair=repair, scrub=scrub)
+        for seed in seeds
+    ]

@@ -48,11 +48,26 @@ class FaultPlan:
     asyncio runtime; the simulator's channels are connectionless, so
     :meth:`apply` ignores them there (a reset is a no-op fault for a model
     whose transport never loses channel state).
+
+    Silent-corruption faults (all seeded by ``rot_seed`` so schedules
+    replay identically):
+
+    * ``rots`` -- flip bits in the server's in-memory codeword symbol;
+      detected by the integrity seal at the next guard or scrub round.
+    * ``disk_rots`` -- flip bits in the server's durable checkpoint (live
+      runtime: real bit flips in the file; simulator: the slot is marked
+      rotted and fails verification, the same detection-level model).
+    * ``torn_writes`` -- truncate the checkpoint mid-file, modelling a
+      crash between write and rename on a store without atomic replace.
     """
 
     halts: list[tuple[float, int]] = field(default_factory=list)
     restarts: list[tuple[float, int]] = field(default_factory=list)
     resets: list[tuple[float, int]] = field(default_factory=list)
+    rots: list[tuple[float, int]] = field(default_factory=list)
+    disk_rots: list[tuple[float, int]] = field(default_factory=list)
+    torn_writes: list[tuple[float, int]] = field(default_factory=list)
+    rot_seed: int = 0
 
     @staticmethod
     def _validate(at_time: float, server: int) -> tuple[float, int]:
@@ -79,11 +94,32 @@ class FaultPlan:
         self.resets.append(self._validate(at_time, server))
         return self
 
+    def corrupt_codeword(self, at_time: float, server: int) -> "FaultPlan":
+        """Schedule in-memory bit rot of the server's codeword symbol."""
+        self.rots.append(self._validate(at_time, server))
+        return self
+
+    def corrupt_checkpoint(self, at_time: float, server: int) -> "FaultPlan":
+        """Schedule bit rot of the server's durable checkpoint."""
+        self.disk_rots.append(self._validate(at_time, server))
+        return self
+
+    def torn_write(self, at_time: float, server: int) -> "FaultPlan":
+        """Schedule a torn write (truncation) of the durable checkpoint."""
+        self.torn_writes.append(self._validate(at_time, server))
+        return self
+
+    def all_faults(self) -> list[tuple[float, int]]:
+        return (
+            self.halts + self.restarts + self.resets
+            + self.rots + self.disk_rots + self.torn_writes
+        )
+
     def apply(self, cluster) -> None:
         """Arm all faults on a cluster's scheduler (resets are ignored:
         the simulator's channels have no connection state to reset)."""
         n = len(cluster.servers)
-        for at_time, server in self.halts + self.restarts + self.resets:
+        for at_time, server in self.all_faults():
             if server >= n:
                 raise ValueError(
                     f"server index {server} out of range for a "
@@ -95,6 +131,24 @@ class FaultPlan:
         for at_time, server in self.restarts:
             node = cluster.servers[server]
             cluster.scheduler.at(at_time, node.restart)
+        for at_time, server in self.rots:
+            node = cluster.servers[server]
+            cluster.scheduler.at(
+                at_time,
+                lambda node=node: node.corrupt_codeword(seed=self.rot_seed),
+            )
+        durable = getattr(cluster, "durable", None)
+        # torn writes and disk rot converge in the simulator: both damage
+        # the slot so verification/load detects it (the live runtime's
+        # file store distinguishes the two byte-level mechanisms)
+        for at_time, server in self.disk_rots + self.torn_writes:
+            if durable is None:
+                raise ValueError(
+                    "checkpoint-corruption faults need a durable cluster"
+                )
+            cluster.scheduler.at(
+                at_time, lambda s=server: durable.corrupt(s)
+            )
 
 
 @dataclass(frozen=True)

@@ -208,6 +208,11 @@ class LinkFaults:
 
     * ``drop_prob`` / ``dup_prob`` -- default per-message probabilities of
       silently losing a message and of delivering an extra copy.
+    * ``corrupt_prob`` -- per-message probability of in-flight bit rot.
+      The live runtime's frame CRC turns corruption into a *detected*
+      drop at the receiver (the frame is discarded, the ARQ retransmits),
+      so the simulator models it as exactly that: the message is lost and
+      counted in ``corrupted`` -- never delivered damaged.
     * ``per_channel`` -- ``(src, dst) -> (drop_prob, dup_prob)`` overrides
       for individual directed channels.
     * ``partitions`` -- a :class:`PartitionPlan`; severed messages are
@@ -233,8 +238,13 @@ class LinkFaults:
         per_channel: dict[tuple[int, int], tuple[float, float]] | None = None,
         seed: int = 0,
         until: float | None = None,
+        corrupt_prob: float = 0.0,
     ):
-        for name, p in (("drop_prob", drop_prob), ("dup_prob", dup_prob)):
+        for name, p in (
+            ("drop_prob", drop_prob),
+            ("dup_prob", dup_prob),
+            ("corrupt_prob", corrupt_prob),
+        ):
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {p}")
         for chan, (dp, up) in (per_channel or {}).items():
@@ -242,6 +252,7 @@ class LinkFaults:
                 raise ValueError(f"per_channel[{chan}] must hold probabilities")
         self.drop_prob = float(drop_prob)
         self.dup_prob = float(dup_prob)
+        self.corrupt_prob = float(corrupt_prob)
         self.partitions = partitions or PartitionPlan()
         self.per_channel = dict(per_channel or {})
         self.seed = seed  # kept so other runtimes can derive seeded decisions
@@ -252,6 +263,7 @@ class LinkFaults:
         self.dropped = 0
         self.duplicated = 0
         self.severed = 0
+        self.corrupted = 0
         self.dropped_by_kind: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -280,6 +292,17 @@ class LinkFaults:
         p = self._probs(src, dst)[0]
         if p > 0.0 and self.rng.random() < p:
             self.dropped += 1
+            self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + 1
+            return True
+        return False
+
+    def corrupts(self, now: float, src: int, dst: int, kind: str) -> bool:
+        """In-flight bit rot: the receiver's CRC detects it and the frame
+        is discarded, so a corrupted message is a (counted) drop."""
+        if not self._probabilistic(now):
+            return False
+        if self.corrupt_prob > 0.0 and self.rng.random() < self.corrupt_prob:
+            self.corrupted += 1
             self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + 1
             return True
         return False
@@ -337,7 +360,11 @@ class Network(LivenessRegistry):
         f = self.faults
         if f is not None:
             now = self.scheduler.now
-            if f.severs(now, src, dst) or f.drops(now, src, dst, kind):
+            if (
+                f.severs(now, src, dst)
+                or f.drops(now, src, dst, kind)
+                or f.corrupts(now, src, dst, kind)
+            ):
                 return
         delay = self.latency.delay(src, dst, self.rng)
         deliver_at = self.scheduler.now + delay

@@ -345,10 +345,22 @@ class ReliableTransport:
     # ------------------------------------------------------------------
     # introspection
 
-    def in_flight(self, src: int | None = None) -> int:
-        """Unacknowledged segments (optionally restricted to one sender)."""
+    def in_flight(
+        self, src: int | None = None, exclude: tuple = ()
+    ) -> int:
+        """Unacknowledged segments (optionally restricted to one sender).
+
+        ``exclude`` skips segments whose payload is one of the given
+        message types.  Convergence checks use it to ignore perpetual
+        background gossip (e.g. repair digests fire every interval, so at
+        any instant an ack may legitimately still be on the wire).
+        """
         return sum(
-            len(st.unacked)
+            sum(
+                1
+                for out in st.unacked.values()
+                if not exclude or not isinstance(out.payload, exclude)
+            )
             for (s, _), st in self._send_states.items()
             if src is None or s == src
         )

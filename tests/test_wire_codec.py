@@ -214,6 +214,7 @@ def test_frame_roundtrip(msg):
     (length,) = struct.unpack(">I", frame[:4])
     assert length == len(frame) - 4
     assert frame[4] == wire.WIRE_VERSION
+    assert frame[5] == 0x01  # flags: CRC present by default
     assert_message_equal(msg, wire.decode_frame(frame))
 
 
@@ -347,8 +348,8 @@ def test_version_mismatch_rejected():
 
 def test_prior_version_frames_rejected():
     """Frames stamped with any previous codec version must not decode."""
-    assert wire.WIRE_VERSION == 4
-    for old in (2, 3):
+    assert wire.WIRE_VERSION == 5
+    for old in (2, 3, 4):
         frame = bytearray(wire.encode_frame(ReadRequest(("c", 1), 0)))
         frame[4] = old
         with pytest.raises(wire.WireError, match="version"):
@@ -397,6 +398,85 @@ def test_frame_length_mismatch_rejected():
         wire.decode_frame(frame + b"\x00")
     with pytest.raises(wire.WireError):
         wire.decode_frame(frame[:3])
+
+
+# ---------------------------------------------------------------------------
+# frame CRC (codec v5)
+
+def test_any_single_bit_flip_in_body_raises_frame_corrupt():
+    msg = App(2, np.arange(5, dtype=np.int64), Tag(VectorClock((1, 0)), 3))
+    msg.size_bits = 40.0
+    frame = wire.encode_frame(msg)
+    # flip one bit in every byte past the 10-byte header (len+ver+flags+crc)
+    for pos in range(10, len(frame)):
+        for bit in range(8):
+            mutated = bytearray(frame)
+            mutated[pos] ^= 1 << bit
+            with pytest.raises(wire.FrameCorrupt):
+                wire.decode_frame(bytes(mutated))
+
+
+def test_crc_field_corruption_also_detected():
+    frame = bytearray(wire.encode_frame(("x", 12)))
+    frame[6] ^= 0x40  # first CRC byte
+    with pytest.raises(wire.FrameCorrupt):
+        wire.decode_frame(bytes(frame))
+
+
+def test_frame_corrupt_is_a_wire_error():
+    # _CONN_ERRORS filtering and except WireError handlers keep working
+    assert issubclass(wire.FrameCorrupt, wire.WireError)
+
+
+def test_unknown_frame_flags_rejected():
+    frame = bytearray(wire.encode_frame(7))
+    frame[5] |= 0x80
+    with pytest.raises(wire.WireError, match="flags"):
+        wire.decode_frame(bytes(frame))
+
+
+def test_crc_disabled_frames_decode_and_skip_the_check():
+    msg = ReadRequest(("c", 2), 1)
+    wire.set_crc_enabled(False)
+    try:
+        plain = wire.encode_frame(msg)
+        assert plain[5] == 0x00  # flags: no CRC
+        assert_message_equal(wire.decode_frame(plain), msg)
+        # 6 bytes saved per frame: the u32 CRC plus nothing else
+        wire.set_crc_enabled(True)
+        assert len(wire.encode_frame(msg)) == len(plain) + 4
+    finally:
+        wire.set_crc_enabled(True)
+    # mixed traffic: a CRC-less frame decodes while CRC is globally on
+    assert_message_equal(wire.decode_frame(plain), msg)
+
+
+@settings(deadline=None, max_examples=60)
+@given(messages, st.data())
+def test_mutated_frames_never_raise_untyped_exceptions(msg, data):
+    """Fuzz hardening: any byte-level mutation of a valid frame either
+    decodes (the mutation hit dead space -- impossible past the CRC) or
+    raises WireError, never IndexError/struct.error/TypeError."""
+    frame = bytearray(wire.encode_frame(msg))
+    n_mut = data.draw(st.integers(1, 4))
+    for _ in range(n_mut):
+        pos = data.draw(st.integers(0, len(frame) - 1))
+        frame[pos] ^= data.draw(st.integers(1, 255))
+    try:
+        wire.decode_frame(bytes(frame))
+    except wire.WireError:
+        pass
+
+
+@settings(deadline=None, max_examples=60)
+@given(messages, st.data())
+def test_truncated_bodies_never_raise_untyped_exceptions(msg, data):
+    body = wire.encode(msg)
+    cut = data.draw(st.integers(0, max(0, len(body) - 1)))
+    try:
+        wire.decode(body[:cut] + data.draw(st.binary(max_size=6)))
+    except wire.WireError:
+        pass
 
 
 # ---------------------------------------------------------------------------
