@@ -93,6 +93,13 @@ class AuditOp:
     clock); ``gen`` is the object's migration generation at record time
     (0 until a view change moves the key).  Both default to 0 so
     unsharded deployments are unchanged.
+
+    ``epoch`` is the server's membership ``cfg_epoch`` when the record
+    was emitted.  It scopes the *dedup* identity ``(server, epoch,
+    seq)``: a replacement server installed after an epoch-fenced
+    reconfiguration reuses its predecessor's id and restarts ``seq`` at
+    1, so without the epoch its first records would collide with the
+    dead incarnation's and be dropped as replays.
     """
 
     server: int
@@ -104,6 +111,7 @@ class AuditOp:
     time: float = 0.0
     shard: int = 0
     gen: int = 0
+    epoch: int = 0
 
 
 @dataclass
@@ -158,7 +166,7 @@ class IncrementalCausalChecker:
         self.sweep_interval = sweep_interval
         self.violations: list[AuditViolation] = []
         self._reported: set[tuple] = set()
-        self._seen: set[tuple[int, int]] = set()  # (server, seq)
+        self._seen: set[tuple] = set()  # (server, epoch, seq)
         self._nodes: list[_Node] = []
         # tag identity is (shard, tag): clocks are per-shard
         self._writes_by_tag: dict[tuple, int] = {}
@@ -178,7 +186,7 @@ class IncrementalCausalChecker:
     def ingest(self, op: AuditOp) -> list[AuditViolation]:
         """Consume one record; return violations newly detected by it."""
         before = len(self.violations)
-        key = (op.server, op.seq)
+        key = (op.server, getattr(op, "epoch", 0), op.seq)
         if key in self._seen:
             return []
         self._seen.add(key)

@@ -262,6 +262,40 @@ class CausalECCluster(Cluster):
     def server(self, i: int) -> CausalECServer:
         return self.servers[i]
 
+    def replace_server(self, i: int) -> CausalECServer:
+        """Permanently retire server ``i``'s machine and boot an *empty*
+        replacement into the same slot at a higher configuration epoch.
+
+        The simulator's channels are connectionless, so the live runtime's
+        wire-level epoch fencing has nothing to fence here; replacement is
+        modelled as: halt the old incarnation, wipe its durable slot (the
+        replacement machine has a fresh disk), bump every live server's
+        ``cfg_epoch``, and restart the slot empty.  State transfer is the
+        same path the live runtime uses -- the anti-entropy repair overlay
+        re-derives the slot's codeword row from any recovery set -- so the
+        cluster must be constructed with ``repair`` enabled and run for a
+        few digest intervals afterwards to heal.
+        """
+        old = self.servers[i]
+        if old.repair is None:
+            raise ValueError(
+                "replace_server needs the repair overlay: an empty "
+                "replacement can only re-derive its row via anti-entropy"
+            )
+        epoch = max(s.cfg_epoch for s in self.servers) + 1
+        if not old.halted:
+            old.halt()
+        if self.durable is not None:
+            self.durable.wipe(i)  # the replacement machine's disk is fresh
+        old.wipe_volatile()
+        old.permanently_failed = False  # same slot, new machine
+        old.cfg_epoch = epoch
+        for s in self.servers:
+            if s is not old and not s.halted:
+                s.cfg_epoch = epoch
+        old.restart()
+        return old
+
     def total_transient_entries(self) -> int:
         """Sum over servers of |L| + |InQueue| + |ReadL| (Theorem 4.5)."""
         return sum(

@@ -40,6 +40,9 @@ __all__ = [
     "MigrateInstall",
     "ViewInstall",
     "ViewInstallAck",
+    "ReconfigPropose",
+    "ReconfigAck",
+    "ReconfigCommit",
 ]
 
 
@@ -265,6 +268,61 @@ class ViewInstallAck(_Message):
     kind = "view_install_ack"
     version: int
     ts: Any = field(default=None, init=False)
+
+
+@dataclass
+class ReconfigPropose(_Message):
+    """Coordinator -> server: membership epoch ``epoch`` is being prepared.
+
+    Carries the full proposed configuration so the message is
+    self-contained: ``members`` are the active server ids of the new
+    epoch, ``joiner`` is the id of a newly added server (None for
+    remove/replace), and ``row_seed`` seeds the deterministic derivation
+    of the joiner's encoding-matrix row via
+    :func:`~repro.ec.codes.extend_code` (None when the code is
+    unchanged).  A propose changes no protocol state -- it only lets the
+    coordinator verify the member is reachable and willing before the
+    commit fences the old epoch.
+    """
+
+    kind = "reconfig_propose"
+    epoch: int
+    members: tuple
+    joiner: int | None = None
+    row_seed: int | None = None
+
+
+@dataclass
+class ReconfigAck(_Message):
+    """Server -> coordinator: propose/commit for ``epoch`` processed.
+
+    ``ts`` is the server's vector clock at the ack point and ``cfg_epoch``
+    the epoch it is actually at afterwards (idempotent re-delivery of an
+    old commit acks with the *newer* installed epoch).
+    """
+
+    kind = "reconfig_ack"
+    epoch: int
+    cfg_epoch: int = 0
+    ts: Any = field(default=None, init=False)
+
+
+@dataclass
+class ReconfigCommit(_Message):
+    """Coordinator -> server: cut over to membership epoch ``epoch``.
+
+    Same self-contained payload as the propose, so a server that missed
+    the propose (crashed, partitioned) still installs the epoch correctly
+    from the commit alone.  On install the server fences its wire layer:
+    peer channels that last advertised a lower ``cfg_epoch`` are rejected
+    until they re-handshake at the new epoch.
+    """
+
+    kind = "reconfig_commit"
+    epoch: int
+    members: tuple
+    joiner: int | None = None
+    row_seed: int | None = None
 
 
 @dataclass

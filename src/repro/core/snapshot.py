@@ -134,6 +134,11 @@ _DURABLE_ATTRS = (
     "_del_sent_all",
     "_client_sessions",
     "view",
+    # dynamic membership: the epoch a server acknowledged and the ids it
+    # knows to be retired must survive a crash-restart, or a recovered
+    # server would rejoin fenced out of (or fencing) its own group
+    "cfg_epoch",
+    "cfg_retired",
 )
 
 
@@ -199,6 +204,12 @@ def restore_server_state(
         setattr(server, name, copy.deepcopy(checkpoint.state[name]))
     # read-timeout timers died with the old incarnation
     server._read_timeouts = {}
+    # membership-derived caches (peer fanout) follow the restored
+    # retirement set; older cores without the hook need no refresh
+    refresh = getattr(server, "_refresh_membership", None)
+    if refresh is not None:
+        server.cfg_retired = tuple(getattr(server, "cfg_retired", ()))
+        refresh()
     # the integrity seal covers the *restored* codeword, not the boot-time one
     server.reseal_codeword()
     if transport is not None and checkpoint.transport is not None:

@@ -32,6 +32,7 @@ __all__ = [
     "reed_solomon_code",
     "example1_code",
     "six_dc_code",
+    "extend_code",
     "SIX_DC_PLACEMENT",
 ]
 
@@ -214,6 +215,43 @@ def random_linear_code(
         ):
             return code
     raise RuntimeError("could not sample a fully recoverable random code")
+
+
+def extend_code(
+    code: LinearCode, row_seed: int, symbols: int = 1
+) -> LinearCode:
+    """``code`` plus one joining server whose rows are seeded-random.
+
+    Dynamic membership: a server joining an N-server group becomes server
+    index ``N`` of an (N+1)-server code whose first N coefficient matrices
+    are unchanged (existing symbols stay valid codeword coordinates).  The
+    new rows are drawn from ``default_rng(row_seed)``, so every member of
+    the group derives the *same* extended code from the committed
+    ``row_seed`` alone -- no matrix bytes travel on the wire.  Rejects the
+    all-zero draw (a joiner storing nothing adds no redundancy); since
+    recovery sets only gain rows, every object recoverable before stays
+    recoverable after.
+    """
+    import numpy as _np
+
+    if symbols < 1:
+        raise ValueError("symbols must be positive")
+    field = code.field
+    rng = _np.random.default_rng(row_seed)
+    for _ in range(1000):
+        rows = rng.integers(
+            0, field.order, size=(symbols, code.K)
+        ).astype(field.dtype)
+        if not rows.any():
+            continue
+        return LinearCode(
+            field,
+            code.K,
+            [m.copy() for m in code.matrices] + [rows],
+            value_len=code.value_len,
+            name=f"{code.name}+join(seed={row_seed})",
+        )
+    raise RuntimeError("could not sample a nonzero joining row")
 
 
 def lrc_code(

@@ -44,6 +44,8 @@ __all__ = [
     "OpSettledEffect",
     "PeerSuspectedEffect",
     "PeerAliveEffect",
+    "PeerConfirmedDeadEffect",
+    "MembershipChangedEffect",
     "HomeServerSwitchEffect",
     "ProtocolCore",
 ]
@@ -136,6 +138,38 @@ class PeerAliveEffect:
     """Failure detector: a previously suspected ``peer`` was heard again."""
 
     peer: int
+
+
+@dataclass
+class PeerConfirmedDeadEffect:
+    """Failure detector: ``peer`` stayed suspected for the confirm window.
+
+    Emitted at most once per continuous suspicion when the detector is
+    configured with ``confirm_after``: the peer has been silent for
+    ``suspect_after + duration`` core-clock milliseconds without a single
+    delivered message.  Still advisory (asynchrony means a confirmed-dead
+    peer may yet speak), but strong enough to *act* on operationally --
+    the cluster uses it to auto-propose an epoch-fenced replacement.
+    ``duration`` is how long the suspicion had lasted at confirmation.
+    """
+
+    peer: int
+    duration: float
+
+
+@dataclass
+class MembershipChangedEffect:
+    """Reconfiguration core: a new membership epoch was committed.
+
+    ``members`` are the active server ids of epoch ``epoch``; ``joiner``
+    is the newly added server id (or None for remove/replace).  Runtimes
+    react by refreshing membership-derived overlay state (repair peer
+    lists, detector targets) and by fencing lower-epoch peer channels.
+    """
+
+    epoch: int
+    members: tuple
+    joiner: int | None = None
 
 
 @dataclass

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from ..core.messages import Heartbeat
 from .effects import (
     PeerAliveEffect,
+    PeerConfirmedDeadEffect,
     PeerSuspectedEffect,
     ProtocolCore,
     SetTimerEffect,
@@ -63,6 +64,15 @@ class FailureDetectorConfig:
     #: long-running cluster would otherwise grow it without limit); the
     #: newest ``max_transitions`` entries are kept, oldest evicted first
     max_transitions: int = 1024
+    #: a peer continuously suspected for this long is *confirmed dead*
+    #: (one ``PeerConfirmedDeadEffect``, one ``"dead"`` transition); None
+    #: disables confirmation, keeping the detector purely advisory
+    confirm_after: float | None = None
+    #: hysteresis window after an alive transition during which the peer
+    #: cannot be re-suspected, bounding the suspect->alive flap rate (and
+    #: thereby the suspect->confirm rate) of a marginal peer to at most
+    #: one cycle per ``suspect_after + suspect_hysteresis``
+    suspect_hysteresis: float = 0.0
 
     def __post_init__(self):
         if self.heartbeat_interval <= 0 or self.suspect_after <= 0:
@@ -73,6 +83,10 @@ class FailureDetectorConfig:
             raise ValueError(
                 "suspect_after must be at least two heartbeat intervals"
             )
+        if self.confirm_after is not None and self.confirm_after <= 0:
+            raise ValueError("confirm_after must be positive")
+        if self.suspect_hysteresis < 0:
+            raise ValueError("suspect_hysteresis must be >= 0")
         if self.check_interval is None:
             self.check_interval = self.heartbeat_interval
         elif self.check_interval <= 0:
@@ -96,8 +110,14 @@ class FailureDetectorCore(ProtocolCore):
         self.now = 0.0
         self.last_heard: dict[int, float] = {}
         self.suspected: set[int] = set()
-        #: (time, peer, "suspect" | "alive") transition history, newest
-        #: ``max_transitions`` entries only (bounded ring; see config)
+        #: suspicion onset time per currently-suspected peer
+        self.suspected_since: dict[int, float] = {}
+        #: peers whose continuous suspicion crossed ``confirm_after``
+        self.confirmed_dead: set[int] = set()
+        #: end of the re-suspect suppression window per peer (hysteresis)
+        self._suppress_until: dict[int, float] = {}
+        #: (time, peer, "suspect" | "alive" | "dead") transition history,
+        #: newest ``max_transitions`` entries only (bounded ring)
         self.transitions: deque[tuple[float, int, str]] = deque(
             maxlen=self.config.max_transitions
         )
@@ -109,6 +129,9 @@ class FailureDetectorCore(ProtocolCore):
         self._begin(now)
         self.last_heard = {p: now for p in self.peers}
         self.suspected = set()
+        self.suspected_since = {}
+        self.confirmed_dead = set()
+        self._suppress_until = {}
         self._send_heartbeats()
         self._emit(SetTimerEffect(HEARTBEAT_TIMER, self.config.heartbeat_interval))
         self._emit(SetTimerEffect(CHECK_TIMER, self.config.check_interval))
@@ -141,14 +164,42 @@ class FailureDetectorCore(ProtocolCore):
             self.last_heard[src] = now
             if src in self.suspected:
                 self.suspected.discard(src)
+                self.suspected_since.pop(src, None)
+                self.confirmed_dead.discard(src)
+                self._suppress_until[src] = now + self.config.suspect_hysteresis
                 self.transitions.append((now, src, "alive"))
                 self._emit(PeerAliveEffect(src))
         return self._end()
 
     # ------------------------------------------------------------------
 
+    def forget(self, peer: int) -> None:
+        """Stop monitoring a peer (membership retirement).
+
+        Emits no transition: retirement is an administrative fact, not
+        liveness evidence, and a ``dead`` record for a deliberately
+        removed server would trigger auto-replace machinery upstream.
+        """
+        if peer in self.peers:
+            self.peers.remove(peer)
+        self.last_heard.pop(peer, None)
+        self.suspected.discard(peer)
+        self.suspected_since.pop(peer, None)
+        self.confirmed_dead.discard(peer)
+        self._suppress_until.pop(peer, None)
+
+    def watch(self, peer: int, now: float) -> None:
+        """Start monitoring a newly joined peer (benefit of the doubt)."""
+        if peer == self.node_id or peer in self.peers:
+            return
+        self.peers.append(peer)
+        self.last_heard[peer] = now
+
     def is_suspected(self, peer: int) -> bool:
         return peer in self.suspected
+
+    def is_confirmed_dead(self, peer: int) -> bool:
+        return peer in self.confirmed_dead
 
     def _send_heartbeats(self) -> None:
         for p in self.peers:
@@ -160,6 +211,20 @@ class FailureDetectorCore(ProtocolCore):
         threshold = self.now - self.config.suspect_after
         for p in self.peers:
             if p not in self.suspected and self.last_heard[p] < threshold:
+                if self._suppress_until.get(p, -1.0) > self.now:
+                    continue  # hysteresis: too soon after the last revival
                 self.suspected.add(p)
+                self.suspected_since[p] = self.now
                 self.transitions.append((self.now, p, "suspect"))
                 self._emit(PeerSuspectedEffect(p, self.last_heard[p]))
+        confirm = self.config.confirm_after
+        if confirm is None:
+            return
+        for p in sorted(self.suspected):
+            if p in self.confirmed_dead:
+                continue
+            duration = self.now - self.suspected_since[p]
+            if duration >= confirm:
+                self.confirmed_dead.add(p)
+                self.transitions.append((self.now, p, "dead"))
+                self._emit(PeerConfirmedDeadEffect(p, duration))

@@ -1,0 +1,203 @@
+"""Epoch-fenced dynamic membership as a sans-I/O protocol overlay.
+
+CausalEC (and the full paper, arXiv:2102.13310) assumes a static server
+set; coded atomic-memory work such as CASGC shows why reconfiguring
+erasure-coded state is the hard robustness problem -- concurrent writes,
+partial codewords and GC watermarks must all survive the cutover.  This
+overlay drives the repo's reconfigurations with the smallest sound
+protocol that composes with everything already here:
+
+* **Membership epochs.** Every server carries a durable ``cfg_epoch``
+  (:class:`~repro.protocol.server_core.ServerCore`).  A reconfiguration
+  is a two-phase broadcast from a coordinator (the cluster object, like
+  the resharding coordinator): :class:`~repro.core.messages
+  .ReconfigPropose` (reachability probe, stages nothing irreversible)
+  then :class:`~repro.core.messages.ReconfigCommit`.  Both are
+  self-contained -- a server that missed the propose still installs the
+  epoch correctly from the commit alone, and re-delivered commits are
+  idempotent (acked with the installed epoch).
+
+* **Wire fencing.** Peer hellos advertise the dialer's ``cfg_epoch``;
+  :meth:`ReconfigCore.frame_admissible` is the admission predicate the
+  runtime consults per connection and per frame.  A zombie -- the dead
+  incarnation a replacement superseded -- redials with the stale epoch
+  forever and is rejected at the wire, so its retransmissions can never
+  interleave with the replacement's fresh state.
+
+* **State transfer.** A commit never ships state.  The joiner (or the
+  wiped replacement) starts from the initial state and is healed by the
+  existing anti-entropy overlay: its first digest advertises nothing, so
+  every peer's pull round re-installs missed writes and the recovery-set
+  symbol pooling of :class:`~repro.protocol.repair_core.RepairCore`
+  re-encodes the newcomer's matrix row from any live recovery set.
+  Snapshot installation was rejected deliberately: tags installed
+  without their folded codeword would make digests look current while
+  the symbol is zero, and repair would never heal it.
+
+* **Joins are non-minting.**  Vector clocks keep the founding dimension
+  forever (componentwise comparison cannot mix dimensions), so an added
+  server runs with ``clock_dim`` = founding N: it stores redundancy,
+  answers reads and repairs, but no client write is homed on it.  A
+  *replace* keeps the dead server's id, row and clock slot and is
+  therefore a full member -- the expected production path.
+
+* **Removal retires.**  Removed ids go into ``cfg_retired``: excluded
+  from fanout, read inquiries and the GC watermark agreement (a
+  watermark waiting on dels from a nonexistent server would freeze
+  forever).  The coordinator validates the survivors still form recovery
+  sets before committing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.messages import ReconfigAck, ReconfigCommit, ReconfigPropose
+from ..ec.codes import extend_code
+from .effects import (
+    LogEffect,
+    MembershipChangedEffect,
+    PersistEffect,
+    ProtocolCore,
+)
+
+__all__ = ["ReconfigCore", "ReconfigStats", "validate_membership"]
+
+
+@dataclass
+class ReconfigStats:
+    """Counters for one server's reconfiguration overlay."""
+
+    proposes: int = 0
+    commits: int = 0
+    stale_commits: int = 0
+    #: frames rejected by the wire-layer epoch fence
+    frames_fenced: int = 0
+
+
+def validate_membership(code, members) -> None:
+    """Coordinator-side check: every object stays recoverable.
+
+    ``members`` are the active server ids of the proposed epoch; raises
+    ``ValueError`` when some object has no recovery set among them
+    (committing such a membership would strand data).
+    """
+    members = sorted(int(m) for m in members)
+    for k in range(code.K):
+        if not code.is_recovery_set(members, k):
+            raise ValueError(
+                f"members {members} are not a recovery set for object {k}"
+            )
+
+
+class ReconfigCore(ProtocolCore):
+    """The per-server receiver side of epoch-fenced reconfiguration.
+
+    Owns no I/O and no timers; the runtime routes ``ReconfigPropose`` /
+    ``ReconfigCommit`` control frames here and interprets the returned
+    effects with its normal machinery (acks travel back as
+    :class:`~repro.protocol.effects.ReplyEffect` over the coordinator's
+    control connection).  Mutates the host :class:`ServerCore`'s
+    membership state on commit; everything else in the host is untouched.
+    """
+
+    def __init__(self, host):
+        self.host = host
+        self.stats = ReconfigStats()
+        #: staged proposals by epoch (advisory: commits are self-contained)
+        self.pending: dict[int, ReconfigPropose] = {}
+        #: set when a commit removed *this* server from the membership;
+        #: the runtime reacts by halting the process
+        self.evicted = False
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self.host.cfg_epoch
+
+    def frame_admissible(self, peer_epoch: int) -> bool:
+        """Wire-layer fence: may a frame from ``peer_epoch`` be delivered?
+
+        Frames from *lower* epochs are from a configuration this server
+        has moved past -- a zombie predecessor, or a live peer that has
+        not yet installed the commit (it will re-handshake once it has).
+        Higher epochs are admitted: the peer knows a commit this server
+        has yet to receive, and its frames are still causally sound (the
+        commit itself changes no protocol state).
+        """
+        if peer_epoch < self.host.cfg_epoch:
+            self.stats.frames_fenced += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def handle_message(self, src: int, msg, now: float) -> list:
+        self._begin(now)
+        if isinstance(msg, ReconfigPropose):
+            self._on_propose(src, msg)
+        elif isinstance(msg, ReconfigCommit):
+            self._on_commit(src, msg)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected reconfig message {msg!r}")
+        return self._end()
+
+    def _ack(self, src: int, epoch: int) -> None:
+        ack = ReconfigAck(epoch, self.host.cfg_epoch)
+        ack.ts = self.host.vc
+        self._emit_reply(src, ack)
+
+    def _on_propose(self, src: int, msg: ReconfigPropose) -> None:
+        self.stats.proposes += 1
+        if msg.epoch > self.host.cfg_epoch:
+            self.pending[msg.epoch] = msg
+        self._ack(src, msg.epoch)
+
+    def _on_commit(self, src: int, msg: ReconfigCommit) -> None:
+        if msg.epoch <= self.host.cfg_epoch:
+            self.stats.stale_commits += 1  # idempotent re-delivery
+        else:
+            self._apply_commit(msg)
+        self._ack(src, msg.epoch)
+
+    def apply_commit(self, msg: ReconfigCommit, now: float) -> list:
+        """Install a commit delivered outside the message path.
+
+        Used by runtimes that learn the epoch from the cluster object
+        directly (e.g. a joiner booting straight into the new epoch).
+        """
+        self._begin(now)
+        if msg.epoch > self.host.cfg_epoch:
+            self._apply_commit(msg)
+        return self._end()
+
+    def _apply_commit(self, msg: ReconfigCommit) -> None:
+        host = self.host
+        members = tuple(int(m) for m in msg.members)
+        if msg.joiner is not None and msg.row_seed is not None:
+            if msg.joiner != host.code.N:
+                raise ValueError(
+                    f"commit joins server {msg.joiner} but the local code "
+                    f"has N={host.code.N}: an intermediate epoch is missing"
+                )
+            host.adopt_code(extend_code(host.code, msg.row_seed))
+        retired = set(range(host.code.N)) - set(members)
+        if host.node_id in retired:
+            # this server was removed: record the epoch, flag eviction and
+            # let the runtime halt the process; do not retire ourselves in
+            # the core (set_retired guards against that footgun)
+            self.evicted = True
+            retired.discard(host.node_id)
+        host.set_retired(retired)
+        host.cfg_epoch = msg.epoch
+        self.pending = {e: p for e, p in self.pending.items() if e > msg.epoch}
+        self.stats.commits += 1
+        self._emit(
+            LogEffect(
+                ("reconfig-commit", msg.epoch, members, msg.joiner, msg.row_seed)
+            )
+        )
+        self._emit(PersistEffect())
+        self._emit(MembershipChangedEffect(msg.epoch, members, msg.joiner))

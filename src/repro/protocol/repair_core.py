@@ -172,6 +172,21 @@ class RepairCore(ProtocolCore):
             self._start_round()
         return self._end()
 
+    def refresh_peers(self) -> None:
+        """Membership changed on the host: re-derive the peer fanout.
+
+        Knowledge advertised by retired servers is dropped -- their state
+        is gone, and a deficit computed against a dead peer's clock would
+        open pull rounds that can never complete.
+        """
+        self._others = list(self.host._others)
+        keep = set(self._others)
+        self._peer_tags = {p: t for p, t in self._peer_tags.items() if p in keep}
+        self._peer_vc = {p: v for p, v in self._peer_vc.items() if p in keep}
+        self._round_symbols = {
+            p: s for p, s in self._round_symbols.items() if p in keep
+        }
+
     def on_peer_alive(self, peer: int, now: float) -> list:
         """Failure-detector hook (suspect -> alive): heal a rejoining peer
         promptly.  An immediate digest lets the peer diff and pull without

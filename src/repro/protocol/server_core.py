@@ -154,6 +154,7 @@ class ServerCore(ProtocolCore):
         node_id: int,
         code: LinearCode,
         config: ServerConfig | None = None,
+        clock_dim: int | None = None,
     ):
         if not 0 <= node_id < code.N:
             raise ValueError("server id must index a code position")
@@ -163,7 +164,17 @@ class ServerCore(ProtocolCore):
         self.stats = ServerStats()
         self.now = 0.0
 
-        n, k = code.N, code.K
+        # ``clock_dim`` decouples the vector-clock dimension from code.N
+        # for dynamic membership: tags minted by the founding members are
+        # length-``clock_dim`` forever (VectorClock comparisons are
+        # componentwise, so mixing dimensions would corrupt the order).  A
+        # joiner added beyond the founding set runs with the *founding*
+        # dimension and is non-minting: it serves reads, applies, repairs
+        # and stores redundancy, but no client write is ever homed on it.
+        n, k = (clock_dim if clock_dim is not None else code.N), code.K
+        if not 1 <= n <= code.N:
+            raise ValueError("clock_dim must be in 1..code.N")
+        self.clock_dim = n
         self._zero = zero_tag(n)
         self.vc = VectorClock.zero(n)
         self.inqueue = InQueue()
@@ -182,7 +193,18 @@ class ServerCore(ProtocolCore):
             tagvec={x: self._zero for x in range(k)},
         )
         self.objects = code.objects_at(node_id)
-        self._others = [i for i in range(code.N) if i != node_id]
+        #: membership epoch: bumped by committed reconfigurations.
+        #: Durable, and deliberately NOT reset by :meth:`wipe_volatile` --
+        #: a scrub quarantine must not fence a server out of its own
+        #: membership.
+        self.cfg_epoch = 0
+        #: permanently removed server ids (retired members), as a sorted
+        #: tuple so it wire-encodes into checkpoints.  Retired servers are
+        #: excluded from broadcast fanout, read inquiries and the GC
+        #: watermark agreement -- otherwise every watermark would wait
+        #: forever on dels from a server that no longer exists.
+        self.cfg_retired: tuple[int, ...] = ()
+        self._refresh_membership()
         self._opid_seq = 0  # plain int: fork/deepcopy-deterministic
         # del-broadcast deduplication (see DESIGN.md)
         self._del_sent_storing: dict[int, Tag] = {x: self._zero for x in range(k)}
@@ -333,7 +355,53 @@ class ServerCore(ProtocolCore):
         return msg
 
     def _storing_nodes(self, obj: int) -> list[int]:
-        return [i for i in range(self.code.N) if obj in self.code.objects_at(i)]
+        return [
+            i
+            for i in range(self.code.N)
+            if obj in self.code.objects_at(i) and i not in self.cfg_retired
+        ]
+
+    def _active_nodes(self) -> list[int]:
+        """Member ids of the current configuration (self included)."""
+        return [i for i in range(self.code.N) if i not in self.cfg_retired]
+
+    def _refresh_membership(self) -> None:
+        """Recompute the cached peer fanout from code + retirements."""
+        self._others = [
+            i
+            for i in range(self.code.N)
+            if i != self.node_id and i not in self.cfg_retired
+        ]
+
+    # ------------------------------------------------------------------
+    # dynamic membership (driven by the reconfiguration overlay)
+
+    def adopt_code(self, new_code: LinearCode) -> None:
+        """Install an extended code: the same rows plus joined servers.
+
+        Called when a reconfiguration commit adds members.  The first
+        ``self.code.N`` coefficient matrices must be unchanged (existing
+        codeword symbols stay valid coordinates of the extended code);
+        only membership-derived caches are refreshed -- clocks, tags,
+        history lists and the local symbol are untouched.
+        """
+        if new_code.K != self.code.K or new_code.value_len != self.code.value_len:
+            raise ValueError("extended code must keep K and value_len")
+        if new_code.N < self.code.N:
+            raise ValueError("adopt_code cannot shrink the code")
+        for s in range(self.code.N):
+            if not np.array_equal(new_code.matrices[s], self.code.matrices[s]):
+                raise ValueError(f"extended code changes server {s}'s rows")
+        self.code = new_code
+        self.objects = new_code.objects_at(self.node_id)
+        self._refresh_membership()
+
+    def set_retired(self, retired) -> None:
+        """Mark ``retired`` server ids as permanently removed."""
+        self.cfg_retired = tuple(sorted(set(int(i) for i in retired)))
+        if self.node_id in self.cfg_retired:
+            raise ValueError("a server cannot retire itself and keep running")
+        self._refresh_membership()
 
     def _log(self, *entry) -> None:
         if self.config.decision_log:
@@ -429,9 +497,11 @@ class ServerCore(ProtocolCore):
         """Crash: reset in-memory protocol state to the initial state.
 
         Called by runtimes that model durability, so recovery demonstrably
-        comes from stable storage, not from process memory.
+        comes from stable storage, not from process memory.  Membership
+        state (``cfg_epoch``, ``cfg_retired``) survives on purpose: a
+        quarantine is a storage crash, not an eviction.
         """
-        code, n, k = self.code, self.code.N, self.code.K
+        code, n, k = self.code, self.clock_dim, self.code.K
         self.vc = VectorClock.zero(n)
         self.inqueue = InQueue()
         self.L = {}
@@ -686,6 +756,8 @@ class ServerCore(ProtocolCore):
         best: list[int] | None = None
         best_cost = float("inf")
         for rset in self.code.minimal_recovery_sets(obj):
+            if any(j in self.cfg_retired for j in rset):
+                continue  # a retired member can never answer
             others = [j for j in rset if j != self.node_id]
             if not others:
                 continue
@@ -1005,7 +1077,10 @@ class ServerCore(ProtocolCore):
     def _garbage_collection(self) -> None:
         """Garbage_Collection: watermark advance + history-list deletion."""
         self.stats.gc_runs += 1
-        all_nodes = range(self.code.N)
+        # watermark agreement is over *active* members only: a retired
+        # server sends no more dels, so including it would freeze every
+        # watermark (and history lists would grow forever)
+        all_nodes = self._active_nodes()
         for x in range(self.code.K):
             common = self.DelL[x].max_common(all_nodes)
             if common is not None and common > self.tmax[x]:

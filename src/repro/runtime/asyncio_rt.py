@@ -12,10 +12,14 @@ Topology
 Each :class:`AsyncioServer` owns one TCP listener.  Three connection kinds
 arrive on it, distinguished by a hello frame:
 
-* ``("hp", i)`` -- the *peer data channel* from server ``i``: server ``i``
-  dials every other server and owns the directed channel ``i -> j``.  Data
-  frames ``("d", seq, msg)`` flow dialer -> listener; cumulative acks
-  ``("a", seq)`` flow back on the same socket.
+* ``("hp", i, acked, cfg_epoch)`` -- the *peer data channel* from server
+  ``i``: server ``i`` dials every other server and owns the directed
+  channel ``i -> j``.  Data frames ``("d", seq, msg)`` flow dialer ->
+  listener; cumulative acks ``("a", seq)`` flow back on the same socket.
+  ``cfg_epoch`` is the dialer's membership epoch: a listener that has
+  moved to a newer configuration *fences* the connection (rejecting every
+  frame it would have carried) after answering with its commit chain
+  (``("rc", commits)``) so a merely-behind peer can catch up and redial.
 * ``("hc", c)`` -- a client connection: request/reply frames ``("m", msg)``
   flow both ways.  Clients get no ARQ; the client retry policy plus
   server-side opid deduplication already make requests crash-tolerant.
@@ -52,7 +56,14 @@ import numpy as np
 
 from ..consistency.history import History, Operation
 from ..consistency.online import AuditOp
-from ..core.messages import DigestMsg, Heartbeat, RepairRequest, RepairResponse
+from ..core.messages import (
+    DigestMsg,
+    Heartbeat,
+    ReconfigCommit,
+    ReconfigPropose,
+    RepairRequest,
+    RepairResponse,
+)
 from ..core.snapshot import (
     CorruptCheckpoint,
     ServerCheckpoint,
@@ -60,13 +71,16 @@ from ..core.snapshot import (
     restore_server_state,
 )
 from ..ec.code import LinearCode
+from ..ec.codes import extend_code
 from ..protocol.client_core import ClientCore, HomeServerUnavailable, RetryPolicy
 from ..protocol.effects import (
     CancelTimerEffect,
     HomeServerSwitchEffect,
     LogEffect,
+    MembershipChangedEffect,
     OpSettledEffect,
     PeerAliveEffect,
+    PeerConfirmedDeadEffect,
     PeerSuspectedEffect,
     PersistEffect,
     ReplyEffect,
@@ -74,6 +88,7 @@ from ..protocol.effects import (
     SetTimerEffect,
 )
 from ..protocol.failure_detector import FailureDetectorConfig, FailureDetectorCore
+from ..protocol.reconfig_core import ReconfigCore, validate_membership
 from ..protocol.repair_core import RepairConfig, RepairCore
 from ..protocol.scrub_core import ScrubConfig, ScrubCore
 from ..protocol.server_core import ServerConfig, ServerCore
@@ -559,7 +574,14 @@ class _PeerChannel:
                 host, port = self.server.peers[self.peer_id]
                 reader, writer = await asyncio.open_connection(host, port)
                 writer.write(
-                    wire.encode_frame(("hp", self.server.node_id, self.acked))
+                    wire.encode_frame(
+                        (
+                            "hp",
+                            self.server.node_id,
+                            self.acked,
+                            self.server.core.cfg_epoch,
+                        )
+                    )
                 )
                 self.server.frames_sent += 1
                 self.server.flushes += 1
@@ -581,6 +603,12 @@ class _PeerChannel:
                         continue
                     if payload[0] == "a":
                         self._on_ack(payload[1])
+                    elif payload[0] == "rc":
+                        # fenced: the listener is in a newer membership
+                        # epoch and sent its commit chain so we can catch
+                        # up; install it and let the redial handshake with
+                        # the new epoch
+                        self.server.install_commits(payload[1])
             except _CONN_ERRORS:
                 pass
             finally:
@@ -776,6 +804,18 @@ class AsyncioServer:
         self.scrub: ScrubCore | None = (
             None if scrub is None else ScrubCore(core, scrub)
         )
+        #: epoch-fenced dynamic membership (always on: with no
+        #: reconfigurations it is a zero-cost epoch-0 pass-through)
+        self.reconfig = ReconfigCore(core)
+        #: every membership commit this incarnation knows, by epoch; the
+        #: cluster seeds replacements with the full chain so they can
+        #: answer fenced peers and rebuild extended codes after restarts
+        self.commit_chain: list[ReconfigCommit] = []
+        #: set by ``kill(forever=True)``: this incarnation is permanently
+        #: failed -- supervisors must not resurrect it
+        self.permanently_failed = False
+        #: hook called as ``on_membership_change(server_id, effect)``
+        self.on_membership_change = None
         #: (time, peer, "suspect" | "alive") -- this incarnation and earlier
         self.detector_log: list[tuple[float, int, str]] = []
         #: hook called as ``on_transition(server_id, peer, kind)``
@@ -842,9 +882,17 @@ class AsyncioServer:
             ch = self._channels[j] = _PeerChannel(self, j)
             ch.start()
 
-    async def kill(self) -> None:
-        """Crash: drop timers, connections, listener, and volatile state."""
+    async def kill(self, forever: bool = False) -> None:
+        """Crash: drop timers, connections, listener, and volatile state.
+
+        ``forever=True`` additionally marks the incarnation permanently
+        failed (a machine that is never coming back): supervisors skip it,
+        and the failure detector's confirmed-dead escalation is what
+        eventually replaces it.
+        """
         async with self._lifecycle:
+            if forever:
+                self.permanently_failed = True
             await self._kill_locked()
 
     async def _kill_locked(self) -> None:
@@ -888,6 +936,12 @@ class AsyncioServer:
         process resuming from an on-disk checkpoint (``repro serve``).
         """
         async with self._lifecycle:
+            if self.permanently_failed:
+                # a replaced machine's old incarnation must never rejoin:
+                # its slot (and endpoint) belong to the replacement now
+                raise RuntimeError(
+                    f"server {self.node_id} is permanently failed"
+                )
             if self._loop is None:
                 self._loop = asyncio.get_running_loop()
             self.halted = False
@@ -937,6 +991,23 @@ class AsyncioServer:
             kind, src = hello[0], hello[1]
             if kind == "hp":
                 base = hello[2] if len(hello) > 2 else 0
+                peer_epoch = hello[3] if len(hello) > 3 else 0
+                if not self.reconfig.frame_admissible(peer_epoch):
+                    # the dialer is in an older membership epoch: fence the
+                    # connection (none of its frames are delivered) but
+                    # hand back the commit chain first -- a live-but-behind
+                    # peer installs it and redials at the new epoch, while
+                    # a superseded zombie stays fenced forever
+                    try:
+                        writer.write(
+                            wire.encode_frame(("rc", list(self.commit_chain)))
+                        )
+                        self.frames_sent += 1
+                        self.flushes += 1
+                        await writer.drain()
+                    except _CONN_ERRORS:
+                        pass
+                    return
                 await self._peer_loop(src, reader, writer, epoch, base)
             elif kind == "hc":
                 self._clients[src] = writer
@@ -1052,6 +1123,41 @@ class AsyncioServer:
             return  # overlay disabled here: drop peer repair traffic
         self.interpret(self.core.handle_message(src, msg, self.now()))
 
+    # ------------------------------------------------------------------
+    # dynamic membership
+
+    def _remember_commit(self, msg: ReconfigCommit) -> None:
+        if all(c.epoch != msg.epoch for c in self.commit_chain):
+            self.commit_chain.append(msg)
+            self.commit_chain.sort(key=lambda c: c.epoch)
+
+    def install_commits(self, commits) -> None:
+        """Catch up on membership commits learned out of band.
+
+        Fed by the fence response of a newer-epoch peer and by the
+        cluster's restart replay.  Joins must apply in epoch order (each
+        extends the code by one row); commits at or below the installed
+        epoch are still scanned for the code-rebuild case -- ``cfg_epoch``
+        is durable but the extended code is reconstructed at boot from the
+        committed row seeds, never from disk.
+        """
+        for msg in sorted(commits, key=lambda c: c.epoch):
+            if not isinstance(msg, ReconfigCommit):
+                continue
+            if (
+                msg.joiner is not None
+                and msg.row_seed is not None
+                and msg.joiner == self.core.code.N
+                and msg.epoch <= self.core.cfg_epoch
+            ):
+                # restart of a post-join checkpoint: the epoch is already
+                # installed but the boot-time code predates the join
+                self.core.adopt_code(extend_code(self.core.code, msg.row_seed))
+                self.num_servers = self.core.code.N
+            if msg.epoch > self.core.cfg_epoch:
+                self.interpret(self.reconfig.apply_commit(msg, self.now()))
+            self._remember_commit(msg)
+
     async def _client_loop(self, src, reader, epoch) -> None:
         while True:
             try:
@@ -1064,9 +1170,20 @@ class AsyncioServer:
                 return
             if payload[0] == "m":
                 self.activity += 1
-                self.interpret(
-                    self.core.handle_message(src, payload[1], self.now())
-                )
+                msg = payload[1]
+                if isinstance(msg, (ReconfigPropose, ReconfigCommit)):
+                    # membership control plane: coordinators speak it over
+                    # short-lived client connections (never fenced, so a
+                    # behind server can always be caught up)
+                    self.interpret(
+                        self.reconfig.handle_message(src, msg, self.now())
+                    )
+                    if isinstance(msg, ReconfigCommit):
+                        self._remember_commit(msg)
+                else:
+                    self.interpret(
+                        self.core.handle_message(src, msg, self.now())
+                    )
 
     # ------------------------------------------------------------------
     # effect interpretation
@@ -1100,6 +1217,8 @@ class AsyncioServer:
                 self.decision_log.append(e.entry)
                 if self.audit_addr is not None:
                     self._append_audit(e.entry)
+            elif cls is MembershipChangedEffect:
+                self._on_membership_changed(e)
             else:
                 raise TypeError(f"unknown effect {e!r}")
 
@@ -1134,8 +1253,41 @@ class AsyncioServer:
                     self.interpret(
                         self.repair.on_peer_alive(e.peer, self.now())
                     )
+            elif cls is PeerConfirmedDeadEffect:
+                self.detector_log.append((self.now(), e.peer, "dead"))
+                if self.on_detector_transition is not None:
+                    self.on_detector_transition(self.node_id, e.peer, "dead")
             else:
                 raise TypeError(f"unknown detector effect {e!r}")
+
+    def _on_membership_changed(self, e: MembershipChangedEffect) -> None:
+        """React to an installed membership commit: refresh every cache
+        derived from the server set (peer fanout, overlays, detector)."""
+        self.num_servers = self.core.code.N
+        retired = set(range(self.core.code.N)) - set(e.members)
+        if self.repair is not None:
+            self.repair.refresh_peers()
+        if self.detector is not None:
+            for p in retired:
+                self.detector.forget(p)
+            if e.joiner is not None and e.joiner != self.node_id:
+                self.detector.watch(e.joiner, self.now())
+        for p in retired:
+            self.peers.pop(p, None)
+            ch = self._channels.pop(p, None)
+            if ch is not None:
+                asyncio.ensure_future(ch.stop())
+        if self.on_membership_change is not None:
+            self.on_membership_change(self.node_id, e)
+
+    def ensure_peer_channels(self) -> None:
+        """Dial any peer in ``peers`` without a channel yet (post-join)."""
+        if self.halted:
+            return
+        for j in self.peers:
+            if j not in self._channels:
+                ch = self._channels[j] = _PeerChannel(self, j)
+                ch.start()
 
     def _send(self, dst: int, msg) -> None:
         if dst < self.num_servers:
@@ -1237,6 +1389,7 @@ class AsyncioServer:
                 time=self.now(),
                 shard=self.audit_shard,
                 gen=gen,
+                epoch=self.core.cfg_epoch,
             )
         )
 
@@ -1478,8 +1631,12 @@ class AsyncioCluster:
         repair: RepairConfig | None = None,
         scrub: ScrubConfig | None = None,
         batch: bool = True,
+        auto_replace: bool = False,
     ):
         self.code = code
+        #: the founding code never changes (clients and clock dimensions
+        #: are anchored to it); joins extend ``current_code``
+        self.current_code = code
         self.num_servers = code.N
         self.config = config or ServerConfig()
         self.retry = retry
@@ -1487,32 +1644,62 @@ class AsyncioCluster:
         self.repair = repair
         self.scrub_config = scrub
         self.batch = batch
+        self.host = host
+        self.detector_config = detector
+        self.audit_addr = audit_addr
+        #: escalate the detector's confirmed-dead signal into an automatic
+        #: replace of the failed server (requires a detector config with
+        #: ``confirm_after`` set)
+        self.auto_replace = auto_replace
         self.history = History()
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         if store_dir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="causalec-ckpt-")
             store_dir = self._tmpdir.name
         self.store = FileDurableStore(store_dir)
+        #: hook called with every freshly built AsyncioServer *before* it
+        #: starts (founding, replacement, or joiner) -- sharded clusters
+        #: use it to stamp audit identity on new incarnations
+        self.on_server_created = None
         self.servers = [
-            AsyncioServer(
-                ServerCore(i, code, self.config),
-                self.store,
-                host=host,
-                chaos=chaos,
-                detector=detector,
-                audit_addr=audit_addr,
-                repair=repair,
-                scrub=scrub,
-                batch=batch,
-            )
+            self._make_server(ServerCore(i, code, self.config))
             for i in range(code.N)
         ]
-        for s in self.servers:
-            s.on_detector_transition = self._on_detector_transition
         self.clients: list[AsyncioClient] = []
         #: aggregated (observer server, peer, kind) transitions, in order
         self.detector_transitions: list[tuple[int, int, str]] = []
         self._fault_handles: list[asyncio.TimerHandle] = []
+        # -- dynamic membership (coordinator state) --------------------
+        #: the group's committed membership epoch (0 = founding)
+        self.cfg_epoch = 0
+        #: server ids removed from the group (slots stay in the code)
+        self.retired: set[int] = set()
+        #: every committed reconfiguration, in epoch order
+        self._commit_log: list[ReconfigCommit] = []
+        #: (kind, epoch, members, joiner) history for operators and tests
+        self.reconfig_log: list[tuple[str, int, tuple, int | None]] = []
+        self._replacing: set[int] = set()
+        self._auto_replaced: set[int] = set()
+        self._replace_tasks: list[asyncio.Task] = []
+        self._reconfig_lock = asyncio.Lock()
+        self._ctrl_seq = 0
+
+    def _make_server(self, core: ServerCore) -> AsyncioServer:
+        server = AsyncioServer(
+            core,
+            self.store,
+            host=self.host,
+            chaos=self.chaos,
+            detector=self.detector_config,
+            audit_addr=self.audit_addr,
+            repair=self.repair,
+            scrub=self.scrub_config,
+            batch=self.batch,
+        )
+        server.on_detector_transition = self._on_detector_transition
+        if self.on_server_created is not None:
+            self.on_server_created(server)
+        return server
 
     async def start(self) -> None:
         """Bind every server, exchange addresses, dial all peer channels."""
@@ -1579,6 +1766,32 @@ class AsyncioCluster:
         if kind == "suspect":
             for client in self.clients:
                 client.notify_home_suspected(peer)
+        elif kind == "dead" and self.auto_replace:
+            self._maybe_auto_replace(peer)
+
+    def _maybe_auto_replace(self, peer: int) -> None:
+        """Escalate a confirmed-dead signal into a background replace.
+
+        Idempotent across observers: every live server eventually confirms
+        the same dead peer, but only the first signal starts a replacement
+        (``_auto_replaced`` clears only if the attempt itself fails).
+        """
+        if (
+            peer in self._replacing
+            or peer in self.retired
+            or peer in self._auto_replaced
+        ):
+            return
+        self._auto_replaced.add(peer)
+        task = asyncio.ensure_future(self._auto_replace(peer))
+        self._replace_tasks.append(task)
+
+    async def _auto_replace(self, peer: int) -> None:
+        try:
+            await self.replace_server(peer)
+        except Exception:
+            log.exception("auto-replace of server %d failed", peer)
+            self._auto_replaced.discard(peer)
 
     async def add_client(
         self,
@@ -1636,11 +1849,213 @@ class AsyncioCluster:
             arr = np.full(self.code.value_len, int(arr))
         return field.validate(arr)
 
-    async def kill_server(self, i: int) -> None:
-        await self.servers[i].kill()
+    async def kill_server(self, i: int, forever: bool = False) -> None:
+        """Crash server ``i``; ``forever=True`` models a machine that is
+        never coming back (supervisors skip it; auto-replace may claim it).
+        """
+        await self.servers[i].kill(forever=forever)
 
     async def restart_server(self, i: int) -> None:
-        await self.servers[i].restart()
+        server = self.servers[i]
+        if server.permanently_failed:
+            raise RuntimeError(
+                f"server {i} is permanently failed; use replace_server"
+            )
+        server.set_peers(self._addresses())
+        await server.restart()
+        # the checkpoint restores cfg_epoch/cfg_retired, but the extended
+        # code and missed epochs are reconstructed from the commit log
+        server.install_commits(self._commit_log)
+        server.ensure_peer_channels()
+
+    # ------------------------------------------------------------------
+    # dynamic membership (epoch-fenced reconfiguration)
+
+    def _active_members(self) -> list[int]:
+        return [s.node_id for s in self.servers if s.node_id not in self.retired]
+
+    def _addresses(self) -> dict[int, tuple[str, int]]:
+        return {
+            s.node_id: (s.host, s.port)
+            for s in self.servers
+            if s.node_id not in self.retired
+        }
+
+    def _rewire_addresses(self) -> None:
+        """Push the current address map to every active server and make
+        sure each has a dialer channel to every (possibly new) peer."""
+        addresses = self._addresses()
+        for s in self.servers:
+            if s.node_id in self.retired:
+                continue
+            s.set_peers(addresses)
+            s.ensure_peer_channels()
+
+    async def _reconfig_rpc(self, server: AsyncioServer, msg, timeout: float = 5.0):
+        """One membership control request/reply on a short-lived connection.
+
+        Control frames ride the client path (hello ``("hc", id)``), which
+        is never epoch-fenced -- a behind server must always be reachable
+        for catch-up.  Control ids live far above any client id.
+        """
+        self._ctrl_seq += 1
+        ctrl_id = 1_000_000 + self._ctrl_seq
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        try:
+            writer.write(wire.encode_frame(("hc", ctrl_id)))
+            writer.write(wire.encode_frame(("m", msg)))
+            await writer.drain()
+            reply = await asyncio.wait_for(read_frame(reader), timeout)
+            if reply[0] != "m":
+                raise wire.WireError(f"unexpected control reply {reply[0]!r}")
+            return reply[1]
+        finally:
+            writer.close()
+
+    async def _commit_membership(
+        self,
+        members: tuple,
+        joiner: int | None = None,
+        row_seed: int | None = None,
+        note: str = "reconfig",
+    ) -> tuple[int, ReconfigCommit]:
+        """Two-phase broadcast: propose to every live member, then commit.
+
+        A failed (unreachable) propose aborts with nothing staged; a
+        server that misses the commit catches up from the fence response
+        or the cluster's restart replay.  Serialised: concurrent
+        reconfigurations would race the epoch counter.
+        """
+        epoch = self.cfg_epoch + 1
+        live = [
+            s
+            for s in self.servers
+            if not s.halted and s.node_id in members and s.node_id != joiner
+        ]
+        propose = ReconfigPropose(epoch, tuple(members), joiner, row_seed)
+        acks = await asyncio.gather(
+            *(self._reconfig_rpc(s, propose) for s in live)
+        )
+        for ack in acks:
+            if ack.epoch != epoch:
+                raise RuntimeError(
+                    f"propose for epoch {epoch} acked as {ack.epoch}"
+                )
+        commit = ReconfigCommit(epoch, tuple(members), joiner, row_seed)
+        await asyncio.gather(*(self._reconfig_rpc(s, commit) for s in live))
+        self.cfg_epoch = epoch
+        self._commit_log.append(commit)
+        self.reconfig_log.append((note, epoch, tuple(members), joiner))
+        return epoch, commit
+
+    async def replace_server(self, i: int) -> AsyncioServer:
+        """Replace a permanently failed server with a fresh incarnation.
+
+        The epoch bump is the fence: the dead incarnation's frames (and
+        redials) are rejected by every peer from the commit on.  The
+        replacement keeps slot ``i`` -- same id, same code row, same
+        vector-clock component -- and starts from an empty disk; the
+        anti-entropy overlay re-derives its history and re-encodes its
+        codeword row from any live recovery set.
+        """
+        if i in self.retired:
+            raise ValueError(f"server {i} is retired")
+        async with self._reconfig_lock:
+            if i in self._replacing:
+                raise RuntimeError(f"server {i} is already being replaced")
+            self._replacing.add(i)
+            try:
+                old = self.servers[i]
+                if not old.halted:
+                    await old.kill(forever=True)
+                members = tuple(self._active_members())
+                epoch, _ = await self._commit_membership(members, note="replace")
+                # the replacement must not inherit the dead incarnation's
+                # disk: a stale checkpoint would resurrect pre-fence state
+                self.store.wipe(i)
+                core = ServerCore(
+                    i,
+                    self.current_code,
+                    self.config,
+                    clock_dim=old.core.clock_dim,
+                )
+                core.cfg_epoch = epoch
+                core.set_retired(self.retired)
+                new = self._make_server(core)
+                # the replacement inherits the dead server's endpoint so
+                # existing clients (and peer address maps) keep working
+                new.port = old.port
+                new.commit_chain = sorted(
+                    self._commit_log, key=lambda c: c.epoch
+                )
+                self.servers[i] = new
+                await new.start()
+                self._rewire_addresses()
+                return new
+            finally:
+                self._replacing.discard(i)
+
+    async def add_server(self, row_seed: int | None = None) -> AsyncioServer:
+        """Grow the group: commit an extended code and boot the joiner.
+
+        Every member derives the identical extension from the committed
+        ``row_seed`` alone (no matrices on the wire).  The joiner keeps the
+        founding vector-clock dimension and is *non-minting*: it stores
+        redundancy, serves reads and repairs, but no client write is homed
+        on it (see :mod:`repro.protocol.reconfig_core`).
+        """
+        async with self._reconfig_lock:
+            joiner = self.current_code.N
+            if any(c.node_id == joiner for c in self.clients):
+                raise ValueError(
+                    f"client id {joiner} collides with the joining server; "
+                    "attach clients with explicit high node_ids before joins"
+                )
+            if row_seed is None:
+                # deterministic per epoch so reruns commit identical codes
+                row_seed = 0xCEC0DE + self.cfg_epoch
+            new_code = extend_code(self.current_code, row_seed)
+            members = tuple(self._active_members() + [joiner])
+            validate_membership(new_code, members)
+            epoch, _ = await self._commit_membership(
+                members, joiner=joiner, row_seed=row_seed, note="add"
+            )
+            core = ServerCore(
+                joiner, new_code, self.config, clock_dim=self.code.N
+            )
+            core.cfg_epoch = epoch
+            core.set_retired(self.retired)
+            new = self._make_server(core)
+            new.commit_chain = sorted(self._commit_log, key=lambda c: c.epoch)
+            self.current_code = new_code
+            self.num_servers = new_code.N
+            self.servers.append(new)
+            await new.start()
+            self._rewire_addresses()
+            return new
+
+    async def remove_server(self, i: int) -> None:
+        """Shrink the group: retire server ``i`` (its code slot remains).
+
+        Refuses memberships that would strand an object (the survivors
+        must form a recovery set for every object).  The evicted server is
+        told (if alive) and then permanently halted.
+        """
+        async with self._reconfig_lock:
+            members = tuple(m for m in self._active_members() if m != i)
+            if len(members) == len(self._active_members()):
+                raise ValueError(f"server {i} is not an active member")
+            validate_membership(self.current_code, members)
+            epoch, commit = await self._commit_membership(members, note="remove")
+            victim = self.servers[i]
+            if not victim.halted:
+                try:
+                    await self._reconfig_rpc(victim, commit)
+                except (*_CONN_ERRORS, asyncio.TimeoutError):
+                    pass  # it is being removed; fencing handles the rest
+                await victim.kill(forever=True)
+            self.retired.add(i)
+            self._rewire_addresses()
 
     def reset_server(self, i: int) -> None:
         """Sever server ``i``'s established connections (no crash)."""
@@ -1670,6 +2085,8 @@ class AsyncioCluster:
 
         for at, server in plan.halts:
             _later(at, self.kill_server, server, is_coro=True)
+        for at, server in getattr(plan, "kill_forevers", ()):
+            _later(at, self.kill_server, server, True, is_coro=True)
         for at, server in plan.restarts:
             _later(at, self.restart_server, server, is_coro=True)
         for at, server in plan.resets:
@@ -1711,6 +2128,15 @@ class AsyncioCluster:
         for handle in self._fault_handles:
             handle.cancel()
         self._fault_handles.clear()
+        for task in self._replace_tasks:
+            if not task.done():
+                task.cancel()
+        for task in self._replace_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._replace_tasks.clear()
         for client in self.clients:
             await client.close()
         for server in self.servers:

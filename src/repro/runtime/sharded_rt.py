@@ -99,12 +99,16 @@ class ShardedAsyncioCluster:
         host: str = "127.0.0.1",
         audit: bool = False,
         vnodes: int = 64,
+        repair=None,
     ):
         self.num_servers = num_servers
         self.value_len = value_len
         self.host = host
         self.config = config or ServerConfig(gc_interval=50.0)
         self.retry = retry
+        #: per-shard anti-entropy config -- required for reconfig_replace
+        #: and reconfig_add to re-derive new incarnations' codeword rows
+        self.repair = repair
         self.code_factory = code_factory or default_shard_code
         self.router = ShardRouter.build(
             keys, num_shards, slots_per_shard, vnodes=vnodes
@@ -141,6 +145,7 @@ class ShardedAsyncioCluster:
             retry=self.retry,
             host=self.host,
             audit_addr=self.auditor.address if self.auditor else None,
+            repair=self.repair,
         )
         key_map: dict[int, object] = {}
         gen_map: dict[int, int] = {}
@@ -148,11 +153,19 @@ class ShardedAsyncioCluster:
             loc = self.router.location(key)
             key_map[loc.slot] = key
             gen_map[loc.slot] = loc.gen
-        for srv in cluster.servers:
+
+        def _wire_audit(srv, shard=shard, key_map=key_map, gen_map=gen_map):
             srv.audit_node = shard * _AUDIT_STRIDE + srv.node_id
             srv.audit_shard = shard
             srv.audit_key_map = key_map
             srv.audit_gen = gen_map
+
+        # every incarnation this shard ever boots -- founding servers,
+        # replacements, joiners -- gets the shard's audit identity before
+        # it streams a single record
+        cluster.on_server_created = _wire_audit
+        for srv in cluster.servers:
+            _wire_audit(srv)
         await cluster.start()
         self.shards[shard] = cluster
         self._audit_maps[shard] = (key_map, gen_map)
@@ -196,8 +209,8 @@ class ShardedAsyncioCluster:
     # ------------------------------------------------------------------
     # fault injection (per shard, or a whole "site" across shards)
 
-    async def kill_server(self, shard: int, i: int) -> None:
-        await self.shards[shard].kill_server(i)
+    async def kill_server(self, shard: int, i: int, forever: bool = False) -> None:
+        await self.shards[shard].kill_server(i, forever=forever)
 
     async def restart_server(self, shard: int, i: int) -> None:
         await self.shards[shard].restart_server(i)
@@ -210,6 +223,29 @@ class ShardedAsyncioCluster:
     async def restart_site(self, site: int) -> None:
         for cluster in self.shards.values():
             await cluster.restart_server(site)
+
+    # ------------------------------------------------------------------
+    # per-shard dynamic membership
+
+    async def reconfig_replace(self, shard: int, server: int):
+        """Replace a permanently failed server inside one shard's group.
+
+        Each shard reconfigures independently: its coding group has its
+        own membership epoch, and the router is untouched (keys stay
+        where they are -- only the group serving them changes shape).
+        The replacement inherits the shard's audit identity via the
+        ``on_server_created`` hook, so the auditor's ``(server, epoch,
+        seq)`` dedup separates it from the dead incarnation's records.
+        """
+        return await self.shards[shard].replace_server(server)
+
+    async def reconfig_add(self, shard: int, row_seed: int | None = None):
+        """Join a redundancy server to one shard's coding group."""
+        return await self.shards[shard].add_server(row_seed)
+
+    async def reconfig_remove(self, shard: int, server: int) -> None:
+        """Retire a server from one shard's coding group."""
+        await self.shards[shard].remove_server(server)
 
     # ------------------------------------------------------------------
     # view changes

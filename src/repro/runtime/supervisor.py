@@ -70,6 +70,11 @@ class Supervisor:
         self.events: list[tuple[float, str, int, str]] = []
         self.restarts: dict[int, int] = {}
         self.given_up: set[int] = set()
+        #: escalation hook, called once as ``on_give_up(server, reason)``
+        #: when a server is abandoned (restart storm exhausted) or found
+        #: permanently failed -- dynamic-membership clusters wire this to
+        #: a replace proposal
+        self.on_give_up = None
         self._restarting: set[int] = set()
         self._last_up: dict[int, float] = {}
         self._task: asyncio.Task | None = None
@@ -102,6 +107,15 @@ class Supervisor:
             (asyncio.get_event_loop().time(), event, server, detail)
         )
 
+    def _give_up(self, server: int, reason: str) -> None:
+        self.given_up.add(server)
+        self._event("give-up", server, reason)
+        if self.on_give_up is not None:
+            try:
+                self.on_give_up(server, reason)
+            except Exception:  # noqa: BLE001 - supervisor must survive
+                self._event("escalation-failed", server, reason)
+
     async def _watch(self) -> None:
         loop = asyncio.get_running_loop()
         while not self._stopped:
@@ -115,15 +129,25 @@ class Supervisor:
                         and now - up_since >= self.policy.reset_after
                     ):
                         self.restarts[i] = 0  # stable again: forgive history
+                    # a healthy server in given_up is a *replacement*
+                    # incarnation swapped in after we abandoned the old
+                    # one: supervise it from a clean slate
+                    if i in self.given_up:
+                        self.given_up.discard(i)
+                        self.restarts[i] = 0
                     continue
                 self._last_up.pop(i, None)
                 if i in self._restarting or i in self.given_up:
                     continue
+                if getattr(server, "permanently_failed", False):
+                    # never restart a machine marked gone for good; hand
+                    # it to the escalation hook (replace proposal) instead
+                    self._give_up(i, "permanently failed; awaiting replacement")
+                    continue
                 count = self.restarts.get(i, 0)
                 if count >= self.policy.max_restarts:
-                    self.given_up.add(i)
-                    self._event(
-                        "give-up", i, f"exceeded {self.policy.max_restarts} restarts"
+                    self._give_up(
+                        i, f"exceeded {self.policy.max_restarts} restarts"
                     )
                     continue
                 self._restarting.add(i)

@@ -73,6 +73,9 @@ from ..core.messages import (
     MigrateInstall,
     ReadRequest,
     ReadReturn,
+    ReconfigAck,
+    ReconfigCommit,
+    ReconfigPropose,
     RepairRequest,
     RepairResponse,
     ValInq,
@@ -125,7 +128,12 @@ __all__ = [
 #: (the default), a CRC32 of the encoded value.  The value encoding and
 #: all class ids are unchanged -- v2-era *bodies* still decode -- only
 #: the frame header grew.
-WIRE_VERSION = 5
+#: v6 (dynamic membership): reconfiguration control messages
+#: (ReconfigPropose/ReconfigAck/ReconfigCommit, ids 17-19), peer hellos
+#: advertise the dialer's membership ``cfg_epoch``, and AuditOp gains a
+#: trailing ``epoch`` field so decision identity survives an epoch-fenced
+#: server replacement (the replacement restarts its record sequence).
+WIRE_VERSION = 6
 
 #: Frames larger than this are rejected before allocation (corrupt length
 #: words must not trigger multi-gigabyte reads).
@@ -200,7 +208,7 @@ def registered_classes() -> dict[int, type]:
     return {cid: cls for cid, (cls, _) in _REGISTRY.items()}
 
 
-# protocol messages (ids 1-15).  ``size_bits`` rides along so the receiving
+# protocol messages (ids 1-19).  ``size_bits`` rides along so the receiving
 # side sees the same cost accounting the sender assigned.
 register(
     1, WriteRequest, ("opid", "obj", "value", "session_ts", "view", "size_bits")
@@ -234,6 +242,17 @@ register(
 )
 register(15, ViewInstall, ("version", "size_bits"))
 register(16, ViewInstallAck, ("version", "ts", "size_bits"))
+register(
+    17,
+    ReconfigPropose,
+    ("epoch", "members", "joiner", "row_seed", "size_bits"),
+)
+register(18, ReconfigAck, ("epoch", "cfg_epoch", "ts", "size_bits"))
+register(
+    19,
+    ReconfigCommit,
+    ("epoch", "members", "joiner", "row_seed", "size_bits"),
+)
 
 # durable server state (ids 20-31): everything a ServerCheckpoint holds, so
 # the file-backed durable store never needs pickle.
@@ -250,7 +269,10 @@ register(27, ServerCheckpoint, ("server_id", "time", "state", "transport"))
 register(
     40,
     AuditOp,
-    ("server", "seq", "kind", "obj", "tag", "opid", "time", "shard", "gen"),
+    (
+        "server", "seq", "kind", "obj", "tag", "opid", "time", "shard",
+        "gen", "epoch",
+    ),
 )
 
 

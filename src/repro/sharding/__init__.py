@@ -17,12 +17,26 @@ asyncio cluster) migrate those keys over the existing channels with an
 epoch-fenced cutover.
 """
 
-from .ring import HashRing
+from .ring import (
+    DuplicateShardError,
+    EmptyRingError,
+    HashRing,
+    LastShardError,
+    RingError,
+    UnknownShardError,
+    ZeroVnodeError,
+)
 from .router import KeyMigrating, ShardLocation, ShardRouter
 from .view import KeyMove, ViewChange, plan_view_change
 
 __all__ = [
     "HashRing",
+    "RingError",
+    "EmptyRingError",
+    "UnknownShardError",
+    "DuplicateShardError",
+    "LastShardError",
+    "ZeroVnodeError",
     "ShardLocation",
     "ShardRouter",
     "KeyMigrating",

@@ -62,6 +62,9 @@ class FaultPlan:
     """
 
     halts: list[tuple[float, int]] = field(default_factory=list)
+    #: permanent halts: the machine never comes back -- supervisors must
+    #: not resurrect it, and dynamic-membership clusters may auto-replace
+    kill_forevers: list[tuple[float, int]] = field(default_factory=list)
     restarts: list[tuple[float, int]] = field(default_factory=list)
     resets: list[tuple[float, int]] = field(default_factory=list)
     rots: list[tuple[float, int]] = field(default_factory=list)
@@ -82,6 +85,12 @@ class FaultPlan:
 
     def halt(self, at_time: float, server: int) -> "FaultPlan":
         self.halts.append(self._validate(at_time, server))
+        return self
+
+    def halt_forever(self, at_time: float, server: int) -> "FaultPlan":
+        """Schedule a *permanent* failure: the server halts and is marked
+        never-coming-back (``repro chaos --kill-forever`` / auto-replace)."""
+        self.kill_forevers.append(self._validate(at_time, server))
         return self
 
     def restart(self, at_time: float, server: int) -> "FaultPlan":
@@ -111,7 +120,7 @@ class FaultPlan:
 
     def all_faults(self) -> list[tuple[float, int]]:
         return (
-            self.halts + self.restarts + self.resets
+            self.halts + self.kill_forevers + self.restarts + self.resets
             + self.rots + self.disk_rots + self.torn_writes
         )
 
@@ -128,6 +137,16 @@ class FaultPlan:
         for at_time, server in self.halts:
             node = cluster.servers[server]
             cluster.scheduler.at(at_time, node.halt)
+
+        def _halt_forever(node) -> None:
+            node.halt()
+            # the marker is what supervisors/replacement logic key off;
+            # simulated servers grow it dynamically
+            node.permanently_failed = True
+
+        for at_time, server in self.kill_forevers:
+            node = cluster.servers[server]
+            cluster.scheduler.at(at_time, lambda node=node: _halt_forever(node))
         for at_time, server in self.restarts:
             node = cluster.servers[server]
             cluster.scheduler.at(at_time, node.restart)

@@ -73,9 +73,12 @@ def _fork_state(state: _State) -> _State:
         ns.objects = s.objects
         ns._others = s._others
         ns._zero = s._zero
+        ns.clock_dim = s.clock_dim
         # copied mutables
         ns.halted = s.halted
         ns.epoch = s.epoch
+        ns.cfg_epoch = s.cfg_epoch
+        ns.cfg_retired = s.cfg_retired
         ns.stats = dataclasses.replace(s.stats)
         ns.vc = s.vc
         ns.inqueue = InQueue()
@@ -168,6 +171,7 @@ def _server_fingerprint(s: CausalECServer, semantic: bool) -> tuple:
         ),
     ]
     if not semantic:
+        parts.append((s.cfg_epoch, s.cfg_retired))
         parts.append(tuple(_tag_key(s.tmax[x]) for x in range(code.K)))
         parts.append(
             tuple(

@@ -12,6 +12,7 @@ import pytest
 from repro.core.messages import Heartbeat
 from repro.protocol.effects import (
     PeerAliveEffect,
+    PeerConfirmedDeadEffect,
     PeerSuspectedEffect,
     SendEffect,
     SetTimerEffect,
@@ -144,3 +145,124 @@ def test_transition_history_is_bounded():
 def test_max_transitions_must_be_positive():
     with pytest.raises(ValueError):
         FailureDetectorConfig(max_transitions=0)
+
+
+# ---------------------------------------------------------------------------
+# confirmed-dead escalation and flap hysteresis
+
+
+def _make_confirming(confirm_after=100.0, hysteresis=0.0):
+    core = FailureDetectorCore(
+        0,
+        [1, 2],
+        FailureDetectorConfig(
+            heartbeat_interval=10.0,
+            suspect_after=50.0,
+            confirm_after=confirm_after,
+            suspect_hysteresis=hysteresis,
+        ),
+    )
+    core.boot(0.0)
+    return core
+
+
+def test_continuous_suspicion_confirms_dead_once():
+    core = _make_confirming()
+    core.observe(2, 55.0)  # keep peer 2 alive
+    effects = core.handle_timer(CHECK_TIMER, 60.0)  # suspect 1
+    assert core.is_suspected(1) and not core.is_confirmed_dead(1)
+    assert not [e for e in effects if isinstance(e, PeerConfirmedDeadEffect)]
+    core.observe(2, 120.0)
+    effects = core.handle_timer(CHECK_TIMER, 159.0)  # 99 ms suspected
+    assert not [e for e in effects if isinstance(e, PeerConfirmedDeadEffect)]
+    core.observe(2, 160.0)
+    effects = core.handle_timer(CHECK_TIMER, 161.0)  # 101 ms suspected
+    dead = [e for e in effects if isinstance(e, PeerConfirmedDeadEffect)]
+    assert [e.peer for e in dead] == [1]
+    assert dead[0].duration >= 100.0
+    assert core.is_confirmed_dead(1)
+    assert (161.0, 1, "dead") in core.transitions
+    # confirmation fires exactly once
+    core.observe(2, 170.0)
+    effects = core.handle_timer(CHECK_TIMER, 200.0)
+    assert not [e for e in effects if isinstance(e, PeerConfirmedDeadEffect)]
+
+
+def test_revival_resets_confirmation_clock():
+    core = _make_confirming()
+    core.handle_timer(CHECK_TIMER, 60.0)  # suspect 1 and 2
+    core.observe(1, 140.0)  # alive again before the 100 ms confirmation
+    effects = core.handle_timer(CHECK_TIMER, 165.0)
+    dead = [e.peer for e in effects if isinstance(e, PeerConfirmedDeadEffect)]
+    assert dead == [2]  # peer 1's suspicion clock restarted
+    assert not core.is_confirmed_dead(1)
+
+
+def test_hysteresis_bounds_flap_rate():
+    """A marginal peer flaps at most once per suspect_after + hysteresis."""
+    flappy = _make_confirming(confirm_after=100.0, hysteresis=200.0)
+    plain = _make_confirming(confirm_after=100.0, hysteresis=0.0)
+    now = 0.0
+    for _ in range(40):
+        now += 51.0
+        for core in (flappy, plain):
+            core.handle_timer(CHECK_TIMER, now)  # silence past threshold
+            core.observe(1, now + 0.5)  # ...then one delivered frame
+            core.observe(2, now + 0.5)
+    flaps = sum(1 for _, p, k in flappy.transitions if p == 1 and k == "suspect")
+    plain_flaps = sum(
+        1 for _, p, k in plain.transitions if p == 1 and k == "suspect"
+    )
+    assert plain_flaps > flaps  # hysteresis suppressed re-suspects
+    # after a revival the next suspect must wait out the 200 ms
+    # suppression window: at most one flap per 200 ms of the ~2040 ms run
+    assert flaps <= (now / 200.0) + 1
+    assert plain_flaps >= 2 * flaps
+
+
+def test_suppression_window_does_not_mask_real_death():
+    core = _make_confirming(confirm_after=100.0, hysteresis=60.0)
+    core.handle_timer(CHECK_TIMER, 60.0)  # suspect both
+    core.observe(1, 61.0)  # revive: suppression until 121
+    core.observe(2, 61.0)
+    for t in (80.0, 100.0, 120.0):
+        core.handle_timer(CHECK_TIMER, t)
+    assert not core.is_suspected(1)  # suppressed (silence began at 61)
+    core.observe(2, 121.0)
+    core.handle_timer(CHECK_TIMER, 130.0)  # window over, still silent
+    assert core.is_suspected(1)
+    core.observe(2, 200.0)
+    effects = core.handle_timer(CHECK_TIMER, 231.0)
+    assert [
+        e.peer for e in effects if isinstance(e, PeerConfirmedDeadEffect)
+    ] == [1]
+
+
+def test_forget_and_watch_membership_changes():
+    core = _make_confirming()
+    core.handle_timer(CHECK_TIMER, 60.0)  # suspect both peers
+    core.handle_timer(CHECK_TIMER, 300.0)  # ...and confirm them dead
+    assert core.is_confirmed_dead(1)
+    before = len(core.transitions)
+    core.forget(1)  # retired from the group
+    assert 1 not in core.peers
+    assert not core.is_suspected(1) and not core.is_confirmed_dead(1)
+    assert len(core.transitions) == before  # retirement emits no transition
+    # a joiner starts with the benefit of the doubt
+    core.watch(3, 300.0)
+    assert 3 in core.peers
+    core.handle_timer(CHECK_TIMER, 320.0)
+    assert not core.is_suspected(3)
+    core.handle_timer(CHECK_TIMER, 351.0)  # silent past the threshold
+    assert core.is_suspected(3)
+    # watch is idempotent and never monitors self
+    core.watch(3, 400.0)
+    core.watch(0, 400.0)
+    assert core.peers.count(3) == 1 and 0 not in core.peers
+
+
+def test_confirm_after_validation():
+    with pytest.raises(ValueError):
+        FailureDetectorConfig(confirm_after=0.0)
+    with pytest.raises(ValueError):
+        FailureDetectorConfig(suspect_hysteresis=-1.0)

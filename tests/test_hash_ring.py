@@ -14,7 +14,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sharding.ring import HashRing, _h64
+from repro.sharding.ring import (
+    DuplicateShardError,
+    EmptyRingError,
+    HashRing,
+    LastShardError,
+    RingError,
+    UnknownShardError,
+    ZeroVnodeError,
+    _h64,
+)
 from repro.sharding.router import ShardRouter
 from repro.sharding.view import plan_view_change
 
@@ -90,8 +99,87 @@ def test_add_then_remove_restores_placement():
 
 def test_cannot_remove_last_shard():
     ring = HashRing([0], vnodes=16)
-    with pytest.raises(ValueError):
+    with pytest.raises(LastShardError):
         ring.remove_shard(0)
+
+
+def test_remove_then_readd_restores_exact_ownership():
+    """A shard that leaves and rejoins owns byte-identical keys.
+
+    Point hashes depend only on (shard, vnode-index), so a remove/readd
+    round trip -- a shard bounced for maintenance -- must not shuffle
+    anyone: ownership of every key is exactly what it was."""
+    ring = HashRing(range(4), vnodes=128)
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.remove_shard(2)
+    interim = {k: ring.lookup(k) for k in KEYS}
+    ring.add_shard(2)
+    assert {k: ring.lookup(k) for k in KEYS} == before
+    # and during its absence only its keys had moved
+    assert all(before[k] == 2 for k in KEYS if interim[k] != before[k])
+
+
+def test_remove_then_readd_with_custom_vnodes_is_stable():
+    ring = HashRing(range(3), vnodes=64)
+    ring.set_vnodes(1, 17)
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.remove_shard(1)
+    ring.add_shard(1, vnodes=17)
+    assert {k: ring.lookup(k) for k in KEYS} == before
+    assert ring.shard_vnodes(1) == 17
+
+
+# ---------------------------------------------------------------------------
+# typed structural errors
+
+
+def test_zero_vnode_removal_is_a_typed_error():
+    """Scaling a registered shard to zero vnodes must be refused.
+
+    A zero-vnode shard would stay registered but own no arc, so lookups
+    of its former keys would silently route to stale neighbours."""
+    ring = HashRing(range(3), vnodes=16)
+    with pytest.raises(ZeroVnodeError):
+        ring.set_vnodes(1, 0)
+    with pytest.raises(ZeroVnodeError):
+        ring.set_vnodes(1, -4)
+    # refused means state is untouched: shard 1 still owns its keys
+    assert ring.shard_vnodes(1) == 16
+    assert any(ring.lookup(k) == 1 for k in KEYS)
+    with pytest.raises(ZeroVnodeError):
+        ring.add_shard(9, vnodes=0)
+    assert 9 not in ring
+    with pytest.raises(ZeroVnodeError):
+        HashRing(range(2), vnodes=0)
+
+
+def test_typed_errors_are_valueerrors():
+    """Legacy ``except ValueError`` callers keep working."""
+    ring = HashRing([0, 1], vnodes=8)
+    for exc, fn in [
+        (UnknownShardError, lambda: ring.remove_shard(9)),
+        (UnknownShardError, lambda: ring.set_vnodes(9, 4)),
+        (UnknownShardError, lambda: ring.shard_vnodes(9)),
+        (DuplicateShardError, lambda: ring.add_shard(0)),
+    ]:
+        with pytest.raises(exc) as info:
+            fn()
+        assert isinstance(info.value, ValueError)
+        assert isinstance(info.value, RingError)
+    with pytest.raises(EmptyRingError):
+        HashRing((), vnodes=8).lookup("k")
+
+
+def test_set_vnodes_rescales_and_copy_preserves_counts():
+    ring = HashRing(range(3), vnodes=32)
+    ring.set_vnodes(0, 96)
+    assert ring.shard_vnodes(0) == 96
+    clone = ring.copy()
+    assert clone.shard_vnodes(0) == 96
+    assert [clone.lookup(k) for k in KEYS] == [ring.lookup(k) for k in KEYS]
+    # rescaling the clone does not perturb the original
+    clone.set_vnodes(0, 1)
+    assert ring.shard_vnodes(0) == 96
 
 
 # ---------------------------------------------------------------------------

@@ -348,8 +348,8 @@ def test_version_mismatch_rejected():
 
 def test_prior_version_frames_rejected():
     """Frames stamped with any previous codec version must not decode."""
-    assert wire.WIRE_VERSION == 5
-    for old in (2, 3, 4):
+    assert wire.WIRE_VERSION == 6
+    for old in (2, 3, 4, 5):
         frame = bytearray(wire.encode_frame(ReadRequest(("c", 1), 0)))
         frame[4] = old
         with pytest.raises(wire.WireError, match="version"):
